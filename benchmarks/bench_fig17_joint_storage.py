@@ -1,0 +1,58 @@
+"""Figure 17: storage saved by joint compression, by camera overlap.
+
+Applies joint compression to camera pairs at increasing horizontal overlap
+and reports on-disk size relative to separate encoding.  Paper shape:
+savings grow with overlap, up to ~45% at high overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Series, print_series
+from repro.jointcomp import JointCompressor
+from repro.synthetic import visualroad
+from repro.video.codec.registry import encode_gop
+from repro.video.frame import VideoSegment
+
+OVERLAPS = (0.3, 0.5, 0.75)
+FRAMES = 8
+
+
+def _sizes(overlap: float) -> tuple[int, int]:
+    ds = visualroad("1K", overlap=overlap, num_frames=FRAMES)
+    left, right = ds.videos(0, FRAMES)
+    separate = sum(
+        g.nbytes
+        for clip in (left, right)
+        for g in encode_gop("h264", clip, qp=14, gop_size=FRAMES)
+    )
+    result = JointCompressor(merge="mean").compress(left.pixels, right.pixels)
+    if result is None:
+        return separate, separate
+    joint = 0
+    for stack in (result.left_frames, result.overlap_frames, result.right_frames):
+        if stack.shape[2] == 0:
+            continue
+        seg = VideoSegment(stack.copy(), "rgb", stack.shape[1], stack.shape[2],
+                           30.0)
+        joint += sum(
+            g.nbytes for g in encode_gop("h264", seg, qp=14, gop_size=FRAMES)
+        )
+    return separate, joint
+
+
+def test_fig17_joint_compression_storage(benchmark):
+    series = Series("Fig17 joint vs separate", "% overlap", "% smaller")
+    savings = {}
+    for overlap in OVERLAPS:
+        separate, joint = _sizes(overlap)
+        pct = 100.0 * (1.0 - joint / separate)
+        savings[overlap] = pct
+        series.add(100 * overlap, pct)
+    print_series(series)
+
+    benchmark.pedantic(_sizes, args=(0.5,), rounds=1, iterations=1)
+    # Shape: monotone-ish growth of savings with overlap, meaningful at 75%.
+    assert savings[0.75] > savings[0.3]
+    assert savings[0.75] > 15.0

@@ -1,0 +1,56 @@
+"""Figure 20: read throughput over deferred-compressed raw fragments.
+
+Compresses raw GOPs at increasing zstd-style levels and measures
+decompress+decode FPS, against decoding the same content from the hevc
+codec.  Paper shape: throughput dips as the level rises, but at every
+level lossless decompression beats the video codec decode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import Series, print_series
+from repro.lossless import compress, decompress
+from repro.video.codec.container import decode_container, encode_container
+from repro.video.codec.registry import codec_for, encode_gop
+
+FRAMES = 30
+LEVELS = (1, 5, 9, 13, 17, 19)
+
+
+def test_fig20_deferred_read_throughput(vroad_clip, benchmark):
+    clip = vroad_clip.slice_frames(0, FRAMES)
+    raw_gops = encode_gop("raw", clip, gop_size=10)
+    blobs = {
+        level: [compress(encode_container(g), level) for g in raw_gops]
+        for level in LEVELS
+    }
+
+    series = Series("Fig20 VSS (zstd level)", "compression level", "FPS")
+    fps_by_level = {}
+    raw_codec = codec_for("raw")
+    for level in LEVELS:
+        start = time.perf_counter()
+        for blob in blobs[level]:
+            raw_codec.decode_gop(decode_container(decompress(blob)))
+        fps = FRAMES / (time.perf_counter() - start)
+        fps_by_level[level] = fps
+        series.add(level, fps)
+    print_series(series)
+
+    hevc_gops = encode_gop("hevc", clip, qp=14, gop_size=10)
+    hevc = codec_for("hevc")
+    start = time.perf_counter()
+    for gop in hevc_gops:
+        hevc.decode_gop(gop)
+    hevc_fps = FRAMES / (time.perf_counter() - start)
+    print(f"fig20: HEVC codec decode reference: {hevc_fps:,.1f} FPS")
+
+    benchmark.pedantic(
+        lambda: [decompress(b) for b in blobs[9]], rounds=1, iterations=1
+    )
+    # Shape: every lossless level decodes faster than the video codec.
+    assert min(fps_by_level.values()) > hevc_fps

@@ -1,0 +1,8 @@
+"""Setup shim: this environment has no ``wheel`` package, so editable
+installs must go through the legacy ``setup.py`` path
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+Project metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Reproduction of "VSS: A Storage System for Video Analytics" (SIGMOD 2021).
+
+Public entry points:
+
+* :class:`repro.VSS` — the storage manager (create/write/read/delete).
+* :mod:`repro.synthetic` — Table 1 dataset equivalents.
+* :mod:`repro.video` — frames, formats, codecs, metrics.
+* :mod:`repro.baselines` — Local-FS and VStore-style comparators.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import VSS, ReadResult
+from repro.core.read_planner import ReadRequest
+from repro.video.frame import VideoSegment
+
+__version__ = "1.0.0"
+
+__all__ = ["VSS", "ReadRequest", "ReadResult", "VideoSegment", "__version__"]

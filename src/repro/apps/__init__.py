@@ -1,0 +1,5 @@
+"""Application layer: the paper's end-to-end scenario (sections 2 & 6.4)."""
+
+from repro.apps.monitoring import MonitoringApp, PhaseTimings
+
+__all__ = ["MonitoringApp", "PhaseTimings"]

@@ -1,0 +1,6 @@
+"""Baseline systems the paper compares against (section 6)."""
+
+from repro.baselines.localfs import LocalFSStore
+from repro.baselines.vstore import VStoreBaseline
+
+__all__ = ["LocalFSStore", "VStoreBaseline"]

@@ -1,0 +1,126 @@
+"""Local-file-system baseline: monolithic video files, no storage manager.
+
+Matches the paper's "Local FS" comparator: each video is one opaque file.
+Reads in the stored format stream the file back; reads in any *other*
+format require the application to decode and convert the whole requested
+range itself (when the application knows how — the paper marks unsupported
+conversions with an x in Figure 14, because a bare file system offers no
+automatic transcoding).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import FormatError, ReadError, VideoNotFoundError
+from repro.video.codec.container import (
+    EncodedGOP,
+    decode_container,
+    encode_container,
+)
+from repro.video.codec.quant import QP_DEFAULT
+from repro.video.codec.registry import codec_for
+from repro.video.frame import VideoSegment, convert_segment
+
+
+class LocalFSStore:
+    """Stores each video as a single concatenated-container file."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        return self.root / f"{name}.video"
+
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        name: str,
+        segment: VideoSegment,
+        codec: str = "h264",
+        qp: int = QP_DEFAULT,
+        gop_size: int | None = None,
+    ) -> int:
+        """Encode and write a monolithic file; returns bytes written."""
+        gops = codec_for(codec).encode_segment(segment, qp=qp, gop_size=gop_size)
+        return self.write_gops(name, gops)
+
+    def write_gops(self, name: str, gops: list[EncodedGOP]) -> int:
+        blob_parts = []
+        for gop in gops:
+            data = encode_container(gop)
+            blob_parts.append(len(data).to_bytes(8, "big"))
+            blob_parts.append(data)
+        blob = b"".join(blob_parts)
+        self._path(name).write_bytes(blob)
+        return len(blob)
+
+    def size(self, name: str) -> int:
+        try:
+            return self._path(name).stat().st_size
+        except FileNotFoundError:
+            raise VideoNotFoundError(name) from None
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if path.exists():
+            path.unlink()
+
+    # ------------------------------------------------------------------
+    def read_gops(self, name: str) -> list[EncodedGOP]:
+        """Read the stored GOP stream without decoding."""
+        try:
+            blob = self._path(name).read_bytes()
+        except FileNotFoundError:
+            raise VideoNotFoundError(name) from None
+        gops = []
+        offset = 0
+        while offset < len(blob):
+            size = int.from_bytes(blob[offset : offset + 8], "big")
+            offset += 8
+            gops.append(decode_container(blob[offset : offset + size]))
+            offset += size
+        return gops
+
+    def read(
+        self,
+        name: str,
+        start: float | None = None,
+        end: float | None = None,
+        codec: str | None = None,
+        pixel_format: str = "rgb",
+        qp: int = QP_DEFAULT,
+    ):
+        """Read a time range, optionally converting format.
+
+        ``codec=None`` returns the stored bytes for the requested range
+        (same-format read).  Any conversion decodes the *entire covering
+        range* — the file system gives no sub-file access structure, so the
+        application pays full decode + re-encode (the paper's transcoding
+        comparison path).
+        """
+        gops = self.read_gops(name)
+        if not gops:
+            raise ReadError(f"{name!r} is empty")
+        if start is not None or end is not None:
+            lo = start if start is not None else gops[0].start_time
+            hi = end if end is not None else gops[-1].end_time
+            gops = [g for g in gops if g.end_time > lo and g.start_time < hi]
+            if not gops:
+                raise ReadError(f"no data in [{start}, {end})")
+        stored_codec = gops[0].codec
+        if codec is None or (
+            codec == stored_codec and pixel_format == gops[0].pixel_format
+        ):
+            return gops
+        decoded = [codec_for(g.codec).decode_gop(g) for g in gops]
+        segment = decoded[0].concatenate(decoded)
+        if start is not None and end is not None:
+            segment = segment.slice_time(start, end)
+        segment = convert_segment(segment, pixel_format)
+        if codec == "raw":
+            return segment
+        if not codec_for(codec).is_compressed:
+            raise FormatError(f"unsupported target codec {codec!r}")
+        return codec_for(codec).encode_segment(segment, qp=qp)

@@ -1,0 +1,13 @@
+"""Benchmark support: workload generators and reporting helpers."""
+
+from repro.bench.harness import Series, Table, print_series, print_table
+from repro.bench.workloads import RandomReadWorkload, populate_cache
+
+__all__ = [
+    "RandomReadWorkload",
+    "Series",
+    "Table",
+    "populate_cache",
+    "print_series",
+    "print_table",
+]

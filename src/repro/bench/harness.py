@@ -1,0 +1,81 @@
+"""Reporting helpers: print the same rows/series the paper's figures show.
+
+Each benchmark ends by printing a :class:`Table` (for Table 1/2-style
+results) or one or more :class:`Series` (for figure-style results), so the
+bench output is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A paper-style results table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        formatted_rows = []
+        for row in self.rows:
+            formatted = [_format(v) for v in row]
+            widths = [max(w, len(f)) for w, f in zip(widths, formatted)]
+            formatted_rows.append(formatted)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for formatted in formatted_rows:
+            lines.append("  ".join(f.ljust(w) for f, w in zip(formatted, widths)))
+        lines.append(rule)
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, as plotted in the paper's figures."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def render(self) -> str:
+        lines = [f"series: {self.name}  ({self.x_label} -> {self.y_label})"]
+        for x, y in self.points:
+            lines.append(f"  {_format(x):>12}  {_format(y)}")
+        return "\n".join(lines)
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(table: Table) -> None:
+    print()
+    print(table.render())
+
+
+def print_series(*series: Series) -> None:
+    print()
+    for s in series:
+        print(s.render())
+        print()

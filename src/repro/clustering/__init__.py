@@ -1,0 +1,5 @@
+"""Clustering substrate: BIRCH, used by joint-compression candidate search."""
+
+from repro.clustering.birch import Birch, Cluster
+
+__all__ = ["Birch", "Cluster"]

@@ -1,0 +1,226 @@
+"""BIRCH clustering (Zhang, Ramakrishnan & Livny, SIGMOD 1996).
+
+VSS clusters video-fragment colour histograms with BIRCH because it is
+memory-efficient, scales to many points, and supports *incremental* insertion
+as new GOPs arrive (paper section 5.1.3).  This is a from-scratch
+implementation of the CF-tree insertion phase; clusters are the leaf
+subclusters, which is what VSS consumes (it picks the cluster with the
+smallest radius and searches within it).
+
+A clustering feature (CF) is the triple ``(n, LS, SS)`` — count, linear sum,
+and squared sum — which is sufficient to compute centroids, radii, and merge
+candidates without revisiting the points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _CF:
+    """A clustering feature with the ids of its member points."""
+
+    n: int
+    linear_sum: np.ndarray
+    squared_sum: float
+    members: list[int] = field(default_factory=list)
+
+    @classmethod
+    def of_point(cls, point: np.ndarray, member_id: int) -> "_CF":
+        return cls(1, point.copy(), float(point @ point), [member_id])
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.linear_sum / self.n
+
+    @property
+    def radius(self) -> float:
+        """RMS distance of members from the centroid."""
+        centroid = self.centroid
+        variance = self.squared_sum / self.n - float(centroid @ centroid)
+        return float(np.sqrt(max(variance, 0.0)))
+
+    def merged_with(self, other: "_CF") -> "_CF":
+        return _CF(
+            self.n + other.n,
+            self.linear_sum + other.linear_sum,
+            self.squared_sum + other.squared_sum,
+            self.members + other.members,
+        )
+
+    def absorb(self, other: "_CF") -> None:
+        self.n += other.n
+        self.linear_sum = self.linear_sum + other.linear_sum
+        self.squared_sum += other.squared_sum
+        self.members.extend(other.members)
+
+
+@dataclass
+class _Node:
+    """A CF-tree node; leaves hold subclusters, interior nodes hold CF
+    summaries of children."""
+
+    is_leaf: bool
+    entries: list[_CF] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """An output cluster: centroid, radius, and the inserted point ids."""
+
+    centroid: np.ndarray
+    radius: float
+    members: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class Birch:
+    """Incremental BIRCH clusterer.
+
+    ``threshold`` bounds the radius of a leaf subcluster; ``branching``
+    bounds entries per node.  Insert points one at a time with
+    :meth:`insert`; read clusters with :meth:`clusters`.
+    """
+
+    def __init__(self, threshold: float = 0.1, branching: int = 8):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if branching < 2:
+            raise ValueError(f"branching factor must be >= 2, got {branching}")
+        self.threshold = threshold
+        self.branching = branching
+        self._root = _Node(is_leaf=True)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, point: np.ndarray, member_id: int | None = None) -> int:
+        """Insert a point; returns the id recorded for it."""
+        point = np.asarray(point, dtype=np.float64).ravel()
+        if member_id is None:
+            member_id = self._count
+        entry = _CF.of_point(point, member_id)
+        split = self._insert_into(self._root, entry)
+        if split is not None:
+            # Root split: grow the tree by one level.
+            old_root = self._root
+            sibling = split
+            new_root = _Node(is_leaf=False)
+            new_root.children = [old_root, sibling]
+            new_root.entries = [_summarize(old_root), _summarize(sibling)]
+            self._root = new_root
+        self._count += 1
+        return member_id
+
+    # ------------------------------------------------------------------
+    def _insert_into(self, node: _Node, entry: _CF) -> _Node | None:
+        """Insert ``entry`` under ``node``; returns a new sibling node if
+        ``node`` split, else None."""
+        if node.is_leaf:
+            index = _closest(node.entries, entry)
+            if index is not None:
+                candidate = node.entries[index].merged_with(entry)
+                if candidate.radius <= self.threshold:
+                    node.entries[index].absorb(entry)
+                    return None
+            node.entries.append(entry)
+            if len(node.entries) > self.branching:
+                return self._split(node)
+            return None
+        index = _closest(node.entries, entry)
+        assert index is not None, "interior node with no entries"
+        child = node.children[index]
+        split = self._insert_into(child, entry)
+        node.entries[index] = _summarize(child)
+        if split is None:
+            return None
+        node.children.append(split)
+        node.entries.append(_summarize(split))
+        if len(node.entries) > self.branching:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Split an over-full node; mutates ``node`` to the first half and
+        returns the new sibling."""
+        centroids = np.stack([e.centroid for e in node.entries])
+        # Farthest-pair seeding.
+        distances = np.linalg.norm(
+            centroids[:, None, :] - centroids[None, :, :], axis=-1
+        )
+        i, j = np.unravel_index(np.argmax(distances), distances.shape)
+        assign_first = distances[:, i] <= distances[:, j]
+        sibling = _Node(is_leaf=node.is_leaf)
+        keep_entries, move_entries = [], []
+        keep_children, move_children = [], []
+        for k, take in enumerate(assign_first):
+            (keep_entries if take else move_entries).append(node.entries[k])
+            if not node.is_leaf:
+                (keep_children if take else move_children).append(node.children[k])
+        # Degenerate split (all points identical): force a balanced cut.
+        if not keep_entries or not move_entries:
+            half = len(node.entries) // 2
+            keep_entries, move_entries = node.entries[:half], node.entries[half:]
+            if not node.is_leaf:
+                keep_children = node.children[:half]
+                move_children = node.children[half:]
+        node.entries = keep_entries
+        sibling.entries = move_entries
+        if not node.is_leaf:
+            node.children = keep_children
+            sibling.children = move_children
+        return sibling
+
+    # ------------------------------------------------------------------
+    def clusters(self) -> list[Cluster]:
+        """All leaf subclusters, sorted by ascending radius (VSS considers
+        the smallest-radius cluster first)."""
+        found: list[Cluster] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for cf in node.entries:
+                    found.append(
+                        Cluster(cf.centroid.copy(), cf.radius, tuple(cf.members))
+                    )
+            else:
+                stack.extend(node.children)
+        found.sort(key=lambda c: (c.radius, -c.size))
+        return found
+
+    def smallest_cluster(self, min_size: int = 2) -> Cluster | None:
+        """The smallest-radius cluster with at least ``min_size`` members."""
+        for cluster in self.clusters():
+            if cluster.size >= min_size:
+                return cluster
+        return None
+
+
+def _closest(entries: list[_CF], entry: _CF) -> int | None:
+    if not entries:
+        return None
+    centroids = np.stack([e.centroid for e in entries])
+    distances = np.linalg.norm(centroids - entry.centroid, axis=1)
+    return int(np.argmin(distances))
+
+
+def _summarize(node: _Node) -> _CF:
+    """CF summary of everything under a node."""
+    total = _CF(
+        0,
+        np.zeros_like(node.entries[0].linear_sum),
+        0.0,
+        [],
+    )
+    for cf in node.entries:
+        total.absorb(cf)
+    return total

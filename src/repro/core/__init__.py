@@ -1,0 +1,20 @@
+"""VSS core: the storage manager itself.
+
+The public entry point is :class:`repro.core.api.VSS`, which exposes the
+paper's four-operation API (Figure 1): ``create``, ``write``, ``read``,
+``delete``, with spatial (S), temporal (T), and physical (P) parameters on
+reads and writes.
+"""
+
+from repro.core.api import VSS, ReadResult
+from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
+from repro.core.read_planner import ReadRequest
+
+__all__ = [
+    "VSS",
+    "GopRecord",
+    "LogicalVideo",
+    "PhysicalVideo",
+    "ReadRequest",
+    "ReadResult",
+]

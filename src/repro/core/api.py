@@ -1,0 +1,513 @@
+"""The VSS facade: the paper's four-operation API (Figure 1).
+
+    vss = VSS("/path/to/store")
+    vss.create("traffic")
+    vss.write("traffic", segment, codec="h264")
+    result = vss.read("traffic", start=20, end=80, codec="h264")
+
+Reads accept spatial (``resolution``, ``roi``), temporal (``start``,
+``end``, ``fps``), and physical (``codec``, ``pixel_format``, ``qp``,
+``quality_db``) parameters.  Results are cached as new materialized
+physical videos (unless ``cache=False``), budgets are enforced with the
+LRU_VSS policy, raw reads trigger deferred compression, and compaction
+runs periodically — all transparently, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.cache import CacheManager, EvictionReport
+from repro.core.catalog import Catalog
+from repro.core.compaction import Compactor
+from repro.core.cost import CostModel
+from repro.core.deferred import DeferredCompressionManager
+from repro.core.layout import Layout
+from repro.core.quality import DEFAULT_EPSILON_DB, QualityModel
+from repro.core.read_planner import ReadRequest, plan_read
+from repro.core.reader import Reader, ReadResult
+from repro.core.records import ROI, LogicalVideo, PhysicalVideo
+from repro.core.writer import StreamWriter, Writer
+from repro.errors import ReadError, VideoNotFoundError, WriteError
+from repro.util import LogicalClock
+from repro.vbench.calibrate import Calibration, load_or_run
+from repro.video.codec.container import EncodedGOP
+from repro.video.codec.quant import QP_DEFAULT
+from repro.video.codec.registry import codec_for
+from repro.video.frame import VideoSegment, convert_segment
+from repro.video.metrics import segment_mse
+from repro.video.resample import crop_roi, resize_segment
+
+#: Default storage budget: 10x the initially written physical video.
+DEFAULT_BUDGET_MULTIPLE = 10.0
+
+#: Run exact-quality refinement every N reads, compaction every M reads.
+REFINE_INTERVAL = 16
+COMPACT_INTERVAL = 8
+
+
+@dataclass
+class StoreStats:
+    """Summary statistics for one logical video."""
+
+    name: str
+    budget_bytes: int
+    total_bytes: int
+    num_physicals: int
+    num_fragments: int
+    num_gops: int
+
+
+class VSS:
+    """A VSS store rooted at a directory.
+
+    Parameters mirror the prototype's knobs: ``cache_policy`` selects
+    LRU_VSS or plain LRU (the Figure 16 comparison), ``planner`` selects
+    solver/greedy/original fragment selection (Figure 10), and
+    ``deferred_compression`` toggles section 5.2's optimization
+    (Figure 12/13).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        budget_multiple: float = DEFAULT_BUDGET_MULTIPLE,
+        cache_policy: str = "vss",
+        planner: str = "solver",
+        deferred_compression: bool = True,
+        background_compression: bool = False,
+        calibration: Calibration | None = None,
+        cache_reads: bool = True,
+    ):
+        self.layout = Layout(root)
+        self.catalog = Catalog(self.layout.catalog_path)
+        if calibration is None:
+            calibration = load_or_run(self.layout.calibration_path, quick=True)
+        self.calibration = calibration
+        self.clock = LogicalClock()
+        for _ in range(self.catalog.max_last_access()):
+            # Resume the logical clock past persisted access stamps.
+            self.clock.tick()
+        self.quality_model = QualityModel(calibration)
+        self.cost_model = CostModel(calibration)
+        self.writer = Writer(self.catalog, self.layout, self.clock)
+        self.reader = Reader(self.layout, self.catalog, self.cost_model)
+        self.cache = CacheManager(
+            self.catalog, self.layout, self.quality_model, policy=cache_policy
+        )
+        self.deferred = DeferredCompressionManager(
+            self.catalog,
+            self.layout,
+            self.cache,
+            enabled=deferred_compression,
+        )
+        self.compactor = Compactor(self.catalog)
+        self.budget_multiple = budget_multiple
+        self.planner = planner
+        self.cache_reads = cache_reads
+        self.background_compression = background_compression
+        self._reads_since_refine = 0
+        self._reads_since_compact = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.deferred.stop_background()
+        self.catalog.close()
+        self._closed = True
+
+    def __enter__(self) -> "VSS":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # create / delete
+    # ------------------------------------------------------------------
+    def create(self, name: str, budget_bytes: int = 0) -> LogicalVideo:
+        """Create a logical video.
+
+        ``budget_bytes = 0`` defers the budget to the default multiple of
+        the first written physical video's size.
+        """
+        return self.catalog.create_logical(name, budget_bytes)
+
+    def delete(self, name: str) -> None:
+        logical = self.catalog.get_logical(name)
+        self.layout.delete_logical_files(name)
+        self.catalog.delete_logical(logical.id)
+
+    def list_videos(self) -> list[str]:
+        return [v.name for v in self.catalog.list_logical()]
+
+    def set_budget(self, name: str, budget_bytes: int) -> None:
+        logical = self.catalog.get_logical(name)
+        self.catalog.set_budget(logical.id, budget_bytes)
+
+    # ------------------------------------------------------------------
+    # write
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        name: str,
+        segment: VideoSegment | None = None,
+        gops: list[EncodedGOP] | None = None,
+        codec: str = "h264",
+        qp: int = QP_DEFAULT,
+        gop_size: int | None = None,
+    ) -> PhysicalVideo:
+        """Write video under ``name`` (raw segment or pre-encoded GOPs).
+
+        The first write to a logical video becomes its *original*: the
+        lossless reference all quality estimates chain back to.
+        """
+        logical = self._get_or_create(name)
+        is_original = self.catalog.original_physical(logical.id) is None
+        if (segment is None) == (gops is None):
+            raise WriteError("provide exactly one of segment= or gops=")
+        if gops is not None:
+            outcome = self.writer.write_gops(
+                logical, gops, is_original=is_original
+            )
+        else:
+            outcome = self.writer.write_segment(
+                logical,
+                segment,
+                codec=codec,
+                qp=qp,
+                gop_size=gop_size,
+                is_original=is_original,
+            )
+        if is_original:
+            self._default_budget(logical, outcome.nbytes)
+        return outcome.physical
+
+    def open_write_stream(
+        self,
+        name: str,
+        codec: str,
+        pixel_format: str,
+        width: int,
+        height: int,
+        fps: float,
+        qp: int = QP_DEFAULT,
+        gop_size: int | None = None,
+    ) -> "HookedStream":
+        """Begin a non-blocking streaming write (prefix reads allowed)."""
+        logical = self._get_or_create(name)
+        is_original = self.catalog.original_physical(logical.id) is None
+        stream = self.writer.open_stream(
+            logical,
+            codec=codec,
+            pixel_format=pixel_format,
+            width=width,
+            height=height,
+            fps=fps,
+            qp=qp,
+            is_original=is_original,
+            gop_size=gop_size,
+        )
+        return HookedStream(self, logical, stream, is_original)
+
+    def _get_or_create(self, name: str) -> LogicalVideo:
+        try:
+            return self.catalog.get_logical(name)
+        except VideoNotFoundError:
+            return self.create(name)
+
+    def _default_budget(self, logical: LogicalVideo, original_bytes: int) -> None:
+        fresh = self.catalog.get_logical_by_id(logical.id)
+        if fresh.budget_bytes == 0:
+            self.catalog.set_budget(
+                logical.id, int(original_bytes * self.budget_multiple)
+            )
+
+    # ------------------------------------------------------------------
+    # read
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        codec: str = "raw",
+        pixel_format: str = "rgb",
+        resolution: tuple[int, int] | None = None,
+        roi: ROI | None = None,
+        fps: float | None = None,
+        quality_db: float = DEFAULT_EPSILON_DB,
+        qp: int = QP_DEFAULT,
+        cache: bool | None = None,
+        mode: str | None = None,
+    ) -> ReadResult:
+        """Read video in any spatial/temporal/physical configuration."""
+        logical = self.catalog.get_logical(name)
+        original = self.catalog.original_physical(logical.id)
+        if original is None:
+            raise ReadError(f"logical video {name!r} has no data")
+        request = ReadRequest(
+            name=name,
+            start=start,
+            end=end,
+            codec=codec,
+            pixel_format=pixel_format,
+            resolution=resolution,
+            roi=roi,
+            fps=fps,
+            quality_db=quality_db,
+            qp=qp,
+        )
+        if codec == "raw":
+            self.deferred.on_uncompressed_read(logical)
+        fragments = self.catalog.fragments_of_logical(logical.id)
+        plan = plan_read(
+            request,
+            fragments,
+            original,
+            self.cost_model,
+            self.quality_model,
+            mode=mode or self.planner,
+        )
+        result = self.reader.execute(plan)
+        self.catalog.touch_gops(result.stats.gop_ids_touched, self.clock.tick())
+
+        should_cache = self.cache_reads if cache is None else cache
+        if should_cache and not result.stats.direct_serve:
+            self._admit(logical, plan, result)
+        self._periodic_maintenance(logical)
+        return result
+
+    # ------------------------------------------------------------------
+    # cache admission (section 4)
+    # ------------------------------------------------------------------
+    def _admit(self, logical: LogicalVideo, plan, result: ReadResult) -> None:
+        if self._would_duplicate(plan):
+            return
+        source_mse = max(
+            (c.fragment.physical.mse_estimate for c in plan.choices),
+            default=0.0,
+        )
+        mse_estimate = self.quality_model.estimate_after_transcode(
+            source_mse=source_mse,
+            resample_mse=result.stats.resample_mse,
+            target_codec=plan.request.codec,
+            achieved_bpp=result.stats.output_bpp,
+        )
+        full = (0, 0, *plan.original_resolution)
+        roi = None if tuple(plan.roi) == full else tuple(plan.roi)
+        if result.gops is not None:
+            self.writer.write_gops(
+                logical, result.gops, mse_estimate=mse_estimate, roi=roi
+            )
+        else:
+            self.writer.write_segment(
+                logical,
+                result.segment,
+                codec="raw",
+                mse_estimate=mse_estimate,
+                roi=roi,
+            )
+        # Enforce the budget and accept the outcome, whatever mix of old
+        # and new pages the policy retains (paper Figure 5: admitting m4
+        # evicts part of m1).  No rollback: eviction may already have
+        # removed pages the new physical was covering, so deleting the new
+        # pages afterwards could orphan part of the timeline.
+        self.cache.enforce_budget(logical)
+
+    def _would_duplicate(self, plan) -> bool:
+        """True when the read was served from a single fragment already in
+        the requested format — caching it again would store a byte-level
+        duplicate and only churn the budget."""
+        if len({id(c.fragment) for c in plan.choices}) != 1:
+            return False
+        fragment = plan.choices[0].fragment
+        if not self.cost_model.is_format_match(fragment, plan.target):
+            return False
+        if abs(fragment.physical.fps - plan.target_fps) > 1e-9:
+            return False
+        full = (0, 0, *plan.original_resolution)
+        frag_roi = fragment.physical.roi_or(full)
+        return tuple(frag_roi) == tuple(plan.roi)
+
+    def enforce_budget(self, name: str) -> EvictionReport:
+        logical = self.catalog.get_logical(name)
+        return self.cache.enforce_budget(logical)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _periodic_maintenance(self, logical: LogicalVideo) -> None:
+        self._reads_since_compact += 1
+        if self._reads_since_compact >= COMPACT_INTERVAL:
+            self._reads_since_compact = 0
+            self.compactor.compact(logical)
+        self._reads_since_refine += 1
+        if self._reads_since_refine >= REFINE_INTERVAL:
+            self._reads_since_refine = 0
+            self._refine_one(logical)
+        if self.background_compression:
+            if self.deferred._thread is None:
+                self.deferred.start_background(logical)
+            self.deferred.notify_idle()
+
+    def compact(self, name: str) -> int:
+        logical = self.catalog.get_logical(name)
+        return self.compactor.compact(logical)
+
+    def _refine_one(self, logical: LogicalVideo) -> None:
+        """Periodic exact-quality sampling (section 3.2): decode a sample
+        of one cached physical video, compare against the original, and
+        replace the estimated MSE with the measurement."""
+        original = self.catalog.original_physical(logical.id)
+        if original is None:
+            return
+        candidates = [
+            p
+            for p in self.catalog.list_physicals(logical.id)
+            if not p.is_original and p.sealed and p.mse_estimate > 0.0
+        ]
+        if not candidates:
+            return
+        physical = candidates[0]
+        gops = self.catalog.gops_of_physical(physical.id)
+        if not gops:
+            return
+        sample = gops[0]
+        try:
+            cached = codec_for(physical.codec).decode_gop(
+                self.layout.read_gop(sample.path, sample.zstd_level)
+            )
+            reference = self._decode_original_window(
+                logical, original, sample.start_time, sample.end_time
+            )
+        except Exception:
+            return  # sampling is best-effort
+        reference = self._match_geometry(reference, physical, original)
+        frames = min(cached.num_frames, reference.num_frames)
+        if frames == 0:
+            return
+        measured = segment_mse(
+            reference.slice_frames(0, frames), cached.slice_frames(0, frames)
+        )
+        self.catalog.update_mse_estimate(physical.id, measured)
+
+    def _decode_original_window(
+        self,
+        logical: LogicalVideo,
+        original: PhysicalVideo,
+        start: float,
+        end: float,
+    ) -> VideoSegment:
+        pieces = []
+        for gop in self.catalog.gops_of_physical(original.id, start, end):
+            encoded = self.layout.read_gop(gop.path, gop.zstd_level)
+            pieces.append(
+                codec_for(encoded.codec).decode_gop(
+                    encoded.with_start_time(gop.start_time)
+                )
+            )
+        if not pieces:
+            raise ReadError("original GOPs missing for refinement window")
+        merged = pieces[0].concatenate(pieces)
+        return merged.slice_time(start, end)
+
+    @staticmethod
+    def _match_geometry(
+        reference: VideoSegment,
+        physical: PhysicalVideo,
+        original: PhysicalVideo,
+    ) -> VideoSegment:
+        if physical.roi is not None:
+            x0, y0, x1, y1 = physical.roi
+            reference = crop_roi(reference, x0, x1, y0, y1)
+        if (reference.width, reference.height) != physical.resolution:
+            reference = resize_segment(
+                reference, physical.width, physical.height
+            )
+        return convert_segment(reference, physical.pixel_format)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self, name: str) -> StoreStats:
+        logical = self.catalog.get_logical(name)
+        fragments = self.catalog.fragments_of_logical(logical.id)
+        gops = self.catalog.gops_of_logical(logical.id)
+        return StoreStats(
+            name=name,
+            budget_bytes=logical.budget_bytes,
+            total_bytes=self.catalog.total_bytes(logical.id),
+            num_physicals=len(self.catalog.list_physicals(logical.id)),
+            num_fragments=len(fragments),
+            num_gops=len(gops),
+        )
+
+
+class HookedStream:
+    """Streaming writer that drives deferred compression as data lands.
+
+    During a long raw write the budget fills early; the paper's Figure 13
+    shows deferred compression activating mid-write and moderating size at
+    the cost of throughput.  This wrapper triggers that path after every
+    appended chunk.
+    """
+
+    def __init__(
+        self,
+        vss: VSS,
+        logical: LogicalVideo,
+        stream: StreamWriter,
+        is_original: bool,
+    ):
+        self._vss = vss
+        self._logical = logical
+        self._stream = stream
+        self._is_original = is_original
+
+    @property
+    def physical(self) -> PhysicalVideo:
+        return self._stream.physical
+
+    @property
+    def nbytes(self) -> int:
+        return self._stream.nbytes
+
+    def append(self, segment: VideoSegment) -> None:
+        self._stream.append(segment)
+        self._maybe_defer()
+
+    def append_gops(self, gops: list[EncodedGOP]) -> None:
+        self._stream.append_gops(gops)
+        self._maybe_defer()
+
+    def _maybe_defer(self) -> None:
+        if self._is_original:
+            # Budget defaults are set from the original's final size; during
+            # an original write, derive a provisional budget from bytes so
+            # far so the threshold can engage (the paper's Figure 13 run).
+            logical = self._vss.catalog.get_logical_by_id(self._logical.id)
+            if logical.budget_bytes == 0:
+                return
+        if self._stream.physical.codec == "raw" and self._vss.deferred.active(
+            self._logical
+        ):
+            self._vss.deferred.compress_one(self._logical)
+
+    def close(self):
+        outcome = self._stream.close()
+        if self._is_original:
+            self._vss._default_budget(self._logical, outcome.nbytes)
+        return outcome
+
+    def __enter__(self) -> "HookedStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._stream._closed and self._stream._seq > 0:
+            self.close()

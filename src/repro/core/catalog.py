@@ -1,0 +1,564 @@
+"""SQLite-backed catalog of logical videos, physical videos, and GOPs.
+
+The paper's prototype keeps its metadata in SQLite [44]; so does this one.
+One connection serves the whole store, guarded by a re-entrant lock so the
+deferred-compression background thread can update rows safely.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import CatalogError, VideoExistsError, VideoNotFoundError
+from repro.core.records import (
+    Fragment,
+    GopRecord,
+    JointPairRecord,
+    LogicalVideo,
+    PhysicalVideo,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS logical_videos (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE,
+    budget_bytes INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS physical_videos (
+    id INTEGER PRIMARY KEY,
+    logical_id INTEGER NOT NULL REFERENCES logical_videos(id),
+    codec TEXT NOT NULL,
+    pixel_format TEXT NOT NULL,
+    width INTEGER NOT NULL,
+    height INTEGER NOT NULL,
+    fps REAL NOT NULL,
+    qp INTEGER NOT NULL,
+    roi TEXT,
+    start_time REAL NOT NULL,
+    end_time REAL NOT NULL,
+    mse_estimate REAL NOT NULL,
+    is_original INTEGER NOT NULL,
+    sealed INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS physical_by_logical
+    ON physical_videos(logical_id);
+CREATE TABLE IF NOT EXISTS gops (
+    id INTEGER PRIMARY KEY,
+    physical_id INTEGER NOT NULL REFERENCES physical_videos(id),
+    seq INTEGER NOT NULL,
+    start_time REAL NOT NULL,
+    end_time REAL NOT NULL,
+    num_frames INTEGER NOT NULL,
+    frame_types TEXT NOT NULL,
+    nbytes INTEGER NOT NULL,
+    path TEXT NOT NULL,
+    last_access INTEGER NOT NULL DEFAULT 0,
+    zstd_level INTEGER NOT NULL DEFAULT 0,
+    joint_pair_id INTEGER,
+    joint_role TEXT
+);
+CREATE INDEX IF NOT EXISTS gops_by_physical ON gops(physical_id, seq);
+CREATE INDEX IF NOT EXISTS gops_by_time ON gops(physical_id, start_time);
+CREATE TABLE IF NOT EXISTS joint_pairs (
+    id INTEGER PRIMARY KEY,
+    homography TEXT NOT NULL,
+    x_f INTEGER NOT NULL,
+    x_g INTEGER NOT NULL,
+    merge TEXT NOT NULL,
+    left_path TEXT NOT NULL,
+    overlap_path TEXT,
+    right_path TEXT,
+    nbytes INTEGER NOT NULL,
+    duplicate INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def _roi_to_text(roi) -> str | None:
+    return None if roi is None else json.dumps(list(roi))
+
+
+def _roi_from_text(text) -> tuple[int, int, int, int] | None:
+    return None if text is None else tuple(json.loads(text))
+
+
+class Catalog:
+    """All metadata operations for one VSS store."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # logical videos
+    # ------------------------------------------------------------------
+    def create_logical(self, name: str, budget_bytes: int) -> LogicalVideo:
+        with self._lock:
+            try:
+                cursor = self._conn.execute(
+                    "INSERT INTO logical_videos (name, budget_bytes, created_at)"
+                    " VALUES (?, ?, ?)",
+                    (name, budget_bytes, time.time()),
+                )
+            except sqlite3.IntegrityError:
+                raise VideoExistsError(name) from None
+            self._conn.commit()
+            return self.get_logical_by_id(cursor.lastrowid)
+
+    def get_logical(self, name: str) -> LogicalVideo:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM logical_videos WHERE name = ?", (name,)
+            ).fetchone()
+        if row is None:
+            raise VideoNotFoundError(name)
+        return self._logical_from_row(row)
+
+    def get_logical_by_id(self, logical_id: int) -> LogicalVideo:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM logical_videos WHERE id = ?", (logical_id,)
+            ).fetchone()
+        if row is None:
+            raise CatalogError(f"no logical video with id {logical_id}")
+        return self._logical_from_row(row)
+
+    def list_logical(self) -> list[LogicalVideo]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM logical_videos ORDER BY name"
+            ).fetchall()
+        return [self._logical_from_row(r) for r in rows]
+
+    def set_budget(self, logical_id: int, budget_bytes: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE logical_videos SET budget_bytes = ? WHERE id = ?",
+                (budget_bytes, logical_id),
+            )
+            self._conn.commit()
+
+    def delete_logical(self, logical_id: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM gops WHERE physical_id IN "
+                "(SELECT id FROM physical_videos WHERE logical_id = ?)",
+                (logical_id,),
+            )
+            self._conn.execute(
+                "DELETE FROM physical_videos WHERE logical_id = ?", (logical_id,)
+            )
+            self._conn.execute(
+                "DELETE FROM logical_videos WHERE id = ?", (logical_id,)
+            )
+            self._conn.commit()
+
+    @staticmethod
+    def _logical_from_row(row: sqlite3.Row) -> LogicalVideo:
+        return LogicalVideo(
+            id=row["id"],
+            name=row["name"],
+            budget_bytes=row["budget_bytes"],
+            created_at=row["created_at"],
+        )
+
+    # ------------------------------------------------------------------
+    # physical videos
+    # ------------------------------------------------------------------
+    def add_physical(
+        self,
+        logical_id: int,
+        codec: str,
+        pixel_format: str,
+        width: int,
+        height: int,
+        fps: float,
+        qp: int,
+        roi,
+        start_time: float,
+        end_time: float,
+        mse_estimate: float,
+        is_original: bool,
+        sealed: bool = True,
+    ) -> PhysicalVideo:
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO physical_videos (logical_id, codec, pixel_format,"
+                " width, height, fps, qp, roi, start_time, end_time,"
+                " mse_estimate, is_original, sealed)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    logical_id,
+                    codec,
+                    pixel_format,
+                    width,
+                    height,
+                    fps,
+                    qp,
+                    _roi_to_text(roi),
+                    start_time,
+                    end_time,
+                    mse_estimate,
+                    int(is_original),
+                    int(sealed),
+                ),
+            )
+            self._conn.commit()
+            return self.get_physical(cursor.lastrowid)
+
+    def get_physical(self, physical_id: int) -> PhysicalVideo:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM physical_videos WHERE id = ?", (physical_id,)
+            ).fetchone()
+        if row is None:
+            raise CatalogError(f"no physical video with id {physical_id}")
+        return self._physical_from_row(row)
+
+    def list_physicals(self, logical_id: int) -> list[PhysicalVideo]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM physical_videos WHERE logical_id = ?"
+                " ORDER BY id",
+                (logical_id,),
+            ).fetchall()
+        return [self._physical_from_row(r) for r in rows]
+
+    def original_physical(self, logical_id: int) -> PhysicalVideo | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM physical_videos WHERE logical_id = ?"
+                " AND is_original = 1 ORDER BY id LIMIT 1",
+                (logical_id,),
+            ).fetchone()
+        return None if row is None else self._physical_from_row(row)
+
+    def update_physical_times(
+        self, physical_id: int, start_time: float, end_time: float
+    ) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE physical_videos SET start_time = ?, end_time = ?"
+                " WHERE id = ?",
+                (start_time, end_time, physical_id),
+            )
+            self._conn.commit()
+
+    def seal_physical(self, physical_id: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE physical_videos SET sealed = 1 WHERE id = ?",
+                (physical_id,),
+            )
+            self._conn.commit()
+
+    def update_mse_estimate(self, physical_id: int, mse_estimate: float) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE physical_videos SET mse_estimate = ? WHERE id = ?",
+                (mse_estimate, physical_id),
+            )
+            self._conn.commit()
+
+    def delete_physical(self, physical_id: int) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM gops WHERE physical_id = ?", (physical_id,)
+            )
+            self._conn.execute(
+                "DELETE FROM physical_videos WHERE id = ?", (physical_id,)
+            )
+            self._conn.commit()
+
+    @staticmethod
+    def _physical_from_row(row: sqlite3.Row) -> PhysicalVideo:
+        return PhysicalVideo(
+            id=row["id"],
+            logical_id=row["logical_id"],
+            codec=row["codec"],
+            pixel_format=row["pixel_format"],
+            width=row["width"],
+            height=row["height"],
+            fps=row["fps"],
+            qp=row["qp"],
+            roi=_roi_from_text(row["roi"]),
+            start_time=row["start_time"],
+            end_time=row["end_time"],
+            mse_estimate=row["mse_estimate"],
+            is_original=bool(row["is_original"]),
+            sealed=bool(row["sealed"]),
+        )
+
+    # ------------------------------------------------------------------
+    # GOPs
+    # ------------------------------------------------------------------
+    def add_gop(
+        self,
+        physical_id: int,
+        seq: int,
+        start_time: float,
+        end_time: float,
+        num_frames: int,
+        frame_types: str,
+        nbytes: int,
+        path: str,
+        last_access: int = 0,
+    ) -> GopRecord:
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO gops (physical_id, seq, start_time, end_time,"
+                " num_frames, frame_types, nbytes, path, last_access)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    physical_id,
+                    seq,
+                    start_time,
+                    end_time,
+                    num_frames,
+                    frame_types,
+                    nbytes,
+                    path,
+                    last_access,
+                ),
+            )
+            self._conn.commit()
+            return self.get_gop(cursor.lastrowid)
+
+    def get_gop(self, gop_id: int) -> GopRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM gops WHERE id = ?", (gop_id,)
+            ).fetchone()
+        if row is None:
+            raise CatalogError(f"no GOP with id {gop_id}")
+        return self._gop_from_row(row)
+
+    def gops_of_physical(
+        self,
+        physical_id: int,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[GopRecord]:
+        query = "SELECT * FROM gops WHERE physical_id = ?"
+        params: list = [physical_id]
+        if start is not None:
+            query += " AND end_time > ?"
+            params.append(start + 1e-9)
+        if end is not None:
+            query += " AND start_time < ?"
+            params.append(end - 1e-9)
+        query += " ORDER BY seq"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [self._gop_from_row(r) for r in rows]
+
+    def gops_of_logical(self, logical_id: int) -> list[GopRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT gops.* FROM gops JOIN physical_videos p"
+                " ON gops.physical_id = p.id WHERE p.logical_id = ?"
+                " ORDER BY gops.physical_id, gops.seq",
+                (logical_id,),
+            ).fetchall()
+        return [self._gop_from_row(r) for r in rows]
+
+    def touch_gops(self, gop_ids: list[int], tick: int) -> None:
+        """Record an access (LRU bookkeeping)."""
+        if not gop_ids:
+            return
+        with self._lock:
+            self._conn.executemany(
+                "UPDATE gops SET last_access = ? WHERE id = ?",
+                [(tick, gid) for gid in gop_ids],
+            )
+            self._conn.commit()
+
+    def delete_gop(self, gop_id: int) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM gops WHERE id = ?", (gop_id,))
+            self._conn.commit()
+
+    def set_gop_compression(
+        self, gop_id: int, zstd_level: int, nbytes: int, path: str
+    ) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE gops SET zstd_level = ?, nbytes = ?, path = ?"
+                " WHERE id = ?",
+                (zstd_level, nbytes, path, gop_id),
+            )
+            self._conn.commit()
+
+    def reassign_gop(self, gop_id: int, physical_id: int, seq: int) -> None:
+        """Move a GOP to another physical video (compaction)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE gops SET physical_id = ?, seq = ? WHERE id = ?",
+                (physical_id, seq, gop_id),
+            )
+            self._conn.commit()
+
+    def set_gop_joint(
+        self, gop_id: int, joint_pair_id: int, role: str, nbytes: int
+    ) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE gops SET joint_pair_id = ?, joint_role = ?, nbytes = ?"
+                " WHERE id = ?",
+                (joint_pair_id, role, nbytes, gop_id),
+            )
+            self._conn.commit()
+
+    @staticmethod
+    def _gop_from_row(row: sqlite3.Row) -> GopRecord:
+        return GopRecord(
+            id=row["id"],
+            physical_id=row["physical_id"],
+            seq=row["seq"],
+            start_time=row["start_time"],
+            end_time=row["end_time"],
+            num_frames=row["num_frames"],
+            frame_types=row["frame_types"],
+            nbytes=row["nbytes"],
+            path=row["path"],
+            last_access=row["last_access"],
+            zstd_level=row["zstd_level"],
+            joint_pair_id=row["joint_pair_id"],
+            joint_role=row["joint_role"],
+        )
+
+    # ------------------------------------------------------------------
+    # joint pairs
+    # ------------------------------------------------------------------
+    def add_joint_pair(
+        self,
+        homography,
+        x_f: int,
+        x_g: int,
+        merge: str,
+        left_path: str,
+        overlap_path: str | None,
+        right_path: str | None,
+        nbytes: int,
+        duplicate: bool = False,
+    ) -> JointPairRecord:
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO joint_pairs (homography, x_f, x_g, merge,"
+                " left_path, overlap_path, right_path, nbytes, duplicate)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    json.dumps([float(v) for v in homography]),
+                    x_f,
+                    x_g,
+                    merge,
+                    left_path,
+                    overlap_path,
+                    right_path,
+                    nbytes,
+                    int(duplicate),
+                ),
+            )
+            self._conn.commit()
+            return self.get_joint_pair(cursor.lastrowid)
+
+    def update_joint_pair_paths(
+        self,
+        pair_id: int,
+        left_path: str,
+        overlap_path: str | None,
+        right_path: str | None,
+        nbytes: int,
+    ) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE joint_pairs SET left_path = ?, overlap_path = ?,"
+                " right_path = ?, nbytes = ? WHERE id = ?",
+                (left_path, overlap_path, right_path, nbytes, pair_id),
+            )
+            self._conn.commit()
+
+    def get_joint_pair(self, pair_id: int) -> JointPairRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM joint_pairs WHERE id = ?", (pair_id,)
+            ).fetchone()
+        if row is None:
+            raise CatalogError(f"no joint pair with id {pair_id}")
+        return JointPairRecord(
+            id=row["id"],
+            homography=tuple(json.loads(row["homography"])),
+            x_f=row["x_f"],
+            x_g=row["x_g"],
+            merge=row["merge"],
+            left_path=row["left_path"],
+            overlap_path=row["overlap_path"],
+            right_path=row["right_path"],
+            nbytes=row["nbytes"],
+            duplicate=bool(row["duplicate"]),
+        )
+
+    # ------------------------------------------------------------------
+    # accounting and fragments
+    # ------------------------------------------------------------------
+    def total_bytes(self, logical_id: int) -> int:
+        """Total stored bytes for a logical video.
+
+        Jointly compressed GOPs share the pair's storage; each side is
+        accounted half the pair to avoid double counting.
+        """
+        with self._lock:
+            plain = self._conn.execute(
+                "SELECT COALESCE(SUM(gops.nbytes), 0) FROM gops"
+                " JOIN physical_videos p ON gops.physical_id = p.id"
+                " WHERE p.logical_id = ?",
+                (logical_id,),
+            ).fetchone()[0]
+        return int(plain)
+
+    def max_last_access(self) -> int:
+        with self._lock:
+            value = self._conn.execute(
+                "SELECT COALESCE(MAX(last_access), 0) FROM gops"
+            ).fetchone()[0]
+        return int(value)
+
+    def fragments_of_logical(
+        self, logical_id: int, sealed_only: bool = False
+    ) -> list[Fragment]:
+        """Maximal contiguous GOP runs per physical video (plan units)."""
+        fragments: list[Fragment] = []
+        for physical in self.list_physicals(logical_id):
+            if sealed_only and not physical.sealed:
+                continue
+            run: list[GopRecord] = []
+            for gop in self.gops_of_physical(physical.id):
+                if run and (
+                    gop.seq != run[-1].seq + 1
+                    or abs(gop.start_time - run[-1].end_time) > 1e-6
+                ):
+                    fragments.append(Fragment(physical, run))
+                    run = []
+                run.append(gop)
+            if run:
+                fragments.append(Fragment(physical, run))
+        return fragments

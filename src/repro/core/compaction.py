@@ -1,0 +1,80 @@
+"""Physical video compaction (paper section 5.3).
+
+Caching and deferred compression create pairs of cached physical videos
+with contiguous time ranges and identical spatial/physical configurations
+(e.g. entries at [0, 90] and [90, 120]).  Each extra physical video
+inflates read planning (which is exponential in fragment count), so VSS
+periodically and non-quiescently merges contiguous pairs into one unified
+representation.
+
+The paper's prototype hard-links the second video's files into the first
+and removes the copy; because this store records a path per GOP, the same
+effect is achieved by reassigning the GOP rows — no pixel data moves.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import Catalog
+from repro.core.records import LogicalVideo, PhysicalVideo
+
+_EPS = 1e-6
+
+
+def _mergeable(a: PhysicalVideo, b: PhysicalVideo) -> bool:
+    """Can ``b`` be appended to ``a``?  Requires identical configuration
+    and temporal contiguity."""
+    return (
+        not a.is_original
+        and not b.is_original
+        and a.sealed
+        and b.sealed
+        and a.codec == b.codec
+        and a.pixel_format == b.pixel_format
+        and a.resolution == b.resolution
+        and abs(a.fps - b.fps) < _EPS
+        and a.qp == b.qp
+        and a.roi == b.roi
+        and abs(a.end_time - b.start_time) < _EPS
+    )
+
+
+class Compactor:
+    """Merges contiguous cached physical videos."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def compact(self, logical: LogicalVideo) -> int:
+        """Run compaction to a fixpoint; returns the number of merges."""
+        merges = 0
+        while self._compact_once(logical):
+            merges += 1
+        return merges
+
+    def _compact_once(self, logical: LogicalVideo) -> bool:
+        physicals = sorted(
+            self.catalog.list_physicals(logical.id),
+            key=lambda p: (p.start_time, p.id),
+        )
+        for i, first in enumerate(physicals):
+            for second in physicals[i + 1 :]:
+                if not _mergeable(first, second):
+                    continue
+                self._merge(first, second)
+                return True
+        return False
+
+    def _merge(self, first: PhysicalVideo, second: PhysicalVideo) -> None:
+        first_gops = self.catalog.gops_of_physical(first.id)
+        next_seq = (first_gops[-1].seq + 1) if first_gops else 0
+        for gop in self.catalog.gops_of_physical(second.id):
+            self.catalog.reassign_gop(gop.id, first.id, next_seq)
+            next_seq += 1
+        self.catalog.update_physical_times(
+            first.id, first.start_time, second.end_time
+        )
+        # The merged video's quality bound is the weaker of the two.
+        worst = max(first.mse_estimate, second.mse_estimate)
+        if worst != first.mse_estimate:
+            self.catalog.update_mse_estimate(first.id, worst)
+        self.catalog.delete_physical(second.id)

@@ -1,0 +1,160 @@
+"""Cost models for read planning (paper section 3.1).
+
+Two components:
+
+* **Transcode cost** ``c_t(f, P, S) = alpha(f_S, f_P, S, P) * |f|`` — the
+  per-pixel cost of converting fragment pixels into the target spatial and
+  physical format, with alpha taken from the vbench-style calibration and
+  piecewise-linearly interpolated over resolution.
+
+* **Look-back cost** ``c_l(Omega, f) = |A - Omega| + eta * |(Delta - A) -
+  Omega|`` — the cost of decoding the frames a fragment's first used frame
+  transitively depends on, where ``A`` is the independent (I) frames and
+  the remainder are dependent (P) frames; ``eta = 1.45`` per Costa et
+  al.'s measurement that dependent frames are ~45% more expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import Fragment, GopRecord
+from repro.vbench.calibrate import Calibration
+
+#: Dependent-frame decode penalty (paper fixes eta = 1.45).
+ETA = 1.45
+
+#: Approximate per-byte cost of serving stored bytes without transcoding
+#: (file read + concatenation).  Used for format-matching fast paths.
+COPY_COST_PER_BYTE = 2e-10
+
+
+@dataclass(frozen=True)
+class TargetFormat:
+    """The (S, P) target of a read."""
+
+    codec: str
+    pixel_format: str
+    width: int
+    height: int
+
+
+class CostModel:
+    """Estimates plan costs in seconds from calibration data.
+
+    ``eta`` is exposed for ablation: the paper fixes it at 1.45, and the
+    Figure 10 harness also runs an eta = 1 variant to show what ignoring
+    the dependent-frame penalty costs the planner.
+    """
+
+    def __init__(self, calibration: Calibration, eta: float = ETA):
+        self.calibration = calibration
+        self.eta = eta
+
+    # ------------------------------------------------------------------
+    def transcode_cost(
+        self,
+        fragment: Fragment,
+        duration: float,
+        target: TargetFormat,
+        target_fps: float,
+        area_fraction: float = 1.0,
+    ) -> float:
+        """Cost of producing ``duration`` seconds of output from
+        ``fragment``.
+
+        ``area_fraction`` scales the cost when the fragment supplies only
+        part of the requested spatial region (the paper's cost is
+        proportional to the pixel count ``|f|`` actually converted).  When
+        the fragment is already in the target format (codec, layout,
+        geometry, and frame rate all match) the cost is a byte-copy — the
+        "already in the desired output format" case of Figure 3.
+        """
+        physical = fragment.physical
+        src_frames = duration * physical.fps
+        dst_frames = duration * target_fps
+        src_pixels_per_frame = physical.width * physical.height
+        dst_pixels_per_frame = target.width * target.height
+        if self.is_format_match(fragment, target) and abs(
+            physical.fps - target_fps
+        ) < 1e-9:
+            bytes_per_frame = fragment.nbytes / max(fragment.num_frames, 1)
+            return COPY_COST_PER_BYTE * bytes_per_frame * src_frames
+        decode = (
+            self.calibration.decode_per_pixel(physical.codec, src_pixels_per_frame)
+            * src_pixels_per_frame
+            * src_frames
+        )
+        encode = (
+            self.calibration.encode_per_pixel(target.codec, dst_pixels_per_frame)
+            * dst_pixels_per_frame
+            * dst_frames
+        )
+        return (decode + encode) * max(min(area_fraction, 1.0), 0.0)
+
+    @staticmethod
+    def is_format_match(fragment: Fragment, target: TargetFormat) -> bool:
+        physical = fragment.physical
+        return (
+            physical.codec == target.codec
+            and physical.pixel_format == target.pixel_format
+            and physical.width == target.width
+            and physical.height == target.height
+        )
+
+    # ------------------------------------------------------------------
+    def lookback_frames(
+        self, fragment: Fragment, start_time: float
+    ) -> tuple[int, int]:
+        """(independent, dependent) frame counts that must be decoded
+        before the fragment's frame at ``start_time`` is available.
+
+        Raw fragments have no inter-frame dependencies.  For compressed
+        fragments, decoding must begin at the containing GOP's I frame.
+        """
+        gop = self._containing_gop(fragment, start_time)
+        if gop is None:
+            return (0, 0)
+        if set(gop.frame_types) == {"I"}:
+            return (0, 0)
+        frames_before = int(
+            round((start_time - gop.start_time) * fragment.physical.fps)
+        )
+        frames_before = max(0, min(frames_before, gop.num_frames - 1))
+        if frames_before == 0:
+            return (0, 0)
+        prefix = gop.frame_types[:frames_before]
+        return (prefix.count("I"), prefix.count("P"))
+
+    def lookback_cost(
+        self,
+        fragment: Fragment,
+        start_time: float,
+        already_decoded: bool,
+    ) -> float:
+        """``c_l`` in seconds.
+
+        ``already_decoded`` corresponds to the dependency frames being in
+        the previously selected set Omega (the planner passes True when
+        the same fragment was chosen for the preceding interval, so decode
+        state carries over).
+        """
+        if already_decoded:
+            return 0.0
+        independent, dependent = self.lookback_frames(fragment, start_time)
+        if independent == 0 and dependent == 0:
+            return 0.0
+        physical = fragment.physical
+        pixels_per_frame = physical.width * physical.height
+        per_frame = (
+            self.calibration.decode_per_pixel(physical.codec, pixels_per_frame)
+            * pixels_per_frame
+        )
+        return (independent + self.eta * dependent) * per_frame
+
+    @staticmethod
+    def _containing_gop(fragment: Fragment, time: float) -> GopRecord | None:
+        for gop in fragment.gops:
+            if gop.start_time - 1e-9 <= time < gop.end_time - 1e-9:
+                return gop
+        return None

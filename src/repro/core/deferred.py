@@ -1,0 +1,141 @@
+"""Deferred compression of uncompressed cache entries (paper section 5.2).
+
+Raw (decoded) video is cached because inference workloads re-read it, but
+it is enormous.  When a video's cache usage crosses a threshold (25% of
+budget in the prototype), VSS starts losslessly compressing raw pages:
+
+* on every uncompressed read, the raw page *least likely to be evicted*
+  (the last entry in eviction order — it will live longest, so compressing
+  it pays off most) is compressed before the read executes;
+* a background thread compresses further pages while the store is idle;
+* the compression level scales linearly with consumed budget, trading
+  write throughput for space as pressure rises (Figure 13).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.cache import CacheManager
+from repro.core.catalog import Catalog
+from repro.core.layout import Layout
+from repro.core.records import LogicalVideo
+from repro.lossless.zstd import level_for_budget
+
+#: Budget fraction above which deferred compression activates.
+DEFAULT_THRESHOLD = 0.25
+
+
+class DeferredCompressionManager:
+    """Coordinates lazy and background lossless compression."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        layout: Layout,
+        cache: CacheManager,
+        threshold: float = DEFAULT_THRESHOLD,
+        enabled: bool = True,
+    ):
+        self.catalog = catalog
+        self.layout = layout
+        self.cache = cache
+        self.threshold = threshold
+        self.enabled = enabled
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+
+    # ------------------------------------------------------------------
+    def active(self, logical: LogicalVideo) -> bool:
+        """Deferred compression engages above the usage threshold."""
+        if not self.enabled:
+            return False
+        return self.cache.usage_fraction(logical) > self.threshold
+
+    def level(self, logical: LogicalVideo) -> int:
+        """Compression level scaled with remaining budget."""
+        usage = self.cache.usage_fraction(logical)
+        return level_for_budget(remaining_fraction=1.0 - usage)
+
+    def on_uncompressed_read(self, logical: LogicalVideo) -> int | None:
+        """Hook called before executing a raw read; compresses one page.
+
+        Returns the compressed GOP id, or None when inactive or nothing
+        remains to compress.
+        """
+        if not self.active(logical):
+            return None
+        return self.compress_one(logical)
+
+    def compress_one(self, logical: LogicalVideo) -> int | None:
+        """Compress the raw page least likely to be evicted."""
+        candidates = self._raw_pages(logical)
+        if not candidates:
+            return None
+        scores = self.cache.scores(logical)
+        # "Last entry in eviction order" = highest finite score; protected
+        # pages (inf) are also fine to compress — they will never leave.
+        target = max(candidates, key=lambda g: scores.get(g.id, 0.0))
+        level = self.level(logical)
+        new_path, new_bytes = self.layout.compress_gop_file(target.path, level)
+        self.catalog.set_gop_compression(target.id, level, new_bytes, new_path)
+        return target.id
+
+    def _raw_pages(self, logical: LogicalVideo):
+        pages = []
+        for physical in self.catalog.list_physicals(logical.id):
+            if physical.codec != "raw":
+                continue
+            for gop in self.catalog.gops_of_physical(physical.id):
+                if gop.zstd_level == 0 and gop.joint_pair_id is None:
+                    pages.append(gop)
+        return pages
+
+    # ------------------------------------------------------------------
+    # background compression
+    # ------------------------------------------------------------------
+    def start_background(self, logical: LogicalVideo, idle_wait: float = 0.05) -> None:
+        """Start the background compression thread for one logical video.
+
+        The thread compresses one page per wakeup while the store is idle;
+        ``notify_idle`` wakes it.  Call :meth:`stop_background` to join.
+        """
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                woke = self._wake.wait(timeout=idle_wait)
+                if self._stop.is_set():
+                    return
+                if woke:
+                    self._wake.clear()
+                if self.active(logical):
+                    try:
+                        if self.compress_one(logical) is None:
+                            self._stop.wait(timeout=idle_wait)
+                    except Exception:
+                        # Background compression is best-effort; a failure
+                        # (e.g. page evicted concurrently) must not kill
+                        # the thread.
+                        self._stop.wait(timeout=idle_wait)
+                else:
+                    self._stop.wait(timeout=idle_wait)
+
+        self._thread = threading.Thread(
+            target=loop, name="vss-deferred-compression", daemon=True
+        )
+        self._thread.start()
+
+    def notify_idle(self) -> None:
+        self._wake.set()
+
+    def stop_background(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None

@@ -1,0 +1,129 @@
+"""On-disk layout: one file per GOP under the store root (paper Figure 2).
+
+Layout::
+
+    <root>/
+      catalog.db             SQLite catalog
+      calibration.json       vbench-style calibration
+      videos/
+        <logical name>/
+          <physical id>/
+            <seq>.gop        encoded-GOP container
+            <seq>.gop.z      deferred-compressed container
+      joint/
+        <pair id>.{left,overlap,right}.gop
+
+Paths stored in the catalog are relative to the root so a store directory
+can be moved wholesale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ContainerError
+from repro.lossless import zstd
+from repro.video.codec.container import EncodedGOP, decode_container, encode_container
+
+
+class Layout:
+    """File placement and raw byte IO for one store."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "videos").mkdir(exist_ok=True)
+        (self.root / "joint").mkdir(exist_ok=True)
+
+    @property
+    def catalog_path(self) -> Path:
+        return self.root / "catalog.db"
+
+    @property
+    def calibration_path(self) -> Path:
+        return self.root / "calibration.json"
+
+    # ------------------------------------------------------------------
+    # GOP files
+    # ------------------------------------------------------------------
+    def gop_relpath(self, logical_name: str, physical_id: int, seq: int) -> str:
+        return f"videos/{logical_name}/{physical_id}/{seq}.gop"
+
+    def write_gop(
+        self, logical_name: str, physical_id: int, seq: int, gop: EncodedGOP
+    ) -> tuple[str, int]:
+        """Write a GOP container; returns (relative path, bytes written)."""
+        relpath = self.gop_relpath(logical_name, physical_id, seq)
+        target = self.root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        data = encode_container(gop)
+        target.write_bytes(data)
+        return relpath, len(data)
+
+    def read_gop(self, relpath: str, zstd_level: int = 0) -> EncodedGOP:
+        """Read a GOP container, transparently undoing deferred
+        compression."""
+        data = (self.root / relpath).read_bytes()
+        if zstd_level:
+            data = zstd.decompress(data)
+        try:
+            return decode_container(data)
+        except ContainerError as exc:
+            raise ContainerError(f"{relpath}: {exc}") from exc
+
+    def compress_gop_file(self, relpath: str, level: int) -> tuple[str, int]:
+        """Apply deferred compression to a stored GOP file.
+
+        Returns the new relative path (``*.z``) and its size.  The plain
+        file is removed after the compressed one is durably written.
+        """
+        source = self.root / relpath
+        data = source.read_bytes()
+        packed = zstd.compress(data, level)
+        new_rel = relpath + ".z"
+        target = self.root / new_rel
+        target.write_bytes(packed)
+        source.unlink()
+        return new_rel, len(packed)
+
+    def delete_gop_file(self, relpath: str) -> None:
+        path = self.root / relpath
+        if path.exists():
+            path.unlink()
+            # Prune empty physical-video directories.
+            parent = path.parent
+            try:
+                next(parent.iterdir())
+            except StopIteration:
+                parent.rmdir()
+
+    def delete_logical_files(self, logical_name: str) -> None:
+        base = self.root / "videos" / logical_name
+        if not base.exists():
+            return
+        for path in sorted(base.rglob("*"), reverse=True):
+            if path.is_file():
+                path.unlink()
+            else:
+                path.rmdir()
+        base.rmdir()
+
+    # ------------------------------------------------------------------
+    # joint-compression pieces
+    # ------------------------------------------------------------------
+    def joint_relpath(self, pair_id: int, piece: str) -> str:
+        return f"joint/{pair_id}.{piece}.gop"
+
+    def write_joint_piece(
+        self, pair_id: int, piece: str, gop: EncodedGOP
+    ) -> tuple[str, int]:
+        relpath = self.joint_relpath(pair_id, piece)
+        data = encode_container(gop)
+        (self.root / relpath).write_bytes(data)
+        return relpath, len(data)
+
+    def read_joint_piece(self, relpath: str) -> EncodedGOP:
+        return self.read_gop(relpath)
+
+    def file_size(self, relpath: str) -> int:
+        return (self.root / relpath).stat().st_size

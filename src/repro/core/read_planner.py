@@ -1,0 +1,493 @@
+"""Read planning: select the least-cost set of materialized fragments.
+
+Implements paper section 3.1:
+
+1. Fragments whose expected quality falls below the read's cutoff are
+   rejected (quality model, section 3.2).
+2. The start/end points of the surviving fragments form *transition
+   points*; between consecutive transition points the planner must pick
+   fragment(s) covering the interval (exactly one for full-frame
+   fragments; a spatial cover when fragments are ROI crops).
+3. Each choice carries a transcode cost ``c_t`` and a look-back cost
+   ``c_l`` that is waived when the same fragment was chosen for the
+   preceding interval (its dependency frames are already decoded — the
+   set Omega of the paper).
+4. The joint optimization is NP-hard, so the paper hands it to an SMT
+   solver; we embed the same constraints into the exact branch-and-bound
+   optimizer in :mod:`repro.solver`.  A dependency-naive greedy baseline
+   (Figure 10's comparison) and a read-the-original mode are also
+   provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost import CostModel, TargetFormat
+from repro.core.quality import DEFAULT_EPSILON_DB, QualityModel
+from repro.core.records import ROI, Fragment, PhysicalVideo
+from repro.errors import OutOfRangeError, QualityError
+from repro.solver import Optimizer
+from repro.video.codec.quant import QP_DEFAULT
+
+_EPS = 1e-9
+
+
+@dataclass
+class ReadRequest:
+    """The parameters of a VSS ``read`` (Figure 1).
+
+    Temporal (T): ``start``/``end`` seconds and output ``fps``; spatial
+    (S): output ``resolution`` and ``roi`` in original coordinates;
+    physical (P): ``codec``, ``pixel_format``, output ``qp``, and the
+    quality cutoff ``quality_db`` below which cached fragments are
+    rejected.
+    """
+
+    name: str
+    start: float
+    end: float
+    codec: str = "raw"
+    pixel_format: str = "rgb"
+    resolution: tuple[int, int] | None = None
+    roi: ROI | None = None
+    fps: float | None = None
+    quality_db: float = DEFAULT_EPSILON_DB
+    qp: int = QP_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise OutOfRangeError(
+                f"empty read interval [{self.start}, {self.end})"
+            )
+
+
+@dataclass
+class IntervalChoice:
+    """One fragment chosen for one transition interval, with the spatial
+    cells (sub-rectangles of the requested ROI) it supplies."""
+
+    start: float
+    end: float
+    fragment: Fragment
+    cells: list[ROI]
+    lookback_charged: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ReadPlan:
+    """The output of planning: per-interval choices plus cost metadata."""
+
+    request: ReadRequest
+    target: TargetFormat
+    target_fps: float
+    roi: ROI
+    choices: list[IntervalChoice]
+    estimated_cost: float
+    mode: str
+    solver_nodes: int = 0
+    optimal: bool = True
+    #: (width, height) of the original video's frames; the coordinate space
+    #: that ``roi`` and fragment ROIs are expressed in.
+    original_resolution: tuple[int, int] = (0, 0)
+
+    @property
+    def num_fragments_used(self) -> int:
+        return len({id(c.fragment) for c in self.choices})
+
+
+@dataclass
+class _Interval:
+    start: float
+    end: float
+    fragments: list[Fragment] = field(default_factory=list)
+
+
+def _clip_roi(roi: ROI, bounds: ROI) -> ROI | None:
+    x0 = max(roi[0], bounds[0])
+    y0 = max(roi[1], bounds[1])
+    x1 = min(roi[2], bounds[2])
+    y1 = min(roi[3], bounds[3])
+    if x1 <= x0 or y1 <= y0:
+        return None
+    return (x0, y0, x1, y1)
+
+
+def _area(roi: ROI) -> int:
+    return (roi[2] - roi[0]) * (roi[3] - roi[1])
+
+
+def resolve_target(
+    request: ReadRequest, original: PhysicalVideo
+) -> tuple[TargetFormat, float, ROI]:
+    """Fill in request defaults from the original video."""
+    full: ROI = (0, 0, original.width, original.height)
+    roi = request.roi if request.roi is not None else full
+    clipped = _clip_roi(roi, full)
+    if clipped is None or clipped != roi:
+        raise OutOfRangeError(
+            f"ROI {roi} outside original frame {original.width}x{original.height}"
+        )
+    if request.resolution is not None:
+        width, height = request.resolution
+    else:
+        width, height = roi[2] - roi[0], roi[3] - roi[1]
+    target = TargetFormat(
+        codec=request.codec,
+        pixel_format=request.pixel_format,
+        width=width,
+        height=height,
+    )
+    target_fps = request.fps if request.fps is not None else original.fps
+    return target, target_fps, roi
+
+
+def plan_read(
+    request: ReadRequest,
+    fragments: list[Fragment],
+    original: PhysicalVideo,
+    cost_model: CostModel,
+    quality_model: QualityModel,
+    mode: str = "solver",
+) -> ReadPlan:
+    """Produce a :class:`ReadPlan` for ``request`` over the available
+    fragments.
+
+    ``mode`` selects the planner: ``solver`` (exact optimization, the
+    paper's approach), ``greedy`` (per-interval minimum transcode cost,
+    dependency-naive), or ``original`` (ignore the cache entirely).
+    """
+    if mode not in ("solver", "greedy", "original"):
+        raise ValueError(f"unknown planning mode {mode!r}")
+    if request.start < original.start_time - _EPS or request.end > original.end_time + _EPS:
+        raise OutOfRangeError(
+            f"read [{request.start}, {request.end}) outside stored video "
+            f"[{original.start_time}, {original.end_time})"
+        )
+    target, target_fps, roi = resolve_target(request, original)
+
+    candidates = _filter_candidates(
+        request, fragments, original, quality_model, roi, mode
+    )
+    if not candidates:
+        raise QualityError(
+            f"no fragments meet the {request.quality_db} dB quality cutoff"
+        )
+    intervals = _build_intervals(request, candidates, roi)
+    if mode in ("solver", "greedy"):
+        plan = _optimize(
+            request, target, target_fps, roi, intervals, cost_model, mode
+        )
+    else:
+        plan = _plan_original(
+            request, target, target_fps, roi, intervals, cost_model
+        )
+    plan.original_resolution = (original.width, original.height)
+    return plan
+
+
+def _filter_candidates(
+    request: ReadRequest,
+    fragments: list[Fragment],
+    original: PhysicalVideo,
+    quality_model: QualityModel,
+    roi: ROI,
+    mode: str,
+) -> list[Fragment]:
+    chosen = []
+    for fragment in fragments:
+        physical = fragment.physical
+        if mode == "original" and not physical.is_original:
+            continue
+        if not quality_model.acceptable(physical, request.quality_db):
+            continue
+        if fragment.end_time <= request.start + _EPS:
+            continue
+        if fragment.start_time >= request.end - _EPS:
+            continue
+        frag_roi = physical.roi_or((0, 0, original.width, original.height))
+        if _clip_roi(frag_roi, roi) is None:
+            continue
+        chosen.append(fragment)
+    return chosen
+
+
+def _build_intervals(
+    request: ReadRequest, candidates: list[Fragment], roi: ROI
+) -> list[_Interval]:
+    points = {request.start, request.end}
+    for fragment in candidates:
+        for t in (fragment.start_time, fragment.end_time):
+            if request.start + _EPS < t < request.end - _EPS:
+                points.add(t)
+    ordered = sorted(points)
+    intervals = []
+    for t0, t1 in zip(ordered, ordered[1:]):
+        covering = [
+            f
+            for f in candidates
+            if f.start_time <= t0 + _EPS and f.end_time >= t1 - _EPS
+        ]
+        intervals.append(_Interval(t0, t1, covering))
+    return intervals
+
+
+def _spatial_cells(
+    interval: _Interval, roi: ROI, original: PhysicalVideo
+) -> list[tuple[ROI, list[Fragment]]]:
+    """Decompose the requested ROI into atomic cells induced by the
+    fragments' ROI boundaries, with the fragments covering each cell."""
+    full: ROI = (0, 0, original.width, original.height)
+    rois = [f.physical.roi_or(full) for f in interval.fragments]
+    if all(_clip_roi(roi, r) == roi for r in rois):
+        # Fast path: every fragment covers the whole requested ROI.
+        return [(roi, list(interval.fragments))]
+    xs = {roi[0], roi[2]}
+    ys = {roi[1], roi[3]}
+    for r in rois:
+        clipped = _clip_roi(r, roi)
+        if clipped is None:
+            continue
+        xs.update((clipped[0], clipped[2]))
+        ys.update((clipped[1], clipped[3]))
+    xs_sorted, ys_sorted = sorted(xs), sorted(ys)
+    cells = []
+    for y0, y1 in zip(ys_sorted, ys_sorted[1:]):
+        for x0, x1 in zip(xs_sorted, xs_sorted[1:]):
+            cell: ROI = (x0, y0, x1, y1)
+            covering = [
+                f
+                for f, r in zip(interval.fragments, rois)
+                if _clip_roi(cell, r) == cell
+            ]
+            cells.append((cell, covering))
+    return cells
+
+
+def _optimize(
+    request: ReadRequest,
+    target: TargetFormat,
+    target_fps: float,
+    roi: ROI,
+    intervals: list[_Interval],
+    cost_model: CostModel,
+    mode: str,
+) -> ReadPlan:
+    original = next(
+        (
+            f.physical
+            for iv in intervals
+            for f in iv.fragments
+            if f.physical.is_original
+        ),
+        intervals[0].fragments[0].physical if intervals and intervals[0].fragments else None,
+    )
+    if original is None:
+        raise QualityError("no usable fragments for any interval")
+
+    optimizer = Optimizer()
+    variables: dict[tuple[int, int], object] = {}  # (interval idx, frag id)
+    frag_by_key: dict[tuple[int, int], Fragment] = {}
+    linear_costs: dict[tuple[int, int], float] = {}
+    interval_cells: list[list[tuple[ROI, list[Fragment]]]] = []
+
+    for index, interval in enumerate(intervals):
+        if not interval.fragments:
+            raise QualityError(
+                f"no fragment covers interval [{interval.start}, {interval.end})"
+            )
+        cells = _spatial_cells(interval, roi, original)
+        interval_cells.append(cells)
+        duration = interval.end - interval.start
+        roi_area = _area(roi)
+        for fragment in interval.fragments:
+            key = (index, id(fragment))
+            frag_roi = fragment.physical.roi_or(
+                (0, 0, original.width, original.height)
+            )
+            overlap = _clip_roi(frag_roi, roi)
+            fraction = _area(overlap) / roi_area if overlap else 0.0
+            cost = cost_model.transcode_cost(
+                fragment, duration, target, target_fps, fraction
+            )
+            var = optimizer.variable(f"f{fragment.physical.id}@{index}")
+            variables[key] = var
+            frag_by_key[key] = fragment
+            linear_costs[key] = cost
+            optimizer.add_linear_cost(var, cost)
+        if len(cells) == 1:
+            optimizer.add_exactly_one(
+                [variables[(index, id(f))] for f in cells[0][1]]
+            )
+        else:
+            for cell, covering in cells:
+                if not covering:
+                    raise QualityError(
+                        f"no fragment covers cell {cell} in interval "
+                        f"[{interval.start}, {interval.end})"
+                    )
+                optimizer.add_at_least_one(
+                    [variables[(index, id(f))] for f in covering]
+                )
+
+    # Look-back coupling between adjacent intervals.
+    lookbacks: dict[tuple[int, int], float] = {}
+    for index, interval in enumerate(intervals):
+        for fragment in interval.fragments:
+            key = (index, id(fragment))
+            lookback = cost_model.lookback_cost(
+                fragment, interval.start, already_decoded=False
+            )
+            lookbacks[key] = lookback
+            if lookback <= 0.0:
+                continue
+            previous_key = (index - 1, id(fragment))
+            unless = variables.get(previous_key)
+            optimizer.add_conditional_cost(variables[key], unless, lookback)
+
+    if mode == "solver":
+        solution = optimizer.minimize()
+        chosen_keys = {
+            key for key, var in variables.items() if solution.assignment[var]
+        }
+        estimated = solution.objective
+        nodes = solution.nodes_explored
+        optimal = solution.optimal
+    else:
+        chosen_keys, estimated = _greedy_choice(
+            intervals, interval_cells, variables, linear_costs
+        )
+        # Greedy ignored look-back while choosing; charge what it incurred.
+        for index, interval in enumerate(intervals):
+            for fragment in interval.fragments:
+                key = (index, id(fragment))
+                if key not in chosen_keys:
+                    continue
+                if (index - 1, id(fragment)) in chosen_keys:
+                    continue
+                estimated += lookbacks.get(key, 0.0)
+        nodes = 0
+        optimal = False
+
+    choices = _extract_choices(
+        intervals, interval_cells, chosen_keys, frag_by_key
+    )
+    return ReadPlan(
+        request=request,
+        target=target,
+        target_fps=target_fps,
+        roi=roi,
+        choices=choices,
+        estimated_cost=estimated,
+        mode=mode,
+        solver_nodes=nodes,
+        optimal=optimal,
+    )
+
+
+def _greedy_choice(
+    intervals: list[_Interval],
+    interval_cells: list[list[tuple[ROI, list[Fragment]]]],
+    variables: dict,
+    linear_costs: dict[tuple[int, int], float],
+) -> tuple[set, float]:
+    """Dependency-naive baseline: per cell, the cheapest covering
+    fragment by transcode cost alone."""
+    chosen: set = set()
+    total = 0.0
+    for index, cells in enumerate(interval_cells):
+        picked: set = set()
+        for _cell, covering in cells:
+            if any(id(f) in picked for f in covering):
+                continue
+            best = min(covering, key=lambda f: linear_costs[(index, id(f))])
+            picked.add(id(best))
+        for frag_id in picked:
+            key = (index, frag_id)
+            chosen.add(key)
+            total += linear_costs[key]
+    return chosen, total
+
+
+def _plan_original(
+    request: ReadRequest,
+    target: TargetFormat,
+    target_fps: float,
+    roi: ROI,
+    intervals: list[_Interval],
+    cost_model: CostModel,
+) -> ReadPlan:
+    choices = []
+    total = 0.0
+    previous = None
+    for interval in intervals:
+        originals = [f for f in interval.fragments if f.physical.is_original]
+        if not originals:
+            raise QualityError(
+                f"original video does not cover "
+                f"[{interval.start}, {interval.end})"
+            )
+        fragment = originals[0]
+        total += cost_model.transcode_cost(
+            fragment, interval.end - interval.start, target, target_fps
+        )
+        charged = previous is not fragment
+        total += cost_model.lookback_cost(
+            fragment, interval.start, already_decoded=not charged
+        )
+        choices.append(
+            IntervalChoice(interval.start, interval.end, fragment, [roi], charged)
+        )
+        previous = fragment
+    return ReadPlan(
+        request=request,
+        target=target,
+        target_fps=target_fps,
+        roi=roi,
+        choices=choices,
+        estimated_cost=total,
+        mode="original",
+    )
+
+
+def _extract_choices(
+    intervals: list[_Interval],
+    interval_cells: list[list[tuple[ROI, list[Fragment]]]],
+    chosen_keys: set,
+    frag_by_key: dict[tuple[int, int], Fragment],
+) -> list[IntervalChoice]:
+    choices: list[IntervalChoice] = []
+    for index, interval in enumerate(intervals):
+        selected = [
+            frag_by_key[(index, frag_id)]
+            for (iv, frag_id) in chosen_keys
+            if iv == index
+        ]
+        selected_ids = {id(f) for f in selected}
+        cell_map: dict[int, list[ROI]] = {}
+        for cell, covering in interval_cells[index]:
+            owners = [f for f in covering if id(f) in selected_ids]
+            if not owners:
+                continue
+            # Prefer the highest-quality owner for each cell.
+            owner = min(owners, key=lambda f: f.physical.mse_estimate)
+            cell_map.setdefault(id(owner), []).append(cell)
+        for fragment in selected:
+            cells = cell_map.get(id(fragment), [])
+            if not cells:
+                continue
+            previous_selected = index > 0 and (index - 1, id(fragment)) in chosen_keys
+            choices.append(
+                IntervalChoice(
+                    interval.start,
+                    interval.end,
+                    fragment,
+                    cells,
+                    lookback_charged=not previous_selected,
+                )
+            )
+    return choices

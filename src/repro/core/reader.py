@@ -1,0 +1,348 @@
+"""Read execution: decode the planned fragments and assemble the answer.
+
+The planner (:mod:`repro.core.read_planner`) decided *which* fragments to
+use; this module turns that plan into pixels:
+
+* each chosen fragment is decoded over its interval — decoding starts at
+  the containing GOP's I frame, so the look-back cost the planner modelled
+  is physically paid here;
+* fragment pixels are mapped into the requested ROI/resolution (with a
+  fast path when a single fragment covers everything);
+* output frames are sampled on the request's frame-rate grid; and
+* compressed requests are re-encoded (or served byte-for-byte when the
+  stored format already matches — no transcode, as in Figure 14's
+  same-format reads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.layout import Layout
+from repro.core.read_planner import IntervalChoice, ReadPlan
+from repro.core.records import ROI, Fragment, GopRecord
+from repro.errors import ReadError
+from repro.video.codec.container import EncodedGOP
+from repro.video.codec.registry import codec_for
+from repro.video.frame import VideoSegment, convert_segment
+from repro.video.metrics import mse
+from repro.video.resample import resize_segment
+
+_EPS = 1e-9
+
+
+@dataclass
+class ReadStats:
+    """Execution statistics surfaced with every read."""
+
+    planned_cost: float = 0.0
+    wall_seconds: float = 0.0
+    frames_decoded: int = 0
+    lookback_frames: int = 0
+    bytes_read: int = 0
+    fragments_used: int = 0
+    direct_serve: bool = False
+    resample_mse: float = 0.0
+    output_bpp: float = 0.0
+    gop_ids_touched: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ReadResult:
+    """The answer to a read: a raw segment or encoded GOPs, plus stats."""
+
+    plan: ReadPlan
+    segment: VideoSegment | None
+    gops: list[EncodedGOP] | None
+    stats: ReadStats
+
+    def as_segment(self) -> VideoSegment:
+        """The result as decoded video (decoding GOPs if necessary)."""
+        if self.segment is not None:
+            return self.segment
+        decoded = [codec_for(g.codec).decode_gop(g) for g in self.gops]
+        return decoded[0].concatenate(decoded)
+
+    @property
+    def nbytes(self) -> int:
+        if self.gops is not None:
+            return sum(g.nbytes for g in self.gops)
+        return self.segment.nbytes
+
+
+class Reader:
+    """Executes :class:`ReadPlan` objects against the store."""
+
+    def __init__(self, layout: Layout, catalog, cost_model: CostModel):
+        self.layout = layout
+        self.catalog = catalog
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: ReadPlan) -> ReadResult:
+        start_wall = time.perf_counter()
+        stats = ReadStats(planned_cost=plan.estimated_cost)
+        stats.fragments_used = plan.num_fragments_used
+
+        direct = self._try_direct_serve(plan, stats)
+        if direct is not None:
+            stats.wall_seconds = time.perf_counter() - start_wall
+            return ReadResult(plan, None, direct, stats)
+
+        segment = self._assemble(plan, stats)
+        gops: list[EncodedGOP] | None = None
+        if plan.request.codec != "raw":
+            codec = codec_for(plan.request.codec)
+            gop_size = max(1, int(round(plan.target_fps)))
+            gops = codec.encode_segment(
+                segment, qp=plan.request.qp, gop_size=gop_size
+            )
+            stats.output_bpp = float(
+                np.mean([g.bits_per_pixel for g in gops])
+            )
+            segment_out = None
+        else:
+            segment_out = convert_segment(segment, plan.request.pixel_format)
+        stats.wall_seconds = time.perf_counter() - start_wall
+        return ReadResult(plan, segment_out, gops, stats)
+
+    # ------------------------------------------------------------------
+    # direct byte serving (no transcode)
+    # ------------------------------------------------------------------
+    def _try_direct_serve(
+        self, plan: ReadPlan, stats: ReadStats
+    ) -> list[EncodedGOP] | None:
+        """Serve stored GOP bytes untouched when formats match exactly and
+        the request aligns with GOP boundaries."""
+        if plan.request.codec == "raw":
+            return None
+        if len({id(c.fragment) for c in plan.choices}) != 1:
+            return None
+        choice = plan.choices[0]
+        fragment = choice.fragment
+        if not self.cost_model.is_format_match(fragment, plan.target):
+            return None
+        if abs(fragment.physical.fps - plan.target_fps) > _EPS:
+            return None
+        if choice.cells != [plan.roi]:
+            return None
+        frag_roi = fragment.physical.roi
+        if frag_roi is not None and tuple(frag_roi) != tuple(plan.roi):
+            return None
+        request = plan.request
+        gops = fragment.gops_overlapping(request.start, request.end)
+        if not gops:
+            return None
+        if (
+            abs(gops[0].start_time - request.start) > 1e-6
+            or abs(gops[-1].end_time - request.end) > 1e-6
+        ):
+            return None  # boundaries unaligned; fall back to transcode path
+        served = []
+        for record in gops:
+            if record.joint_pair_id is not None:
+                return None  # joint GOPs need reconstruction
+            encoded = self.layout.read_gop(record.path, record.zstd_level)
+            served.append(encoded.with_start_time(record.start_time))
+            stats.bytes_read += record.nbytes
+        stats.gop_ids_touched = [g.id for g in gops]
+        stats.direct_serve = True
+        return served
+
+    # ------------------------------------------------------------------
+    # decode-and-assemble path
+    # ------------------------------------------------------------------
+    def _assemble(self, plan: ReadPlan, stats: ReadStats) -> VideoSegment:
+        request = plan.request
+        target = plan.target
+        fps = plan.target_fps
+        total_frames = max(1, int(round((request.end - request.start) * fps)))
+        canvas = np.zeros(
+            (total_frames, target.height, target.width, 3), dtype=np.uint8
+        )
+        frame_times = request.start + (np.arange(total_frames) + 0.5) / fps
+        roi = plan.roi
+        roi_w = roi[2] - roi[0]
+        roi_h = roi[3] - roi[1]
+
+        for choice in plan.choices:
+            mask = (frame_times >= choice.start - _EPS) & (
+                frame_times < choice.end - _EPS
+            )
+            out_indices = np.nonzero(mask)[0]
+            if out_indices.size == 0:
+                continue
+            source = self._decode_interval(choice, stats)
+            src_indices = np.clip(
+                np.floor(
+                    (frame_times[out_indices] - source.start_time) * source.fps
+                ).astype(np.int64),
+                0,
+                source.num_frames - 1,
+            )
+            self._paste(
+                canvas,
+                out_indices,
+                source,
+                src_indices,
+                choice,
+                plan,
+                roi,
+                roi_w,
+                roi_h,
+                stats,
+            )
+
+        return VideoSegment(
+            pixels=canvas,
+            pixel_format="rgb",
+            height=target.height,
+            width=target.width,
+            fps=fps,
+            start_time=request.start,
+        )
+
+    def _decode_interval(
+        self, choice: IntervalChoice, stats: ReadStats
+    ) -> VideoSegment:
+        """Decode a fragment's frames covering ``choice``'s interval as RGB."""
+        fragment = choice.fragment
+        records = fragment.gops_overlapping(choice.start, choice.end)
+        if not records:
+            raise ReadError(
+                f"fragment {fragment.physical.id} has no GOPs in "
+                f"[{choice.start}, {choice.end})"
+            )
+        pieces = []
+        for record in records:
+            segment = self._decode_gop_window(
+                record, fragment, choice.start, choice.end, stats
+            )
+            pieces.append(segment)
+        merged = pieces[0].concatenate(pieces) if len(pieces) > 1 else pieces[0]
+        return convert_segment(merged, "rgb")
+
+    def _decode_gop_window(
+        self,
+        record: GopRecord,
+        fragment: Fragment,
+        start: float,
+        end: float,
+        stats: ReadStats,
+    ) -> VideoSegment:
+        """Decode the frames of one GOP that fall inside [start, end).
+
+        Frames before the window inside the GOP are decoded anyway (the
+        look-back dependency chain) and then dropped.
+        """
+        stats.gop_ids_touched.append(record.id)
+        stats.bytes_read += record.nbytes
+        encoded = self._load_gop(record, fragment)
+        fps = fragment.physical.fps
+        first_needed = max(
+            0, int(np.floor((start - record.start_time) * fps + 1e-6))
+        )
+        stop = min(
+            record.num_frames,
+            int(np.ceil((end - record.start_time) * fps - 1e-6)),
+        )
+        stop = max(stop, first_needed + 1)
+        stop = min(stop, record.num_frames)
+        codec = codec_for(encoded.codec)
+        if codec.is_compressed:
+            decoded = codec.decode_gop_frames(encoded, stop)
+            stats.frames_decoded += stop
+            stats.lookback_frames += first_needed
+        else:
+            # Raw frames are independently decodable; skip the prefix.
+            decoded = codec.decode_gop(encoded).slice_frames(first_needed, stop)
+            stats.frames_decoded += stop - first_needed
+        if codec.is_compressed and first_needed:
+            decoded = decoded.slice_frames(first_needed, stop)
+        return decoded
+
+    def _load_gop(self, record: GopRecord, fragment: Fragment) -> EncodedGOP:
+        if record.joint_pair_id is not None:
+            # Joint GOPs are reconstructed from their shared pair pieces.
+            from repro.jointcomp.recovery import recover_gop
+
+            pair = self.catalog.get_joint_pair(record.joint_pair_id)
+            return recover_gop(self.layout, pair, record)
+        encoded = self.layout.read_gop(record.path, record.zstd_level)
+        return encoded.with_start_time(record.start_time)
+
+    # ------------------------------------------------------------------
+    def _paste(
+        self,
+        canvas: np.ndarray,
+        out_indices: np.ndarray,
+        source: VideoSegment,
+        src_indices: np.ndarray,
+        choice: IntervalChoice,
+        plan: ReadPlan,
+        roi: ROI,
+        roi_w: int,
+        roi_h: int,
+        stats: ReadStats,
+    ) -> None:
+        fragment = choice.fragment
+        physical = fragment.physical
+        if physical.roi is None:
+            # Full-frame fragment: its pixels span the original frame.
+            orig_w, orig_h = plan.original_resolution
+            frag_roi = (0, 0, orig_w, orig_h)
+        else:
+            frag_roi = physical.roi
+        scale_x = physical.width / (frag_roi[2] - frag_roi[0])
+        scale_y = physical.height / (frag_roi[3] - frag_roi[1])
+        target = plan.target
+        out_scale_x = target.width / roi_w
+        out_scale_y = target.height / roi_h
+
+        for cell in choice.cells:
+            # Cell in fragment pixel coordinates.
+            fx0 = int(round((cell[0] - frag_roi[0]) * scale_x))
+            fy0 = int(round((cell[1] - frag_roi[1]) * scale_y))
+            fx1 = int(round((cell[2] - frag_roi[0]) * scale_x))
+            fy1 = int(round((cell[3] - frag_roi[1]) * scale_y))
+            fx1 = min(max(fx1, fx0 + 1), physical.width)
+            fy1 = min(max(fy1, fy0 + 1), physical.height)
+            # Cell in output canvas coordinates.
+            ox0 = int(round((cell[0] - roi[0]) * out_scale_x))
+            oy0 = int(round((cell[1] - roi[1]) * out_scale_y))
+            ox1 = int(round((cell[2] - roi[0]) * out_scale_x))
+            oy1 = int(round((cell[3] - roi[1]) * out_scale_y))
+            ox1 = min(max(ox1, ox0 + 1), canvas.shape[2])
+            oy1 = min(max(oy1, oy0 + 1), canvas.shape[1])
+
+            used = source.pixels[src_indices][:, fy0:fy1, fx0:fx1]
+            piece = VideoSegment(
+                pixels=np.ascontiguousarray(used),
+                pixel_format=source.pixel_format,
+                height=fy1 - fy0,
+                width=fx1 - fx0,
+                fps=plan.target_fps,
+                start_time=choice.start,
+            )
+            if (piece.width, piece.height) != (ox1 - ox0, oy1 - oy0):
+                resized = resize_segment(piece, ox1 - ox0, oy1 - oy0)
+                if stats.resample_mse == 0.0 and piece.num_frames:
+                    stats.resample_mse = _resample_error_sample(piece, resized)
+            else:
+                resized = piece
+            canvas[out_indices, oy0:oy1, ox0:ox1] = resized.pixels
+
+def _resample_error_sample(
+    source: VideoSegment, resized: VideoSegment
+) -> float:
+    """Measured MSE of a resolution change, computed on one sample frame by
+    mapping the result back to the source geometry (paper section 3.2:
+    resampling error is measured directly, not estimated)."""
+    restored = resize_segment(
+        resized.slice_frames(0, 1), source.width, source.height
+    )
+    return mse(source.frame(0), restored.frame(0))

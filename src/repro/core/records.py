@@ -1,0 +1,168 @@
+"""Catalog record types shared across the core modules.
+
+These mirror the paper's data model (Figure 2): a *logical video* is the
+named unit applications address; each logical video owns one or more
+*physical videos* (materialized views — the original write plus cached read
+results); each physical video is a sequence of *GOPs*, stored one file per
+GOP with a temporal index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Region of interest in original-frame coordinates: (x0, y0, x1, y1).
+ROI = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class LogicalVideo:
+    """A named logical video with its storage budget."""
+
+    id: int
+    name: str
+    budget_bytes: int
+    created_at: float
+
+
+@dataclass(frozen=True)
+class PhysicalVideo:
+    """One materialized representation of (a region of) a logical video.
+
+    ``roi`` is the region of the *original* frame this physical video
+    depicts, in original pixel coordinates (``None`` means the full frame);
+    ``width``/``height`` are this video's own pixel dimensions, which may
+    rescale that region.  ``mse_estimate`` is the quality model's bound on
+    MSE relative to the originally written video (0 for the original
+    itself); ``sealed`` is False while a streaming write is in progress.
+    """
+
+    id: int
+    logical_id: int
+    codec: str
+    pixel_format: str
+    width: int
+    height: int
+    fps: float
+    qp: int
+    roi: ROI | None
+    start_time: float
+    end_time: float
+    mse_estimate: float
+    is_original: bool
+    sealed: bool
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        return (self.width, self.height)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def covers_time(self, start: float, end: float) -> bool:
+        return self.start_time <= start + 1e-9 and self.end_time >= end - 1e-9
+
+    def roi_or(self, full: ROI) -> ROI:
+        return self.roi if self.roi is not None else full
+
+
+@dataclass(frozen=True)
+class GopRecord:
+    """One GOP (cache page) of a physical video.
+
+    ``path`` is relative to the store root.  ``zstd_level`` is 0 for a GOP
+    stored as a plain container and the compression level for one that
+    deferred compression has packed.  ``joint_pair_id``/``joint_role``
+    link GOPs that participate in joint compression: their pixel data
+    lives in the shared pair record instead of ``path``.
+    """
+
+    id: int
+    physical_id: int
+    seq: int
+    start_time: float
+    end_time: float
+    num_frames: int
+    frame_types: str
+    nbytes: int
+    path: str
+    last_access: int = 0
+    zstd_level: int = 0
+    joint_pair_id: int | None = None
+    joint_role: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def independent_frames(self) -> int:
+        return self.frame_types.count("I")
+
+    @property
+    def dependent_frames(self) -> int:
+        return self.frame_types.count("P")
+
+
+@dataclass(frozen=True)
+class JointPairRecord:
+    """Metadata for a jointly compressed pair of GOPs (paper section 5.1).
+
+    The pair's pixel data is stored as three encoded pieces (left,
+    overlap, right) plus the homography needed to reconstruct the right
+    frames.  ``x_f`` / ``x_g`` are the split columns in the two source
+    frames; ``merge`` names the merge function used for overlapping
+    pixels.  A ``duplicate`` pair stores only the left piece (the paper's
+    pointer-to-near-identical-GOP case).
+    """
+
+    id: int
+    homography: tuple[float, ...]  # row-major 3x3
+    x_f: int
+    x_g: int
+    merge: str
+    left_path: str
+    overlap_path: str | None
+    right_path: str | None
+    nbytes: int
+    duplicate: bool
+
+
+@dataclass
+class Fragment:
+    """A maximal run of temporally contiguous GOPs within one physical
+    video — the planning unit of section 3.
+
+    Evicting a middle GOP splits a physical video into two fragments, which
+    is exactly why the eviction policy's position offset exists.
+    """
+
+    physical: PhysicalVideo
+    gops: list[GopRecord] = field(default_factory=list)
+
+    @property
+    def start_time(self) -> float:
+        return self.gops[0].start_time
+
+    @property
+    def end_time(self) -> float:
+        return self.gops[-1].end_time
+
+    @property
+    def nbytes(self) -> int:
+        return sum(g.nbytes for g in self.gops)
+
+    @property
+    def num_frames(self) -> int:
+        return sum(g.num_frames for g in self.gops)
+
+    def covers_time(self, start: float, end: float) -> bool:
+        return self.start_time <= start + 1e-9 and self.end_time >= end - 1e-9
+
+    def gops_overlapping(self, start: float, end: float) -> list[GopRecord]:
+        return [
+            g
+            for g in self.gops
+            if g.end_time > start + 1e-9 and g.start_time < end - 1e-9
+        ]

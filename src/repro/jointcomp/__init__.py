@@ -1,0 +1,23 @@
+"""Joint compression of overlapping video (paper section 5.1).
+
+Pairs of GOPs from different logical videos that observe the same scene are
+stored once: VSS estimates a homography between them, splits the content
+into left / overlap / right regions, encodes each region separately, and
+reconstructs either side on demand.  Candidate pairs are found without any
+metadata via histogram clustering (BIRCH) plus feature matching.
+"""
+
+from repro.jointcomp.algorithm import JointCompressor, JointResult
+from repro.jointcomp.manager import JointCompressionManager, JointReport
+from repro.jointcomp.merge import MERGE_FUNCTIONS
+from repro.jointcomp.selection import CandidatePair, JointCandidateSelector
+
+__all__ = [
+    "CandidatePair",
+    "JointCandidateSelector",
+    "JointCompressionManager",
+    "JointCompressor",
+    "JointReport",
+    "JointResult",
+    "MERGE_FUNCTIONS",
+]

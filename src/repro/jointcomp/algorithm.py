@@ -1,0 +1,373 @@
+"""Algorithm 1: joint compression of a pair of overlapping GOPs.
+
+Given frame sequences F (left) and G (right):
+
+1. estimate a homography H mapping G's coordinates into F's space from
+   matched keypoints of the first frames; reverse the pair if the overlap
+   is on the wrong side (H's x-translation negative);
+2. if H is a near-identity (``||H - I|| <= 0.1``) the GOPs are duplicates —
+   store one and a pointer;
+3. otherwise split each frame pair into left / overlap / right regions at
+   the columns where the frames begin and cease to overlap, merging the
+   overlap with the configured merge function;
+4. verify per frame that both sides can be recovered above the quality
+   threshold; on failure re-estimate H once (dynamic cameras, section
+   5.1.2) and abort the pair if it still fails;
+5. encode the three region sequences separately.
+
+Mixed-resolution pairs are handled by upscaling the smaller input first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HomographyError
+from repro.jointcomp.merge import MERGE_FUNCTIONS
+from repro.util import StageTimers
+from repro.video.metrics import psnr
+from repro.vision.features import describe_keypoints, detect_keypoints
+from repro.vision.homography import (
+    homography_identity_distance,
+    ransac_homography,
+    warp_perspective,
+)
+from repro.vision.matching import match_descriptors, matched_points
+
+#: Near-identity threshold for the duplicate-GOP shortcut (paper: 0.1).
+DUPLICATE_EPSILON = 0.1
+
+#: Per-frame recovery-quality verification threshold, in dB.  The paper's
+#: Table 2 admits fragments whose recovered right side lands near 24-30 dB,
+#: so verification uses the near-lossless band rather than the 40 dB
+#: read-quality cutoff.
+VERIFY_DB = 26.0
+
+#: Recovery quality below which the homography is re-estimated (paper:
+#: 24 dB, section 5.1.2).
+REESTIMATE_DB = 24.0
+
+#: Keypoint detection budget for homography estimation (tuned for the
+#: scaled-down synthetic resolutions; the paper's constants assume full-HD).
+MAX_KEYPOINTS = 800
+KEYPOINT_QUALITY = 0.001
+KEYPOINT_MIN_DISTANCE = 2
+
+
+@dataclass
+class JointResult:
+    """Successful joint compression of one GOP pair."""
+
+    homography: np.ndarray
+    x_f: int
+    x_g: int
+    merge: str
+    left_frames: np.ndarray  # (n, h, x_f, 3)
+    overlap_frames: np.ndarray  # (n, h, w - x_f, 3)
+    right_frames: np.ndarray  # (n, h, w - x_g, 3)
+    duplicate: bool = False
+    swapped: bool = False
+    quality_left_db: float = 0.0
+    quality_right_db: float = 0.0
+    reestimations: int = 0
+    timers: StageTimers = field(default_factory=StageTimers)
+
+    @property
+    def stored_pixels(self) -> int:
+        return (
+            self.left_frames.size
+            + self.overlap_frames.size
+            + self.right_frames.size
+        ) // 3
+
+    @property
+    def source_pixels(self) -> int:
+        n, h = self.left_frames.shape[:2]
+        width = self.left_frames.shape[2] + self.overlap_frames.shape[2]
+        return 2 * n * h * width
+
+
+class JointCompressor:
+    """Applies Algorithm 1 to pairs of decoded frame stacks."""
+
+    def __init__(
+        self,
+        merge: str = "unprojected",
+        verify_db: float = VERIFY_DB,
+        reestimate_db: float = REESTIMATE_DB,
+        duplicate_epsilon: float = DUPLICATE_EPSILON,
+        reestimate_every: int | None = None,
+    ):
+        if merge not in MERGE_FUNCTIONS:
+            raise ValueError(
+                f"unknown merge {merge!r}; expected one of {sorted(MERGE_FUNCTIONS)}"
+            )
+        self.merge = merge
+        self.verify_db = verify_db
+        self.reestimate_db = reestimate_db
+        self.duplicate_epsilon = duplicate_epsilon
+        #: Optional fixed re-estimation cadence (frames); used by the
+        #: Figure 19 dynamicism experiment.  None = on demand only.
+        self.reestimate_every = reestimate_every
+
+    # ------------------------------------------------------------------
+    def estimate_homography(
+        self, frame_f: np.ndarray, frame_g: np.ndarray, timers: StageTimers
+    ) -> np.ndarray | None:
+        """Feature-based homography mapping G coordinates into F space."""
+        with timers.measure("feature_detection"):
+            kp_f = detect_keypoints(
+                frame_f,
+                max_keypoints=MAX_KEYPOINTS,
+                quality=KEYPOINT_QUALITY,
+                min_distance=KEYPOINT_MIN_DISTANCE,
+            )
+            kp_g = detect_keypoints(
+                frame_g,
+                max_keypoints=MAX_KEYPOINTS,
+                quality=KEYPOINT_QUALITY,
+                min_distance=KEYPOINT_MIN_DISTANCE,
+            )
+            desc_f = describe_keypoints(frame_f, kp_f)
+            desc_g = describe_keypoints(frame_g, kp_g)
+        with timers.measure("homography_estimation"):
+            matches = match_descriptors(desc_g, desc_f)
+            if len(matches) < 8:
+                return None
+            src, dst = matched_points(matches, kp_g, kp_f)
+            try:
+                h, _mask = ransac_homography(src, dst)
+            except HomographyError:
+                return None
+        return h
+
+    # ------------------------------------------------------------------
+    def compress(
+        self, frames_f: np.ndarray, frames_g: np.ndarray, _swapped: bool = False
+    ) -> JointResult | None:
+        """Jointly compress two aligned frame stacks ``(n, h, w, 3)``.
+
+        Returns None when the pair is not jointly compressible (no
+        homography, no overlap, or unrecoverable quality).
+        """
+        timers = StageTimers()
+        frames_f, frames_g = _match_resolution(frames_f, frames_g)
+        if frames_f.shape != frames_g.shape:
+            return None
+        h_matrix = self.estimate_homography(frames_f[0], frames_g[0], timers)
+        if h_matrix is None:
+            return None
+        # Duplicate check precedes the orientation check: a near-identity
+        # homography can carry a tiny negative translation, which must not
+        # trigger the swap path.
+        if homography_identity_distance(h_matrix) <= self.duplicate_epsilon:
+            return self._duplicate_result(frames_f, frames_g, h_matrix, timers)
+        if h_matrix[0, 2] < 0 and not _swapped:
+            # Overlap on the other side: reverse the transform direction.
+            result = self.compress(frames_g, frames_f, _swapped=True)
+            if result is not None:
+                result.swapped = not result.swapped
+            return result
+        if h_matrix[0, 2] < 0:
+            return None  # inconsistent orientation in both directions
+
+        n, height, width = frames_f.shape[:3]
+        x_f, x_g = _split_columns(h_matrix, width, height)
+        if x_f is None:
+            return None
+
+        merge_fn = MERGE_FUNCTIONS[self.merge]
+        left = np.empty((n, height, x_f, 3), dtype=np.uint8)
+        overlap = np.empty((n, height, width - x_f, 3), dtype=np.uint8)
+        right = np.empty((n, height, width - x_g, 3), dtype=np.uint8)
+        quality_left: list[float] = []
+        quality_right: list[float] = []
+        reestimations = 0
+        retried_this_frame = 0
+        i = 0
+        while i < n:
+            frame_f, frame_g = frames_f[i], frames_g[i]
+            if (
+                self.reestimate_every
+                and i > 0
+                and i % self.reestimate_every == 0
+                and retried_this_frame == 0
+            ):
+                fresh = self.estimate_homography(frame_f, frame_g, timers)
+                if fresh is not None and fresh[0, 2] >= 0:
+                    h_matrix = fresh
+                    reestimations += 1
+            with timers.measure("compression"):
+                warped, valid = warp_perspective(
+                    frame_g, h_matrix, (height, width)
+                )
+                left[i] = frame_f[:, :x_f]
+                overlap[i] = merge_fn(
+                    frame_f[:, x_f:], warped[:, x_f:], valid[:, x_f:]
+                )
+                right[i] = frame_g[:, x_g:]
+            ok, q_left, q_right = self._verify(
+                frame_f, frame_g, left[i], overlap[i], right[i],
+                h_matrix, x_f, x_g, timers,
+            )
+            if not ok:
+                if retried_this_frame == 0:
+                    fresh = self.estimate_homography(frame_f, frame_g, timers)
+                    retried_this_frame = 1
+                    if fresh is not None and fresh[0, 2] >= 0:
+                        h_matrix = fresh
+                        reestimations += 1
+                        continue  # retry the same frame
+                return None  # abort joint compression (paper Figure 8)
+            quality_left.append(q_left)
+            quality_right.append(q_right)
+            retried_this_frame = 0
+            i += 1
+
+        return JointResult(
+            homography=h_matrix,
+            x_f=x_f,
+            x_g=x_g,
+            merge=self.merge,
+            left_frames=left,
+            overlap_frames=overlap,
+            right_frames=right,
+            quality_left_db=float(np.mean(quality_left)),
+            quality_right_db=float(np.mean(quality_right)),
+            reestimations=reestimations,
+            timers=timers,
+        )
+
+    # ------------------------------------------------------------------
+    def _verify(
+        self,
+        frame_f: np.ndarray,
+        frame_g: np.ndarray,
+        left: np.ndarray,
+        overlap: np.ndarray,
+        right: np.ndarray,
+        h_matrix: np.ndarray,
+        x_f: int,
+        x_g: int,
+        timers: StageTimers,
+    ) -> tuple[bool, float, float]:
+        """Invert the projection and check recovered quality (Alg. 1)."""
+        with timers.measure("verification"):
+            recovered_f = np.concatenate([left, overlap], axis=1)
+            q_left = psnr(frame_f, recovered_f)
+            recovered_g = recover_right_frame(
+                overlap, right, h_matrix, x_f, x_g, frame_g.shape[0],
+                frame_g.shape[1],
+            )
+            q_right = psnr(frame_g, recovered_g)
+        ok = min(q_left, q_right) >= self.verify_db
+        return ok, q_left, q_right
+
+    def _duplicate_result(
+        self,
+        frames_f: np.ndarray,
+        frames_g: np.ndarray,
+        h_matrix: np.ndarray,
+        timers: StageTimers,
+    ) -> JointResult:
+        """Near-identical GOPs: store F once, point G at it (section
+        5.1.1)."""
+        n, height, width = frames_f.shape[:3]
+        quality = float(
+            np.mean([psnr(frames_f[i], frames_g[i]) for i in range(0, n, max(1, n // 4))])
+        )
+        return JointResult(
+            homography=np.eye(3),
+            x_f=width,
+            x_g=width,
+            merge=self.merge,
+            left_frames=frames_f,
+            overlap_frames=np.empty((n, height, 0, 3), dtype=np.uint8),
+            right_frames=np.empty((n, height, 0, 3), dtype=np.uint8),
+            duplicate=True,
+            quality_left_db=360.0,
+            quality_right_db=quality,
+            timers=timers,
+        )
+
+
+def _match_resolution(
+    frames_f: np.ndarray, frames_g: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upscale the lower-resolution stack to the higher (section 5.1.2)."""
+    from repro.video.frame import VideoSegment
+    from repro.video.resample import resize_segment
+
+    hf, wf = frames_f.shape[1:3]
+    hg, wg = frames_g.shape[1:3]
+    if (hf, wf) == (hg, wg):
+        return frames_f, frames_g
+    target_h, target_w = max(hf, hg), max(wf, wg)
+
+    def upscale(stack: np.ndarray) -> np.ndarray:
+        if stack.shape[1:3] == (target_h, target_w):
+            return stack
+        segment = VideoSegment(
+            stack, "rgb", stack.shape[1], stack.shape[2], 30.0
+        )
+        return resize_segment(segment, target_w, target_h).pixels
+
+    return upscale(frames_f), upscale(frames_g)
+
+
+def _split_columns(
+    h_matrix: np.ndarray, width: int, height: int
+) -> tuple[int | None, int | None]:
+    """Columns where overlap begins in F (x_f) and ends in G (x_g).
+
+    x_f: G's left edge projected into F space; x_g: F's right edge pulled
+    back into G space.  Both must fall inside the frame for the pair to
+    overlap (Algorithm 1's partition guard).
+    """
+    mid = np.array([[0.0, height / 2.0]])
+    from repro.vision.homography import apply_homography
+
+    left_edge_in_f = apply_homography(h_matrix, mid)[0, 0]
+    right_edge_in_g = apply_homography(
+        np.linalg.inv(h_matrix), np.array([[width - 1.0, height / 2.0]])
+    )[0, 0]
+    x_f = int(round(left_edge_in_f))
+    x_g = int(round(right_edge_in_g))
+    if not (0 < x_f <= width - 2) or not (0 < x_g <= width - 2):
+        return None, None
+    return x_f, x_g
+
+
+def recover_right_frame(
+    overlap: np.ndarray,
+    right: np.ndarray,
+    h_matrix: np.ndarray,
+    x_f: int,
+    x_g: int,
+    height: int,
+    width: int,
+) -> np.ndarray:
+    """Reconstruct a right (G) frame from stored pieces.
+
+    The overlap lives in F's coordinate space at columns [x_f, w); placing
+    it on an F-sized canvas and warping by H^-1 returns it to G space,
+    where it covers columns [0, x_g); the stored right region supplies the
+    rest.
+    """
+    canvas = np.zeros((height, width, 3), dtype=np.uint8)
+    canvas[:, x_f:] = overlap
+    unwarped, valid = warp_perspective(
+        canvas, np.linalg.inv(h_matrix), (height, width)
+    )
+    result = np.empty((height, width, 3), dtype=np.uint8)
+    result[:, :x_g] = unwarped[:, :x_g]
+    result[:, x_g:] = right
+    # Fill any invalid (out-of-projection) pixels from the nearest valid
+    # column to avoid black fringes.
+    invalid_cols = ~valid[:, :x_g]
+    if invalid_cols.any():
+        ys, xs = np.nonzero(invalid_cols)
+        result[ys, xs] = result[ys, np.clip(xs + 2, 0, width - 1)]
+    return result

@@ -1,0 +1,218 @@
+"""Orchestration of joint compression inside a VSS store.
+
+``JointCompressionManager.optimize`` walks the original physical videos of
+the store's logical videos, finds candidate GOP pairs (section 5.1.3),
+applies Algorithm 1 to each, and — for admitted pairs — replaces the two
+GOP files with the shared left/overlap/right pieces plus catalog metadata.
+Reads reconstruct either side transparently (see
+:mod:`repro.jointcomp.recovery`), so applications never observe the
+rewrite; only the storage accounting changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.records import GopRecord
+from repro.jointcomp.algorithm import JointCompressor, JointResult
+from repro.jointcomp.selection import CandidatePair, JointCandidateSelector
+from repro.video.codec.quant import QP_DEFAULT
+from repro.video.codec.registry import codec_for, decode_gop
+from repro.video.frame import VideoSegment
+
+
+@dataclass
+class JointReport:
+    """Outcome of one optimization pass."""
+
+    candidates_considered: int = 0
+    pairs_compressed: int = 0
+    duplicates_found: int = 0
+    pairs_rejected: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    quality_left_db: list[float] = field(default_factory=list)
+    quality_right_db: list[float] = field(default_factory=list)
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.bytes_before == 0:
+            return 0.0
+        return 1.0 - self.bytes_after / self.bytes_before
+
+    @property
+    def admitted_fraction(self) -> float:
+        total = self.pairs_compressed + self.pairs_rejected
+        return self.pairs_compressed / total if total else 0.0
+
+
+class JointCompressionManager:
+    """Applies joint compression across a VSS store's logical videos."""
+
+    def __init__(
+        self,
+        vss,
+        merge: str = "unprojected",
+        codec: str = "h264",
+        qp: int = QP_DEFAULT,
+        compressor: JointCompressor | None = None,
+        selector: JointCandidateSelector | None = None,
+    ):
+        self.vss = vss
+        self.codec = codec
+        self.qp = qp
+        self.compressor = compressor or JointCompressor(merge=merge)
+        self.selector = selector or JointCandidateSelector()
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        names: list[str] | None = None,
+        max_pairs: int | None = None,
+    ) -> JointReport:
+        """Find and jointly compress overlapping GOP pairs.
+
+        ``names`` restricts the search to specific logical videos (default:
+        every video in the store).  Pairs within the same logical video are
+        skipped — the paper targets redundancy *across* cameras.
+        """
+        report = JointReport()
+        catalog = self.vss.catalog
+        names = names if names is not None else self.vss.list_videos()
+        gop_index: dict[tuple[str, int], GopRecord] = {}
+        for name in names:
+            logical = catalog.get_logical(name)
+            original = catalog.original_physical(logical.id)
+            if original is None:
+                continue
+            for gop in catalog.gops_of_physical(original.id):
+                if gop.joint_pair_id is not None:
+                    continue
+                key = (name, gop.id)
+                gop_index[key] = gop
+                frame = self._representative_frame(gop)
+                self.selector.add(key, frame)
+
+        candidates = [
+            pair
+            for pair in self.selector.candidates()
+            if pair.key_a[0] != pair.key_b[0]  # different logical videos
+        ]
+        if max_pairs is not None:
+            candidates = candidates[:max_pairs]
+        used: set[int] = set()
+        for pair in candidates:
+            report.candidates_considered += 1
+            gop_a = gop_index[pair.key_a]
+            gop_b = gop_index[pair.key_b]
+            if gop_a.id in used or gop_b.id in used:
+                continue
+            if self._apply_pair(gop_a, gop_b, report):
+                used.add(gop_a.id)
+                used.add(gop_b.id)
+        return report
+
+    # ------------------------------------------------------------------
+    def _representative_frame(self, gop: GopRecord) -> np.ndarray:
+        encoded = self.vss.layout.read_gop(gop.path, gop.zstd_level)
+        codec = codec_for(encoded.codec)
+        first = codec.decode_gop_frames(encoded, 1)
+        from repro.video.frame import convert_segment
+
+        return convert_segment(first, "rgb").frame(0)
+
+    def _decode_full(self, gop: GopRecord) -> VideoSegment:
+        encoded = self.vss.layout.read_gop(gop.path, gop.zstd_level)
+        from repro.video.frame import convert_segment
+
+        return convert_segment(decode_gop(encoded), "rgb")
+
+    def _apply_pair(
+        self, gop_a: GopRecord, gop_b: GopRecord, report: JointReport
+    ) -> bool:
+        seg_a = self._decode_full(gop_a)
+        seg_b = self._decode_full(gop_b)
+        frames = min(seg_a.num_frames, seg_b.num_frames)
+        if frames < 1:
+            return False
+        result = self.compressor.compress(
+            seg_a.pixels[:frames], seg_b.pixels[:frames]
+        )
+        if result is None:
+            report.pairs_rejected += 1
+            return False
+        if result.swapped:
+            gop_a, gop_b = gop_b, gop_a
+            seg_a, seg_b = seg_b, seg_a
+        self._persist_pair(gop_a, gop_b, seg_a, result, report)
+        return True
+
+    def _persist_pair(
+        self,
+        gop_a: GopRecord,
+        gop_b: GopRecord,
+        seg_a: VideoSegment,
+        result: JointResult,
+        report: JointReport,
+    ) -> None:
+        catalog = self.vss.catalog
+        layout = self.vss.layout
+        codec = codec_for(self.codec)
+        bytes_before = gop_a.nbytes + gop_b.nbytes
+
+        pair = catalog.add_joint_pair(
+            homography=result.homography.ravel(),
+            x_f=result.x_f,
+            x_g=result.x_g,
+            merge=result.merge,
+            left_path="",  # filled below once the pair id exists
+            overlap_path=None,
+            right_path=None,
+            nbytes=0,
+            duplicate=result.duplicate,
+        )
+
+        def encode_piece(stack: np.ndarray, piece: str) -> tuple[str, int]:
+            segment = VideoSegment(
+                np.ascontiguousarray(stack),
+                "rgb",
+                stack.shape[1],
+                stack.shape[2],
+                seg_a.fps,
+                seg_a.start_time,
+            )
+            encoded = codec.encode_gop(segment, qp=self.qp)
+            return layout.write_joint_piece(pair.id, piece, encoded)
+
+        left_path, left_bytes = encode_piece(result.left_frames, "left")
+        overlap_path = right_path = None
+        overlap_bytes = right_bytes = 0
+        if not result.duplicate:
+            overlap_path, overlap_bytes = encode_piece(
+                result.overlap_frames, "overlap"
+            )
+            right_path, right_bytes = encode_piece(result.right_frames, "right")
+        total = left_bytes + overlap_bytes + right_bytes
+        catalog.update_joint_pair_paths(
+            pair.id, left_path, overlap_path, right_path, total
+        )
+
+        # Remove the originals and repoint the GOP rows at the pair.
+        layout.delete_gop_file(gop_a.path)
+        layout.delete_gop_file(gop_b.path)
+        share_a = left_bytes + overlap_bytes // 2
+        share_b = right_bytes + overlap_bytes - overlap_bytes // 2
+        if result.duplicate:
+            share_a, share_b = left_bytes, 0
+        catalog.set_gop_joint(gop_a.id, pair.id, "a", share_a)
+        catalog.set_gop_joint(gop_b.id, pair.id, "b", share_b)
+
+        report.pairs_compressed += 1
+        if result.duplicate:
+            report.duplicates_found += 1
+        report.bytes_before += bytes_before
+        report.bytes_after += total
+        report.quality_left_db.append(result.quality_left_db)
+        report.quality_right_db.append(result.quality_right_db)

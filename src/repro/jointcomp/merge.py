@@ -1,0 +1,40 @@
+"""Merge functions for overlapping pixels (paper section 5.1.1).
+
+When the right frame is projected onto the left frame's plane, the overlap
+region has two candidate values per pixel.  The paper evaluates two merge
+policies (Table 2):
+
+* **unprojected** — keep the unprojected (left) frame's pixels.  The left
+  recovery is then exact; the right recovery pays the projection error.
+  Best when one perspective must stay high fidelity.
+* **mean** — average both frames' pixels.  Balanced, near-lossless
+  recovery on both sides; admits more fragments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def merge_unprojected(
+    left_pixels: np.ndarray, projected_right: np.ndarray, valid: np.ndarray
+) -> np.ndarray:
+    """Favor the unprojected (left) frame everywhere it has content."""
+    return left_pixels
+
+
+def merge_mean(
+    left_pixels: np.ndarray, projected_right: np.ndarray, valid: np.ndarray
+) -> np.ndarray:
+    """Average the two frames where the projection is valid."""
+    blended = (
+        left_pixels.astype(np.float32) + projected_right.astype(np.float32)
+    ) * 0.5
+    out = np.where(valid[..., None], blended, left_pixels.astype(np.float32))
+    return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+
+
+MERGE_FUNCTIONS = {
+    "unprojected": merge_unprojected,
+    "mean": merge_mean,
+}

@@ -1,0 +1,11 @@
+"""Lossless compression for deferred compression of raw cache entries."""
+
+from repro.lossless.zstd import (
+    LEVEL_MAX,
+    LEVEL_MIN,
+    compress,
+    decompress,
+    level_for_budget,
+)
+
+__all__ = ["LEVEL_MAX", "LEVEL_MIN", "compress", "decompress", "level_for_budget"]

@@ -1,0 +1,12 @@
+"""Exact combinatorial optimizer used by the read planner.
+
+The paper embeds fragment selection into Z3.  Z3 is unavailable offline, so
+this package provides a small exact pseudo-boolean branch-and-bound
+optimizer with the constraint forms the embedding needs (exactly-one,
+at-least-one, at-most-one, conditional costs).  Any exact optimizer yields
+the same plans; see DESIGN.md's substitution table.
+"""
+
+from repro.solver.pbo import Optimizer, Solution, Variable
+
+__all__ = ["Optimizer", "Solution", "Variable"]

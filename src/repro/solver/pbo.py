@@ -1,0 +1,276 @@
+"""Branch-and-bound pseudo-boolean optimizer.
+
+This is the exact-optimization engine behind VSS's read planner (the role
+Z3 plays in the paper).  It minimizes
+
+    sum_i  linear_cost[i] * x_i
+  + sum_k  conditional_cost_k   (incurred when var_k is true and its
+                                 ``unless`` variable is false)
+
+subject to exactly-one / at-least-one / at-most-one constraints.  The
+conditional costs express the paper's look-back coupling: re-using the same
+fragment across adjacent transition intervals avoids re-decoding its
+dependent frames (section 3.1, Figure 4).
+
+The search branches over the selection constraints in the order they were
+added, maintains an admissible lower bound (conditional costs are
+non-negative, so ignoring unresolved ones underestimates), and prunes
+against the incumbent.  Problems from the read planner are small (tens of
+intervals x a handful of fragments), so exhaustive search with pruning is
+fast; a node cap guards pathological inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InfeasibleError, SolverError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Handle for a boolean decision variable."""
+
+    index: int
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Variable({self.name})"
+
+
+@dataclass
+class Solution:
+    """Result of :meth:`Optimizer.minimize`."""
+
+    assignment: dict[Variable, bool]
+    objective: float
+    optimal: bool
+    nodes_explored: int
+
+    def chosen(self) -> list[Variable]:
+        """Variables assigned true, in index order."""
+        return sorted(
+            (v for v, value in self.assignment.items() if value),
+            key=lambda v: v.index,
+        )
+
+
+@dataclass
+class _Constraint:
+    kind: str  # 'exactly' | 'atleast' | 'atmost'
+    members: list[int]
+
+
+@dataclass
+class _Conditional:
+    var: int
+    unless: int | None
+    cost: float
+
+
+class Optimizer:
+    """Build a problem with :meth:`variable` / ``add_*`` then call
+    :meth:`minimize`."""
+
+    def __init__(self, node_limit: int = 500_000):
+        self._names: list[str] = []
+        self._vars: list[Variable] = []
+        self._linear: list[float] = []
+        self._conditionals: list[_Conditional] = []
+        self._conditionals_by_var: dict[int, list[_Conditional]] = {}
+        self._constraints: list[_Constraint] = []
+        self._groups_of: dict[int, list[int]] = {}
+        self.node_limit = node_limit
+
+    # ------------------------------------------------------------------
+    # model building
+    # ------------------------------------------------------------------
+    def variable(self, name: str) -> Variable:
+        var = Variable(len(self._vars), name)
+        self._vars.append(var)
+        self._names.append(name)
+        self._linear.append(0.0)
+        return var
+
+    def add_linear_cost(self, var: Variable, cost: float) -> None:
+        """Cost incurred whenever ``var`` is true.  Must be non-negative."""
+        if cost < 0:
+            raise SolverError(f"linear cost must be >= 0, got {cost}")
+        self._linear[var.index] += cost
+
+    def add_conditional_cost(
+        self, var: Variable, unless: Variable | None, cost: float
+    ) -> None:
+        """Cost incurred when ``var`` is true and ``unless`` is false.
+
+        ``unless=None`` makes the cost unconditional on ``var`` alone —
+        useful for the first transition interval, where there is no
+        previous selection to inherit decoded frames from.
+        """
+        if cost < 0:
+            raise SolverError(f"conditional cost must be >= 0, got {cost}")
+        conditional = _Conditional(
+            var.index, None if unless is None else unless.index, cost
+        )
+        self._conditionals.append(conditional)
+        self._conditionals_by_var.setdefault(var.index, []).append(conditional)
+
+    def _add_constraint(self, kind: str, variables: list[Variable]) -> None:
+        if not variables:
+            if kind in ("exactly", "atleast"):
+                raise InfeasibleError(f"{kind}-one constraint over zero variables")
+            return
+        constraint = _Constraint(kind, [v.index for v in variables])
+        index = len(self._constraints)
+        self._constraints.append(constraint)
+        for v in variables:
+            self._groups_of.setdefault(v.index, []).append(index)
+
+    def add_exactly_one(self, variables: list[Variable]) -> None:
+        self._add_constraint("exactly", variables)
+
+    def add_at_least_one(self, variables: list[Variable]) -> None:
+        self._add_constraint("atleast", variables)
+
+    def add_at_most_one(self, variables: list[Variable]) -> None:
+        self._add_constraint("atmost", variables)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def minimize(self, upper_bound: float | None = None) -> Solution:
+        """Find a minimum-cost assignment.
+
+        ``upper_bound`` (e.g. from a greedy warm start) tightens pruning;
+        solutions costing ``>= upper_bound`` are discarded, but a feasible
+        model always returns its optimum since the bound only prunes
+        non-improving branches when it is itself achievable.
+        """
+        n = len(self._vars)
+        state: list[bool | None] = [None] * n
+        best_cost = float("inf") if upper_bound is None else float(upper_bound)
+        best_assignment: list[bool] | None = None
+        nodes = 0
+        decision_groups = [
+            (gi, c)
+            for gi, c in enumerate(self._constraints)
+            if c.kind in ("exactly", "atleast")
+        ]
+        min_linear = [
+            min((self._linear[m] for m in c.members), default=0.0)
+            for _, c in decision_groups
+        ]
+
+        def lower_bound(position: int) -> float:
+            total = 0.0
+            for offset in range(position, len(decision_groups)):
+                _, constraint = decision_groups[offset]
+                if any(state[m] for m in constraint.members):
+                    continue
+                if all(state[m] is False for m in constraint.members):
+                    return float("inf")
+                total += min_linear[offset]
+            return total
+
+        def set_true(index: int, trail: list[tuple[int, bool | None]]) -> bool:
+            """Assign var true, propagating at-most/exactly exclusions.
+            Returns False on conflict."""
+            if state[index] is False:
+                return False
+            if state[index] is True:
+                return True
+            trail.append((index, state[index]))
+            state[index] = True
+            for gi in self._groups_of.get(index, ()):  # exclusions
+                constraint = self._constraints[gi]
+                if constraint.kind == "atleast":
+                    continue
+                for other in constraint.members:
+                    if other == index:
+                        continue
+                    if state[other] is True:
+                        return False
+                    if state[other] is None:
+                        trail.append((other, None))
+                        state[other] = False
+            return True
+
+        def undo(trail: list[tuple[int, bool | None]]) -> None:
+            while trail:
+                index, previous = trail.pop()
+                state[index] = previous
+
+        def current_cost() -> float:
+            """Exact objective of a fully decided assignment (None=false)."""
+            total = 0.0
+            for index in range(n):
+                if state[index] is not True:
+                    continue
+                total += self._linear[index]
+                for cond in self._conditionals_by_var.get(index, ()):
+                    if cond.unless is None or state[cond.unless] is not True:
+                        total += cond.cost
+            return total
+
+        def partial_cost() -> float:
+            """Admissible underestimate: linear costs of assigned-true vars
+            plus conditionals already provably triggered."""
+            total = 0.0
+            for index in range(n):
+                if state[index] is not True:
+                    continue
+                total += self._linear[index]
+                for cond in self._conditionals_by_var.get(index, ()):
+                    if cond.unless is None or state[cond.unless] is False:
+                        total += cond.cost
+            return total
+
+        def search(position: int) -> None:
+            nonlocal nodes, best_cost, best_assignment
+            nodes += 1
+            if nodes > self.node_limit:
+                return
+            bound = partial_cost() + lower_bound(position)
+            if bound >= best_cost:
+                return
+            if position == len(decision_groups):
+                # set_true propagated all at-most/exactly exclusions, so any
+                # leaf reached here satisfies every constraint.
+                cost = current_cost()
+                if cost < best_cost:
+                    best_cost = cost
+                    best_assignment = [state[i] is True for i in range(n)]
+                return
+            _, constraint = decision_groups[position]
+            already = [m for m in constraint.members if state[m] is True]
+            if already:
+                if constraint.kind == "exactly" and len(already) > 1:
+                    return
+                search(position + 1)
+                return
+            candidates = sorted(
+                (m for m in constraint.members if state[m] is None),
+                key=lambda m: self._linear[m],
+            )
+            for member in candidates:
+                trail: list[tuple[int, bool | None]] = []
+                if set_true(member, trail):
+                    search(position + 1)
+                undo(trail)
+
+        search(0)
+        if best_assignment is None:
+            if nodes > self.node_limit:
+                raise SolverError(
+                    f"node limit {self.node_limit} exhausted with no solution"
+                )
+            raise InfeasibleError("constraint system has no feasible assignment")
+        assignment = {
+            var: best_assignment[var.index] for var in self._vars
+        }
+        return Solution(
+            assignment=assignment,
+            objective=best_cost,
+            optimal=nodes <= self.node_limit,
+            nodes_explored=nodes,
+        )

@@ -1,0 +1,39 @@
+"""Synthetic datasets: a procedural stand-in for Visual Road / RobotCar / Waymo.
+
+The paper evaluates on two real autonomous-driving datasets and five
+synthetic Visual Road configurations (Table 1).  Neither the real footage
+nor the CARLA-based Visual Road generator is available offline, so this
+package renders deterministic road scenes with moving vehicles and a
+configurable multi-camera rig (overlap fraction, perspective skew, camera
+rotation).  Builders in :mod:`repro.synthetic.datasets` produce named
+equivalents of every Table 1 dataset at proportionally scaled resolutions.
+
+What the substitution preserves: controllable inter-camera overlap, motion
+(for P-frame compression), texture (for feature detection), vehicles with
+known colours and boxes (for the end-to-end application), and exact ground
+truth for homographies (which the real datasets lack).
+"""
+
+from repro.synthetic.camera import Camera, CameraRig
+from repro.synthetic.datasets import (
+    DATASET_BUILDERS,
+    Dataset,
+    build_dataset,
+    robotcar,
+    visualroad,
+    waymo,
+)
+from repro.synthetic.scene import RoadScene, Vehicle
+
+__all__ = [
+    "Camera",
+    "CameraRig",
+    "DATASET_BUILDERS",
+    "Dataset",
+    "RoadScene",
+    "Vehicle",
+    "build_dataset",
+    "robotcar",
+    "visualroad",
+    "waymo",
+]

@@ -1,0 +1,232 @@
+"""Procedural road scene: the world that cameras observe.
+
+A :class:`RoadScene` renders a wide panoramic "world" frame at any time
+step: a static textured background (sky, buildings with windows, road with
+dashed lane markings) plus vehicles moving along lanes at constant speeds.
+Everything is deterministic in the seed, so two renders of frame ``t`` are
+bit-identical — which the dataset builders and tests rely on.
+
+The background is deliberately feature-rich (window corners, lane dashes,
+texture noise): the Harris detector needs corners and the codec needs
+spatial detail for realistic rate/quality behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import rng as make_rng
+from repro.vision.detection import VEHICLE_PALETTE
+
+
+@dataclass(frozen=True)
+class Vehicle:
+    """A vehicle moving along a lane.
+
+    ``speed`` is in pixels per frame (negative = leftward); position wraps
+    around the world width so traffic is continuous.
+    """
+
+    color: str
+    rgb: tuple[int, int, int]
+    width: int
+    height: int
+    lane_y: int
+    speed: float
+    phase: float
+
+    def x_at(self, t: int, world_width: int) -> int:
+        """Left edge of the vehicle at frame ``t`` (may be off-world)."""
+        span = world_width + 2 * self.width
+        x = (self.phase + self.speed * t) % span - self.width
+        return int(round(x))
+
+
+@dataclass(frozen=True)
+class GroundTruthBox:
+    """A vehicle's box in world coordinates at some frame."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    color: str
+
+
+@dataclass
+class RoadScene:
+    """Deterministic procedural world."""
+
+    world_width: int
+    height: int
+    num_vehicles: int = 8
+    seed: int = 7
+    #: Amplitude of the global per-frame illumination ripple, in pixel
+    #: values.  Gives P-frames realistic nonzero residuals everywhere.
+    flicker: float = 1.5
+
+    _background: np.ndarray = field(init=False, repr=False)
+    _vehicles: list[Vehicle] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.world_width < 32 or self.height < 32:
+            raise ValueError(
+                f"scene too small: {self.world_width}x{self.height}"
+            )
+        self._background = self._render_background()
+        self._vehicles = self._spawn_vehicles()
+
+    # ------------------------------------------------------------------
+    # static content
+    # ------------------------------------------------------------------
+    def _render_background(self) -> np.ndarray:
+        h, w = self.height, self.world_width
+        generator = make_rng(self.seed)
+        image = np.zeros((h, w, 3), dtype=np.float32)
+
+        # Sky: vertical gradient.
+        sky_h = int(h * 0.35)
+        grad = np.linspace(0, 1, sky_h)[:, None]
+        image[:sky_h] = (
+            np.array([120, 160, 230]) * (1 - grad[..., None] * 0.4)
+        ).astype(np.float32)
+
+        # Building band with windows.
+        building_top = sky_h
+        building_bottom = int(h * 0.55)
+        image[building_top:building_bottom] = np.array([90, 85, 95])
+        x = 0
+        while x < w:
+            bw = int(generator.integers(h // 4, h // 2))
+            bh = int(generator.integers((building_bottom - building_top) // 2,
+                                        building_bottom - building_top))
+            shade = generator.integers(60, 130)
+            top = building_bottom - bh
+            image[top:building_bottom, x : x + bw] = shade
+            # Windows: small bright rectangles on a grid.
+            win = max(2, h // 54)
+            for wy in range(top + win, building_bottom - win, 3 * win):
+                for wx in range(x + win, min(x + bw, w) - win, 3 * win):
+                    lit = generator.random() < 0.6
+                    color = (200, 190, 120) if lit else (40, 45, 60)
+                    image[wy : wy + win, wx : wx + win] = color
+            x += bw + max(1, h // 36)
+
+        # Sidewalk strip.
+        side_bottom = int(h * 0.62)
+        image[building_bottom:side_bottom] = np.array([150, 148, 140])
+
+        # Road with dashed lane markings.
+        image[side_bottom:] = np.array([55, 55, 60])
+        lanes = self._lane_centers()
+        dash_len = max(4, h // 18)
+        for lane_y in lanes[:-1]:
+            boundary = lane_y + self._lane_height() // 2
+            if boundary >= h:
+                continue
+            for x0 in range(0, w, 3 * dash_len):
+                image[boundary : boundary + max(1, h // 108),
+                      x0 : x0 + dash_len] = np.array([210, 210, 200])
+
+        # Static texture noise: gives the codec realistic detail.
+        noise = generator.normal(0.0, 3.0, size=image.shape).astype(np.float32)
+        return np.clip(image + noise, 0, 255).astype(np.uint8)
+
+    def _lane_height(self) -> int:
+        return max(8, int(self.height * 0.095))
+
+    def _lane_centers(self) -> list[int]:
+        road_top = int(self.height * 0.62)
+        lane_h = self._lane_height()
+        centers = []
+        y = road_top + lane_h // 2 + 1
+        while y + lane_h // 2 < self.height - 1:
+            centers.append(y)
+            y += lane_h
+        return centers or [road_top + lane_h // 2]
+
+    def _spawn_vehicles(self) -> list[Vehicle]:
+        generator = make_rng(self.seed + 1)
+        lanes = self._lane_centers()
+        names = list(VEHICLE_PALETTE)
+        vehicles = []
+        lane_h = self._lane_height()
+        for i in range(self.num_vehicles):
+            color = names[int(generator.integers(0, len(names)))]
+            lane_index = int(generator.integers(0, len(lanes)))
+            direction = 1 if lane_index % 2 == 0 else -1
+            vw = int(generator.integers(int(lane_h * 1.4), int(lane_h * 2.2)))
+            vh = max(4, int(lane_h * 0.75))
+            speed = direction * float(generator.uniform(0.5, 2.5)) * self.height / 108.0
+            phase = float(generator.uniform(0, self.world_width))
+            vehicles.append(
+                Vehicle(
+                    color=color,
+                    rgb=VEHICLE_PALETTE[color],
+                    width=vw,
+                    height=vh,
+                    lane_y=lanes[lane_index],
+                    speed=speed,
+                    phase=phase,
+                )
+            )
+        return vehicles
+
+    # ------------------------------------------------------------------
+    # per-frame rendering
+    # ------------------------------------------------------------------
+    @property
+    def vehicles(self) -> list[Vehicle]:
+        return list(self._vehicles)
+
+    def render_world(self, t: int) -> np.ndarray:
+        """Render the full panoramic world at frame ``t`` (rgb uint8)."""
+        frame = self._background.astype(np.int16)
+        if self.flicker:
+            ripple = self.flicker * np.sin(2 * np.pi * t / 120.0)
+            frame = frame + int(round(ripple * 2)) // 2
+        frame = np.clip(frame, 0, 255).astype(np.uint8)
+        for vehicle in self._vehicles:
+            self._draw_vehicle(frame, vehicle, t)
+        return frame
+
+    def _draw_vehicle(self, frame: np.ndarray, vehicle: Vehicle, t: int) -> None:
+        x = vehicle.x_at(t, self.world_width)
+        y0 = vehicle.lane_y - vehicle.height // 2
+        y1 = y0 + vehicle.height
+        x0 = max(x, 0)
+        x1 = min(x + vehicle.width, self.world_width)
+        if x1 <= x0 or y1 <= y0 or y0 >= self.height:
+            return
+        y1 = min(y1, self.height)
+        body = np.asarray(vehicle.rgb, dtype=np.uint8)
+        frame[y0:y1, x0:x1] = body
+        # Cabin (darker window strip) and wheels add texture and corners.
+        cab_y0 = y0 + max(1, vehicle.height // 5)
+        cab_y1 = cab_y0 + max(1, vehicle.height // 4)
+        cab_x0 = max(x + vehicle.width // 4, 0)
+        cab_x1 = min(x + 3 * vehicle.width // 4, self.world_width)
+        if cab_x1 > cab_x0 and cab_y1 <= self.height:
+            frame[cab_y0:cab_y1, cab_x0:cab_x1] = (30, 40, 55)
+        wheel_y = min(y1, self.height) - max(1, vehicle.height // 5)
+        for wx in (x + vehicle.width // 5, x + 4 * vehicle.width // 5):
+            w0 = max(wx - 1, 0)
+            w1 = min(wx + 1, self.world_width)
+            if w1 > w0 and wheel_y < self.height:
+                frame[wheel_y : min(wheel_y + 2, self.height), w0:w1] = (15, 15, 15)
+
+    def ground_truth(self, t: int) -> list[GroundTruthBox]:
+        """World-coordinate vehicle boxes at frame ``t`` (clipped, on-world
+        vehicles only)."""
+        boxes = []
+        for vehicle in self._vehicles:
+            x = vehicle.x_at(t, self.world_width)
+            x0 = max(x, 0)
+            x1 = min(x + vehicle.width, self.world_width)
+            y0 = vehicle.lane_y - vehicle.height // 2
+            y1 = min(y0 + vehicle.height, self.height)
+            if x1 > x0 and y1 > y0:
+                boxes.append(GroundTruthBox(x0, y0, x1, y1, vehicle.color))
+        return boxes

@@ -1,0 +1,5 @@
+"""vbench-style calibration: measured transcode costs and quality curves."""
+
+from repro.vbench.calibrate import Calibration, run_calibration
+
+__all__ = ["Calibration", "run_calibration"]

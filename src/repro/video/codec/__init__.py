@@ -1,0 +1,34 @@
+"""Video codecs: block-transform compression with real GOP semantics.
+
+The profiles here stand in for the paper's H.264/HEVC encoders.  They are
+real lossy codecs (quantized block transforms with inter-frame prediction),
+so everything the storage manager cares about is faithful:
+
+* GOPs are independently decodable; frames within a GOP are not.
+* P-frames transitively depend on their predecessors (look-back cost).
+* Quality degrades monotonically with the quantization parameter.
+* The ``hevc`` profile compresses better and costs more than ``h264``.
+"""
+
+from repro.video.codec.blockcodec import BlockCodec, CodecProfile
+from repro.video.codec.container import EncodedGOP, decode_container, encode_container
+from repro.video.codec.registry import (
+    CODEC_NAMES,
+    codec_for,
+    decode_gop,
+    encode_gop,
+    is_compressed_codec,
+)
+
+__all__ = [
+    "BlockCodec",
+    "CODEC_NAMES",
+    "CodecProfile",
+    "EncodedGOP",
+    "codec_for",
+    "decode_container",
+    "decode_gop",
+    "encode_container",
+    "encode_gop",
+    "is_compressed_codec",
+]

@@ -1,0 +1,285 @@
+"""The core GOP encoder/decoder shared by the ``h264`` and ``hevc`` profiles.
+
+Pipeline per frame:
+
+* I frames: centre pixels at zero, blockwise DCT, quantize, entropy-code.
+* P frames: motion-compensate the previous *reconstructed* frame (per the
+  profile's estimator), take the residual, then transform/quantize/entropy
+  as above.
+
+The encoder tracks its own reconstruction so that decode drift cannot
+accumulate — decoding always reproduces exactly what the encoder predicted
+from.  Frames within a GOP therefore form a genuine dependency chain: to
+decode frame ``k`` every frame ``0..k-1`` must be decoded first, which is
+precisely the look-back cost the paper's read planner optimizes around.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.video.codec import dct, entropy, motion, quant
+from repro.video.codec.container import EncodedGOP
+from repro.video.frame import (
+    VideoSegment,
+    frame_planes,
+    pixel_format,
+    planes_to_frame,
+)
+
+_FRAME_HEADER = struct.Struct(">cBB")  # frame type, n motion vectors, n planes
+_VECTOR = struct.Struct(">hh")
+_PLANE_HEADER = struct.Struct(">HHHHI")  # nby, nbx, height, width, payload size
+
+
+@dataclass(frozen=True)
+class CodecProfile:
+    """Static parameters distinguishing codec profiles.
+
+    ``motion`` selects the P-frame predictor: ``none`` (frame difference),
+    ``global`` (one translation), or ``tiled`` (2x2 grid of translations).
+    Better prediction costs more compute and yields smaller output — the
+    h264-vs-hevc asymmetry the paper's cost model captures via vbench.
+    """
+
+    name: str
+    block_size: int
+    motion: str
+    entropy_level: int
+    default_gop_size: int
+    #: Quantizer rounding offset; < 0.5 enables a deadzone (see quant.py).
+    deadzone: float = 0.5
+
+
+class BlockCodec:
+    """Encoder/decoder for one :class:`CodecProfile`."""
+
+    def __init__(self, profile: CodecProfile):
+        if profile.motion not in ("none", "global", "tiled"):
+            raise CodecError(f"unknown motion mode {profile.motion!r}")
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    is_compressed = True
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode_segment(
+        self,
+        segment: VideoSegment,
+        qp: int = quant.QP_DEFAULT,
+        gop_size: int | None = None,
+    ) -> list[EncodedGOP]:
+        """Encode a segment as consecutive GOPs of at most ``gop_size``
+        frames each."""
+        size = gop_size or self.profile.default_gop_size
+        if size < 1:
+            raise CodecError(f"gop_size must be >= 1, got {size}")
+        gops = []
+        for start in range(0, segment.num_frames, size):
+            stop = min(start + size, segment.num_frames)
+            gops.append(self.encode_gop(segment.slice_frames(start, stop), qp))
+        return gops
+
+    def encode_gop(self, segment: VideoSegment, qp: int = quant.QP_DEFAULT) -> EncodedGOP:
+        """Encode an entire segment as a single GOP (first frame intra)."""
+        if segment.num_frames == 0:
+            raise CodecError("cannot encode an empty GOP")
+        block = self.profile.block_size
+        payloads: list[bytes] = []
+        frame_types: list[str] = []
+        previous: list[np.ndarray] | None = None  # reconstructed planes
+        for index in range(segment.num_frames):
+            planes = [
+                p.astype(np.float32)
+                for p in segment.planes(index)
+            ]
+            if previous is None:
+                payload, reconstructed = self._encode_intra(planes, qp, block)
+                frame_types.append("I")
+            else:
+                payload, reconstructed = self._encode_predicted(
+                    planes, previous, qp, block
+                )
+                frame_types.append("P")
+            payloads.append(payload)
+            previous = reconstructed
+        return EncodedGOP(
+            codec=self.name,
+            pixel_format=segment.pixel_format,
+            width=segment.width,
+            height=segment.height,
+            fps=segment.fps,
+            qp=qp,
+            start_time=segment.start_time,
+            frame_types="".join(frame_types),
+            payloads=payloads,
+        )
+
+    def _encode_intra(
+        self, planes: list[np.ndarray], qp: int, block: int
+    ) -> tuple[bytes, list[np.ndarray]]:
+        parts = [_FRAME_HEADER.pack(b"I", 0, len(planes))]
+        reconstructed = []
+        for plane in planes:
+            encoded, recon = self._transform_plane(plane - 128.0, qp, block)
+            parts.append(encoded)
+            reconstructed.append(np.clip(recon + 128.0, 0, 255))
+        return b"".join(parts), reconstructed
+
+    def _encode_predicted(
+        self,
+        planes: list[np.ndarray],
+        previous: list[np.ndarray],
+        qp: int,
+        block: int,
+    ) -> tuple[bytes, list[np.ndarray]]:
+        vectors = self._estimate_motion(previous, planes)
+        parts = [_FRAME_HEADER.pack(b"P", len(vectors), len(planes))]
+        for dy, dx in vectors:
+            parts.append(_VECTOR.pack(dy, dx))
+        reconstructed = []
+        luma_shape = previous[0].shape
+        for plane, prior in zip(planes, previous):
+            prediction = self._compensate(prior, vectors, luma_shape)
+            encoded, recon_residual = self._transform_plane(
+                plane - prediction, qp, block
+            )
+            parts.append(encoded)
+            reconstructed.append(np.clip(prediction + recon_residual, 0, 255))
+        return b"".join(parts), reconstructed
+
+    def _transform_plane(
+        self, centered: np.ndarray, qp: int, block: int
+    ) -> tuple[bytes, np.ndarray]:
+        """Transform/quantize one plane; return (encoded bytes, recon)."""
+        h, w = centered.shape
+        coeffs = dct.forward_dct(centered, block)
+        levels = quant.quantize(coeffs, qp, block, self.profile.deadzone)
+        payload = entropy.encode_levels(
+            levels, block, self.profile.entropy_level
+        )
+        nby, nbx = levels.shape[0], levels.shape[1]
+        header = _PLANE_HEADER.pack(nby, nbx, h, w, len(payload))
+        recon = dct.inverse_dct(quant.dequantize(levels, qp, block), h, w)
+        return header + payload, recon
+
+    def _estimate_motion(
+        self, previous: list[np.ndarray], current: list[np.ndarray]
+    ) -> list[tuple[int, int]]:
+        mode = self.profile.motion
+        if mode == "none":
+            return []
+        prev_luma = previous[0]
+        cur_luma = current[0]
+        if mode == "global":
+            return [motion.estimate_global(prev_luma, cur_luma)]
+        return motion.estimate_tiled(prev_luma, cur_luma)
+
+    def _compensate(
+        self,
+        prior: np.ndarray,
+        vectors: list[tuple[int, int]],
+        luma_shape: tuple[int, int],
+    ) -> np.ndarray:
+        if not vectors:
+            return prior
+        if len(vectors) == 1:
+            scaled = motion.scale_vector_for_plane(
+                vectors[0], luma_shape, prior.shape
+            )
+            return motion.compensate_global(prior, scaled)
+        scaled = [
+            motion.scale_vector_for_plane(v, luma_shape, prior.shape)
+            for v in vectors
+        ]
+        return motion.compensate_tiled(prior, scaled)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode_gop(self, gop: EncodedGOP) -> VideoSegment:
+        """Decode every frame of a GOP."""
+        return self.decode_gop_frames(gop, gop.num_frames)
+
+    def decode_gop_frames(self, gop: EncodedGOP, stop: int) -> VideoSegment:
+        """Decode frames ``[0, stop)``.
+
+        Because P frames chain, decoding any prefix requires decoding from
+        the start of the GOP — the caller cannot skip frames.  (This is the
+        physical behaviour behind the paper's look-back cost.)
+        """
+        if gop.codec != self.name:
+            raise CodecError(f"GOP was encoded with {gop.codec!r}, not {self.name!r}")
+        if not 0 < stop <= gop.num_frames:
+            raise CodecError(f"stop={stop} out of range (1..{gop.num_frames})")
+        spec = pixel_format(gop.pixel_format)
+        frames = np.empty(
+            (stop, *spec.frame_shape(gop.height, gop.width)), dtype=np.uint8
+        )
+        previous: list[np.ndarray] | None = None
+        for index in range(stop):
+            planes, previous = self._decode_frame(
+                gop.payloads[index], gop.frame_types[index], previous, gop.qp
+            )
+            frames[index] = planes_to_frame(
+                [np.clip(np.rint(p), 0, 255).astype(np.uint8) for p in planes],
+                gop.pixel_format,
+                gop.height,
+                gop.width,
+            )
+        return VideoSegment(
+            pixels=frames,
+            pixel_format=gop.pixel_format,
+            height=gop.height,
+            width=gop.width,
+            fps=gop.fps,
+            start_time=gop.start_time,
+        )
+
+    def _decode_frame(
+        self,
+        payload: bytes,
+        frame_type: str,
+        previous: list[np.ndarray] | None,
+        qp: int,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        block = self.profile.block_size
+        ftype, n_vectors, n_planes = _FRAME_HEADER.unpack_from(payload)
+        if ftype.decode() != frame_type:
+            raise CodecError(
+                f"payload frame type {ftype!r} disagrees with index ({frame_type})"
+            )
+        offset = _FRAME_HEADER.size
+        vectors = []
+        for _ in range(n_vectors):
+            vectors.append(_VECTOR.unpack_from(payload, offset))
+            offset += _VECTOR.size
+        planes = []
+        if frame_type == "P" and previous is None:
+            raise CodecError("P frame encountered without a reference")
+        luma_shape = previous[0].shape if previous is not None else None
+        for plane_index in range(n_planes):
+            nby, nbx, h, w, size = _PLANE_HEADER.unpack_from(payload, offset)
+            offset += _PLANE_HEADER.size
+            levels = entropy.decode_levels(
+                payload[offset : offset + size], nby, nbx, block
+            )
+            offset += size
+            recon = dct.inverse_dct(quant.dequantize(levels, qp, block), h, w)
+            if frame_type == "I":
+                planes.append(np.clip(recon + 128.0, 0, 255))
+            else:
+                prediction = self._compensate(
+                    previous[plane_index], vectors, luma_shape
+                )
+                planes.append(np.clip(prediction + recon, 0, 255))
+        return planes, planes

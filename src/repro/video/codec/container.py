@@ -1,0 +1,141 @@
+"""On-disk container for a single encoded GOP.
+
+VSS stores each GOP as its own file (paper Figure 2), so the container maps
+one-to-one onto files.  The layout is a fixed magic/version prefix, a
+length-prefixed JSON header, then the concatenated per-frame payloads.  A
+JSON header costs a few dozen bytes per GOP and keeps the format
+self-describing and debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ContainerError
+
+MAGIC = b"VSSG"
+VERSION = 1
+_PREFIX = struct.Struct(">4sHI")  # magic, version, header length
+
+
+@dataclass
+class EncodedGOP:
+    """A single encoded group of pictures.
+
+    ``frame_types`` is a string of ``'I'``/``'P'`` characters, one per
+    frame; the cost model reads decode dependencies from it.  ``payloads``
+    holds each frame's encoded bytes (codec-specific layout).
+    """
+
+    codec: str
+    pixel_format: str
+    width: int
+    height: int
+    fps: float
+    qp: int
+    start_time: float
+    frame_types: str
+    payloads: list[bytes] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def duration(self) -> float:
+        return self.num_frames / self.fps
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size (payloads plus header estimate)."""
+        return sum(len(p) for p in self.payloads) + 96
+
+    @property
+    def bits_per_pixel(self) -> float:
+        """Mean encoded bits per luma pixel; the MBPP statistic of the
+        paper's compression-quality estimator."""
+        pixels = self.num_frames * self.width * self.height
+        if pixels == 0:
+            return 0.0
+        return 8.0 * sum(len(p) for p in self.payloads) / pixels
+
+    def with_start_time(self, start_time: float) -> "EncodedGOP":
+        """A copy of this GOP placed at a different timeline position."""
+        return replace(self, start_time=start_time)
+
+    def __post_init__(self) -> None:
+        if len(self.frame_types) != len(self.payloads):
+            raise ContainerError(
+                f"{len(self.frame_types)} frame types but "
+                f"{len(self.payloads)} payloads"
+            )
+        if self.frame_types and self.frame_types[0] != "I":
+            raise ContainerError("a GOP must begin with an I frame")
+        bad = set(self.frame_types) - {"I", "P"}
+        if bad:
+            raise ContainerError(f"unknown frame types: {sorted(bad)}")
+
+
+def encode_container(gop: EncodedGOP) -> bytes:
+    """Serialize an :class:`EncodedGOP` to bytes."""
+    header = {
+        "codec": gop.codec,
+        "pixel_format": gop.pixel_format,
+        "width": gop.width,
+        "height": gop.height,
+        "fps": gop.fps,
+        "qp": gop.qp,
+        "start_time": gop.start_time,
+        "frame_types": gop.frame_types,
+        "payload_sizes": [len(p) for p in gop.payloads],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [_PREFIX.pack(MAGIC, VERSION, len(header_bytes)), header_bytes]
+    parts.extend(gop.payloads)
+    return b"".join(parts)
+
+
+def decode_container(data: bytes) -> EncodedGOP:
+    """Parse bytes produced by :func:`encode_container`."""
+    if len(data) < _PREFIX.size:
+        raise ContainerError("container truncated before prefix")
+    magic, version, header_len = _PREFIX.unpack_from(data)
+    if magic != MAGIC:
+        raise ContainerError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ContainerError(f"unsupported container version {version}")
+    header_end = _PREFIX.size + header_len
+    if len(data) < header_end:
+        raise ContainerError("container truncated inside header")
+    try:
+        header = json.loads(data[_PREFIX.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ContainerError(f"malformed container header: {exc}") from exc
+    sizes = header["payload_sizes"]
+    expected = header_end + sum(sizes)
+    if len(data) < expected:
+        raise ContainerError(
+            f"container truncated: expected {expected} bytes, have {len(data)}"
+        )
+    payloads = []
+    offset = header_end
+    for size in sizes:
+        payloads.append(data[offset : offset + size])
+        offset += size
+    return EncodedGOP(
+        codec=header["codec"],
+        pixel_format=header["pixel_format"],
+        width=header["width"],
+        height=header["height"],
+        fps=header["fps"],
+        qp=header["qp"],
+        start_time=header["start_time"],
+        frame_types=header["frame_types"],
+        payloads=payloads,
+    )

@@ -1,0 +1,54 @@
+"""Blockwise 2-D DCT used by the transform stage of the codec.
+
+Planes are padded (edge-replicated) to a multiple of the block size, tiled
+into ``B x B`` blocks, and transformed with the orthonormal type-II DCT from
+``scipy.fft``.  The inverse reverses the tiling and strips the padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sfft
+
+
+def pad_to_blocks(plane: np.ndarray, block: int) -> np.ndarray:
+    """Edge-pad a 2-D plane so both dimensions divide ``block``."""
+    h, w = plane.shape
+    pad_h = (-h) % block
+    pad_w = (-w) % block
+    if pad_h == 0 and pad_w == 0:
+        return plane
+    return np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def to_blocks(plane: np.ndarray, block: int) -> np.ndarray:
+    """Tile a padded 2-D plane into ``(nby, nbx, B, B)`` blocks."""
+    h, w = plane.shape
+    nby, nbx = h // block, w // block
+    return (
+        plane.reshape(nby, block, nbx, block).transpose(0, 2, 1, 3)
+    )
+
+
+def from_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_blocks`."""
+    nby, nbx, block, _ = blocks.shape
+    return blocks.transpose(0, 2, 1, 3).reshape(nby * block, nbx * block)
+
+
+def forward_dct(plane: np.ndarray, block: int) -> np.ndarray:
+    """Blockwise orthonormal DCT-II of a 2-D float plane.
+
+    Returns coefficient blocks shaped ``(nby, nbx, B, B)`` for the padded
+    plane.
+    """
+    padded = pad_to_blocks(plane.astype(np.float32), block)
+    tiles = to_blocks(padded, block)
+    return sfft.dctn(tiles, axes=(-2, -1), norm="ortho")
+
+
+def inverse_dct(coeffs: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse blockwise DCT, cropping back to ``height`` x ``width``."""
+    tiles = sfft.idctn(coeffs, axes=(-2, -1), norm="ortho")
+    plane = from_blocks(tiles.astype(np.float32))
+    return plane[:height, :width]

@@ -1,0 +1,55 @@
+"""Entropy coding stage: zigzag scan + deflate.
+
+Quantized coefficient blocks are mostly zero in their high-frequency tail.
+Scanning each block in zigzag order groups those zeros into long runs,
+which the deflate stage then compresses extremely well.  This combination
+plays the role H.264's CAVLC/CABAC plays: it is the lossless back half of
+the codec.
+"""
+
+from __future__ import annotations
+
+import zlib
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def zigzag_order(block: int) -> np.ndarray:
+    """Indices that traverse a ``block x block`` tile in zigzag order."""
+    order = sorted(
+        ((i, j) for i in range(block) for j in range(block)),
+        key=lambda ij: (ij[0] + ij[1], ij[1] if (ij[0] + ij[1]) % 2 else ij[0]),
+    )
+    flat = np.array([i * block + j for i, j in order], dtype=np.int64)
+    return flat
+
+
+@lru_cache(maxsize=None)
+def inverse_zigzag_order(block: int) -> np.ndarray:
+    forward = zigzag_order(block)
+    inverse = np.empty_like(forward)
+    inverse[forward] = np.arange(forward.size)
+    return inverse
+
+
+def encode_levels(levels: np.ndarray, block: int, zlevel: int = 6) -> bytes:
+    """Entropy-encode quantized levels ``(nby, nbx, B, B)`` to bytes."""
+    flat = levels.reshape(-1, block * block)
+    scanned = flat[:, zigzag_order(block)]
+    return zlib.compress(np.ascontiguousarray(scanned, dtype=np.int16).tobytes(), zlevel)
+
+
+def decode_levels(
+    payload: bytes, nby: int, nbx: int, block: int
+) -> np.ndarray:
+    """Inverse of :func:`encode_levels`."""
+    raw = zlib.decompress(payload)
+    scanned = np.frombuffer(raw, dtype=np.int16).reshape(-1, block * block)
+    if scanned.shape[0] != nby * nbx:
+        raise ValueError(
+            f"payload holds {scanned.shape[0]} blocks, expected {nby * nbx}"
+        )
+    flat = scanned[:, inverse_zigzag_order(block)]
+    return flat.reshape(nby, nbx, block, block)

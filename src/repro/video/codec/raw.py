@@ -1,0 +1,86 @@
+"""The ``raw`` codec: uncompressed GOPs.
+
+Raw "encoding" just serializes each frame's pixel buffer.  Every frame is
+independently decodable (all-I), so raw GOPs carry no look-back cost —
+which is exactly why the paper caches decoded video for inference
+workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.video.codec.container import EncodedGOP
+from repro.video.frame import VideoSegment, pixel_format
+
+
+class RawCodec:
+    """Identity codec storing frames as raw pixel buffers."""
+
+    name = "raw"
+    is_compressed = False
+
+    #: Frames per raw GOP when none is specified.  The paper partitions raw
+    #: video into blocks of at most 25 MB (one 4K rgb frame); at our scaled
+    #: resolutions a handful of frames per block preserves the same
+    #: pages-much-smaller-than-videos property.
+    default_gop_size = 8
+
+    def encode_segment(
+        self,
+        segment: VideoSegment,
+        qp: int = 0,
+        gop_size: int | None = None,
+    ) -> list[EncodedGOP]:
+        size = gop_size or self.default_gop_size
+        if size < 1:
+            raise CodecError(f"gop_size must be >= 1, got {size}")
+        gops = []
+        for start in range(0, segment.num_frames, size):
+            stop = min(start + size, segment.num_frames)
+            gops.append(self.encode_gop(segment.slice_frames(start, stop), qp))
+        return gops
+
+    def encode_gop(self, segment: VideoSegment, qp: int = 0) -> EncodedGOP:
+        if segment.num_frames == 0:
+            raise CodecError("cannot encode an empty GOP")
+        payloads = [
+            np.ascontiguousarray(segment.frame(i)).tobytes()
+            for i in range(segment.num_frames)
+        ]
+        return EncodedGOP(
+            codec=self.name,
+            pixel_format=segment.pixel_format,
+            width=segment.width,
+            height=segment.height,
+            fps=segment.fps,
+            qp=0,
+            start_time=segment.start_time,
+            frame_types="I" * segment.num_frames,
+            payloads=payloads,
+        )
+
+    def decode_gop(self, gop: EncodedGOP) -> VideoSegment:
+        return self.decode_gop_frames(gop, gop.num_frames)
+
+    def decode_gop_frames(self, gop: EncodedGOP, stop: int) -> VideoSegment:
+        if gop.codec != self.name:
+            raise CodecError(f"GOP was encoded with {gop.codec!r}, not raw")
+        if not 0 < stop <= gop.num_frames:
+            raise CodecError(f"stop={stop} out of range (1..{gop.num_frames})")
+        spec = pixel_format(gop.pixel_format)
+        shape = spec.frame_shape(gop.height, gop.width)
+        frames = np.empty((stop, *shape), dtype=np.uint8)
+        for index in range(stop):
+            frames[index] = np.frombuffer(
+                gop.payloads[index], dtype=np.uint8
+            ).reshape(shape)
+        return VideoSegment(
+            pixels=frames,
+            pixel_format=gop.pixel_format,
+            height=gop.height,
+            width=gop.width,
+            fps=gop.fps,
+            start_time=gop.start_time,
+        )

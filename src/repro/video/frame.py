@@ -1,0 +1,382 @@
+"""Frames, pixel formats, and in-memory video segments.
+
+The VSS paper's physical parameter ``P`` includes a frame layout ``l``
+(``rgb``, ``yuv420``, ``yuv422``, ...).  This module defines those layouts
+and the conversions between them.
+
+In-memory representation
+------------------------
+A :class:`VideoSegment` is a contiguous run of frames that share a pixel
+format, resolution, and frame rate.  Pixels are stored in a single numpy
+array whose per-frame layout depends on the format:
+
+=========  ===========================  ==============
+format     per-frame array shape        bits per pixel
+=========  ===========================  ==============
+rgb        ``(H, W, 3)`` uint8          24
+gray       ``(H, W)`` uint8             8
+yuv420     ``(3*H//2, W)`` uint8        12
+yuv422     ``(2*H, W)`` uint8           16
+=========  ===========================  ==============
+
+The planar YUV layouts follow the conventional I420/I422 arrangement: the
+luma plane occupies the first ``H`` rows, followed by the (subsampled)
+chroma planes flattened into width-``W`` rows.  Chroma-subsampled formats
+require even frame dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import FormatError
+
+# BT.601 full-range luma weights, shared by the gray and YUV conversions.
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+
+@dataclass(frozen=True)
+class PixelFormatSpec:
+    """Static description of a pixel format.
+
+    ``bits_per_pixel`` is the storage density used by size accounting and by
+    the MBPP/S-based compression-quality estimate (paper section 3.2).
+    """
+
+    name: str
+    bits_per_pixel: int
+    channels: int
+    subsampled: bool
+
+    def frame_shape(self, height: int, width: int) -> tuple[int, ...]:
+        """Shape of a single frame's pixel array at ``height`` x ``width``."""
+        if self.name == "rgb":
+            return (height, width, 3)
+        if self.name == "gray":
+            return (height, width)
+        if self.name == "yuv420":
+            _require_even(height, width, self.name)
+            return (3 * height // 2, width)
+        if self.name == "yuv422":
+            _require_even(height, width, self.name)
+            return (2 * height, width)
+        raise FormatError(f"unknown pixel format {self.name!r}")
+
+    def frame_bytes(self, height: int, width: int) -> int:
+        """Bytes required to store one uncompressed frame."""
+        return height * width * self.bits_per_pixel // 8
+
+
+PIXEL_FORMATS: dict[str, PixelFormatSpec] = {
+    "rgb": PixelFormatSpec("rgb", 24, 3, False),
+    "gray": PixelFormatSpec("gray", 8, 1, False),
+    "yuv420": PixelFormatSpec("yuv420", 12, 3, True),
+    "yuv422": PixelFormatSpec("yuv422", 16, 3, True),
+}
+
+
+def pixel_format(name: str) -> PixelFormatSpec:
+    """Look up a pixel format by name, raising :class:`FormatError` if
+    unknown."""
+    try:
+        return PIXEL_FORMATS[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown pixel format {name!r}; expected one of "
+            f"{sorted(PIXEL_FORMATS)}"
+        ) from None
+
+
+def _require_even(height: int, width: int, name: str) -> None:
+    if height % 2 or width % 2:
+        raise FormatError(
+            f"format {name!r} requires even dimensions, got {width}x{height}"
+        )
+
+
+@dataclass
+class VideoSegment:
+    """A run of same-format frames plus the metadata needed to interpret it.
+
+    ``start_time`` is in seconds relative to the logical video's origin, so
+    segments can be compared and concatenated on the logical timeline.
+    """
+
+    pixels: np.ndarray
+    pixel_format: str
+    height: int
+    width: int
+    fps: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        spec = pixel_format(self.pixel_format)
+        expected = spec.frame_shape(self.height, self.width)
+        if self.pixels.ndim != len(expected) + 1:
+            raise FormatError(
+                f"pixel array has {self.pixels.ndim} dims; expected frames "
+                f"of shape {expected} stacked on axis 0"
+            )
+        if tuple(self.pixels.shape[1:]) != expected:
+            raise FormatError(
+                f"frame shape {tuple(self.pixels.shape[1:])} does not match "
+                f"{self.pixel_format} at {self.width}x{self.height} "
+                f"(expected {expected})"
+            )
+        if self.pixels.dtype != np.uint8:
+            raise FormatError(f"pixels must be uint8, got {self.pixels.dtype}")
+        if self.fps <= 0:
+            raise FormatError(f"fps must be positive, got {self.fps}")
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def duration(self) -> float:
+        """Seconds of video covered by this segment."""
+        return self.num_frames / self.fps
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        """``(width, height)`` in pixels."""
+        return (self.width, self.height)
+
+    @property
+    def nbytes(self) -> int:
+        """Uncompressed size in bytes."""
+        return int(self.pixels.nbytes)
+
+    @property
+    def pixel_count(self) -> int:
+        """Total luma-resolution pixels across all frames (the ``|f|`` of the
+        paper's transcode cost formula)."""
+        return self.num_frames * self.height * self.width
+
+    def frame(self, index: int) -> np.ndarray:
+        """The ``index``-th frame's raw pixel array (a view, not a copy)."""
+        return self.pixels[index]
+
+    def time_of(self, index: int) -> float:
+        return self.start_time + index / self.fps
+
+    # ------------------------------------------------------------------
+    # slicing and concatenation on the logical timeline
+    # ------------------------------------------------------------------
+    def slice_frames(self, start: int, stop: int) -> "VideoSegment":
+        """Sub-segment covering frames ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.num_frames:
+            raise ValueError(
+                f"frame slice [{start}, {stop}) out of range "
+                f"[0, {self.num_frames})"
+            )
+        return replace(
+            self,
+            pixels=self.pixels[start:stop],
+            start_time=self.time_of(start),
+        )
+
+    def slice_time(self, start: float, end: float) -> "VideoSegment":
+        """Sub-segment covering timeline interval ``[start, end)``.
+
+        Frame boundaries are snapped outward so the result fully covers the
+        requested interval.
+        """
+        first = int(np.floor((start - self.start_time) * self.fps + 1e-9))
+        last = int(np.ceil((end - self.start_time) * self.fps - 1e-9))
+        first = max(first, 0)
+        last = min(last, self.num_frames)
+        return self.slice_frames(first, max(first, last))
+
+    def copy(self) -> "VideoSegment":
+        return replace(self, pixels=self.pixels.copy())
+
+    @staticmethod
+    def concatenate(segments: list["VideoSegment"]) -> "VideoSegment":
+        """Join temporally consecutive segments that share format/geometry."""
+        if not segments:
+            raise ValueError("cannot concatenate zero segments")
+        head = segments[0]
+        for seg in segments[1:]:
+            if (seg.pixel_format, seg.resolution, seg.fps) != (
+                head.pixel_format,
+                head.resolution,
+                head.fps,
+            ):
+                raise FormatError(
+                    "segments must share pixel format, resolution, and fps "
+                    "to concatenate"
+                )
+        pixels = np.concatenate([seg.pixels for seg in segments], axis=0)
+        return replace(head, pixels=pixels)
+
+    # ------------------------------------------------------------------
+    # plane access (used by the block codec, which encodes per plane)
+    # ------------------------------------------------------------------
+    def planes(self, index: int) -> list[np.ndarray]:
+        """2-D planes of frame ``index`` in encode order."""
+        return frame_planes(self.frame(index), self.pixel_format, self.height, self.width)
+
+
+def frame_planes(
+    frame: np.ndarray, fmt: str, height: int, width: int
+) -> list[np.ndarray]:
+    """Split a single frame array into its 2-D planes.
+
+    rgb yields [R, G, B]; gray yields [Y]; yuv formats yield [Y, U, V] with
+    the chroma planes at their subsampled geometry.
+    """
+    if fmt == "rgb":
+        return [frame[:, :, c] for c in range(3)]
+    if fmt == "gray":
+        return [frame]
+    if fmt == "yuv420":
+        y = frame[:height]
+        chroma = frame[height:].reshape(2, height // 2, width // 2)
+        return [y, chroma[0], chroma[1]]
+    if fmt == "yuv422":
+        y = frame[:height]
+        chroma = frame[height:].reshape(2, height, width // 2)
+        return [y, chroma[0], chroma[1]]
+    raise FormatError(f"unknown pixel format {fmt!r}")
+
+
+def planes_to_frame(
+    planes: list[np.ndarray], fmt: str, height: int, width: int
+) -> np.ndarray:
+    """Inverse of :func:`frame_planes`."""
+    if fmt == "rgb":
+        return np.stack(planes, axis=-1)
+    if fmt == "gray":
+        return planes[0]
+    if fmt in ("yuv420", "yuv422"):
+        y, u, v = planes
+        chroma = np.concatenate(
+            [u.reshape(-1, width), v.reshape(-1, width)], axis=0
+        )
+        return np.concatenate([y, chroma], axis=0)
+    raise FormatError(f"unknown pixel format {fmt!r}")
+
+
+# ----------------------------------------------------------------------
+# colour-space conversion (vectorized over whole segments)
+# ----------------------------------------------------------------------
+def _rgb_to_yuv_channels(rgb: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    r = rgb[..., 0].astype(np.float32)
+    g = rgb[..., 1].astype(np.float32)
+    b = rgb[..., 2].astype(np.float32)
+    y = _KR * r + _KG * g + _KB * b
+    u = 128.0 + 0.564 * (b - y)
+    v = 128.0 + 0.713 * (r - y)
+    return y, u, v
+
+
+def _yuv_to_rgb(y: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    y = y.astype(np.float32)
+    du = u.astype(np.float32) - 128.0
+    dv = v.astype(np.float32) - 128.0
+    r = y + 1.403 * dv
+    g = y - 0.344 * du - 0.714 * dv
+    b = y + 1.773 * du
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def _pool2(plane: np.ndarray, pool_h: int, pool_w: int) -> np.ndarray:
+    """Mean-pool a stack of planes ``(N, H, W)`` by the given factors."""
+    n, h, w = plane.shape
+    pooled = plane.reshape(n, h // pool_h, pool_h, w // pool_w, pool_w)
+    return pooled.mean(axis=(2, 4))
+
+
+def _unpool2(plane: np.ndarray, pool_h: int, pool_w: int) -> np.ndarray:
+    """Nearest-neighbour upsample, the inverse layout of :func:`_pool2`."""
+    return plane.repeat(pool_h, axis=1).repeat(pool_w, axis=2)
+
+
+def _to_rgb(segment: VideoSegment) -> np.ndarray:
+    """Segment pixels as an ``(N, H, W, 3)`` uint8 array."""
+    fmt, h, w = segment.pixel_format, segment.height, segment.width
+    px = segment.pixels
+    if fmt == "rgb":
+        return px
+    if fmt == "gray":
+        return np.repeat(px[..., None], 3, axis=-1)
+    if fmt == "yuv420":
+        y = px[:, :h].astype(np.float32)
+        chroma = px[:, h:].reshape(px.shape[0], 2, h // 2, w // 2)
+        u = _unpool2(chroma[:, 0].astype(np.float32), 2, 2)
+        v = _unpool2(chroma[:, 1].astype(np.float32), 2, 2)
+        return _yuv_to_rgb(y, u, v)
+    if fmt == "yuv422":
+        y = px[:, :h].astype(np.float32)
+        chroma = px[:, h:].reshape(px.shape[0], 2, h, w // 2)
+        u = _unpool2(chroma[:, 0].astype(np.float32), 1, 2)
+        v = _unpool2(chroma[:, 1].astype(np.float32), 1, 2)
+        return _yuv_to_rgb(y, u, v)
+    raise FormatError(f"unknown pixel format {fmt!r}")
+
+
+def _from_rgb(rgb: np.ndarray, fmt: str, height: int, width: int) -> np.ndarray:
+    if fmt == "rgb":
+        return rgb
+    if fmt == "gray":
+        y, _, _ = _rgb_to_yuv_channels(rgb)
+        return np.clip(np.rint(y), 0, 255).astype(np.uint8)
+    if fmt in ("yuv420", "yuv422"):
+        _require_even(height, width, fmt)
+        y, u, v = _rgb_to_yuv_channels(rgb)
+        pool_h = 2 if fmt == "yuv420" else 1
+        u = _pool2(u, pool_h, 2)
+        v = _pool2(v, pool_h, 2)
+        n = rgb.shape[0]
+        y8 = np.clip(np.rint(y), 0, 255).astype(np.uint8)
+        u8 = np.clip(np.rint(u), 0, 255).astype(np.uint8)
+        v8 = np.clip(np.rint(v), 0, 255).astype(np.uint8)
+        # Pack U then V contiguously, then fold into width-W rows.  A
+        # single plane need not flatten into whole rows (e.g. H = 26), but
+        # the U+V pair always totals H/2 (or H) rows exactly.
+        chroma = np.concatenate(
+            [u8.reshape(n, -1), v8.reshape(n, -1)], axis=1
+        ).reshape(n, -1, width)
+        return np.concatenate([y8, chroma], axis=1)
+    raise FormatError(f"unknown pixel format {fmt!r}")
+
+
+def convert_segment(segment: VideoSegment, fmt: str) -> VideoSegment:
+    """Convert a segment to another pixel format.
+
+    Conversions go through RGB; converting to the segment's own format
+    returns the segment unchanged (no copy).
+    """
+    pixel_format(fmt)  # validate early
+    if fmt == segment.pixel_format:
+        return segment
+    rgb = _to_rgb(segment)
+    pixels = _from_rgb(rgb, fmt, segment.height, segment.width)
+    return replace(segment, pixels=pixels, pixel_format=fmt)
+
+
+def blank_segment(
+    num_frames: int,
+    height: int,
+    width: int,
+    fps: float,
+    fmt: str = "rgb",
+    fill: int = 0,
+    start_time: float = 0.0,
+) -> VideoSegment:
+    """Allocate a constant-fill segment (useful for padding and tests)."""
+    spec = pixel_format(fmt)
+    shape = (num_frames, *spec.frame_shape(height, width))
+    pixels = np.full(shape, fill, dtype=np.uint8)
+    return VideoSegment(pixels, fmt, height, width, fps, start_time)

@@ -1,0 +1,29 @@
+"""Vision substrate: features, matching, homography, histograms, detection.
+
+Replaces the paper's OpenCV dependency.  The pipeline mirrors the paper's
+references: scale-invariant-style keypoints and descriptors [Lowe 1999],
+Lowe's ratio test [Lowe 2004], and RANSAC homography estimation.
+"""
+
+from repro.vision.features import Keypoint, detect_and_describe, detect_keypoints
+from repro.vision.histogram import color_histogram, dominant_color
+from repro.vision.homography import (
+    estimate_homography,
+    homography_identity_distance,
+    ransac_homography,
+    warp_perspective,
+)
+from repro.vision.matching import match_descriptors
+
+__all__ = [
+    "Keypoint",
+    "color_histogram",
+    "detect_and_describe",
+    "detect_keypoints",
+    "dominant_color",
+    "estimate_homography",
+    "homography_identity_distance",
+    "match_descriptors",
+    "ransac_homography",
+    "warp_perspective",
+]

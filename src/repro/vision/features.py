@@ -1,0 +1,146 @@
+"""Keypoint detection and description.
+
+Keypoints come from a Harris corner detector with non-maximum suppression;
+descriptors are SIFT-style 4x4-cell, 8-orientation-bin gradient histograms
+(128 dimensions), normalized and scaled so that Euclidean distances between
+descriptors land in the range the paper's thresholds assume (it requires
+matches within distance d = 400).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+#: Descriptor layout: GRID x GRID spatial cells, BINS orientation bins.
+GRID = 4
+BINS = 8
+PATCH = 16  # pixels per descriptor patch side
+DESCRIPTOR_DIM = GRID * GRID * BINS
+
+#: SIFT's convention: unit-normalize then scale; distances then live in the
+#: low hundreds for genuine matches.
+DESCRIPTOR_SCALE = 512.0
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A detected interest point. ``x`` is the column, ``y`` the row."""
+
+    x: float
+    y: float
+    response: float
+
+
+def _luma(image: np.ndarray) -> np.ndarray:
+    """Luma plane of an rgb or gray image as float32."""
+    if image.ndim == 3:
+        return (
+            0.299 * image[..., 0] + 0.587 * image[..., 1] + 0.114 * image[..., 2]
+        ).astype(np.float32)
+    return image.astype(np.float32)
+
+
+def harris_response(luma: np.ndarray, sigma: float = 1.5, k: float = 0.05) -> np.ndarray:
+    """Harris corner response map."""
+    ix = ndimage.sobel(luma, axis=1, mode="nearest")
+    iy = ndimage.sobel(luma, axis=0, mode="nearest")
+    ixx = ndimage.gaussian_filter(ix * ix, sigma, mode="nearest")
+    iyy = ndimage.gaussian_filter(iy * iy, sigma, mode="nearest")
+    ixy = ndimage.gaussian_filter(ix * iy, sigma, mode="nearest")
+    det = ixx * iyy - ixy * ixy
+    trace = ixx + iyy
+    return det - k * trace * trace
+
+
+def detect_keypoints(
+    image: np.ndarray,
+    max_keypoints: int = 200,
+    quality: float = 0.01,
+    min_distance: int = 5,
+) -> list[Keypoint]:
+    """Detect up to ``max_keypoints`` Harris corners.
+
+    ``quality`` is the response threshold relative to the strongest corner;
+    ``min_distance`` enforces spatial non-maximum suppression.
+    """
+    luma = _luma(image)
+    response = harris_response(luma)
+    if response.size == 0:
+        return []
+    peak = float(response.max())
+    if peak <= 0:
+        return []
+    local_max = ndimage.maximum_filter(
+        response, size=2 * min_distance + 1, mode="nearest"
+    )
+    mask = (response == local_max) & (response >= quality * peak)
+    # Exclude a border half a descriptor patch wide so every keypoint can be
+    # described.
+    margin = PATCH // 2 + 1
+    mask[:margin] = mask[-margin:] = False
+    mask[:, :margin] = mask[:, -margin:] = False
+    ys, xs = np.nonzero(mask)
+    if len(ys) == 0:
+        return []
+    responses = response[ys, xs]
+    order = np.argsort(responses)[::-1][:max_keypoints]
+    return [
+        Keypoint(float(xs[i]), float(ys[i]), float(responses[i])) for i in order
+    ]
+
+
+def describe_keypoints(
+    image: np.ndarray, keypoints: list[Keypoint]
+) -> np.ndarray:
+    """Compute 128-dim descriptors for keypoints.
+
+    Returns an array shaped ``(len(keypoints), 128)`` of float32.  The
+    spatial histogram of gradient orientations characterizes each
+    "interesting region" (paper section 5.1.3).
+    """
+    if not keypoints:
+        return np.zeros((0, DESCRIPTOR_DIM), dtype=np.float32)
+    luma = _luma(image)
+    gx = ndimage.sobel(luma, axis=1, mode="nearest")
+    gy = ndimage.sobel(luma, axis=0, mode="nearest")
+    magnitude = np.hypot(gx, gy)
+    orientation = np.arctan2(gy, gx)  # [-pi, pi]
+    bin_index = (
+        np.floor((orientation + np.pi) / (2 * np.pi) * BINS).astype(np.int64) % BINS
+    )
+    half = PATCH // 2
+    cell = PATCH // GRID
+    descriptors = np.zeros((len(keypoints), DESCRIPTOR_DIM), dtype=np.float32)
+    for ki, kp in enumerate(keypoints):
+        y0 = int(kp.y) - half
+        x0 = int(kp.x) - half
+        mag = magnitude[y0 : y0 + PATCH, x0 : x0 + PATCH]
+        bins = bin_index[y0 : y0 + PATCH, x0 : x0 + PATCH]
+        # Accumulate one histogram per GRIDxGRID cell.
+        desc = descriptors[ki].reshape(GRID, GRID, BINS)
+        for cy in range(GRID):
+            for cx in range(GRID):
+                m = mag[cy * cell : (cy + 1) * cell, cx * cell : (cx + 1) * cell]
+                b = bins[cy * cell : (cy + 1) * cell, cx * cell : (cx + 1) * cell]
+                np.add.at(desc[cy, cx], b.ravel(), m.ravel())
+    flat = descriptors.reshape(len(keypoints), -1)
+    norms = np.linalg.norm(flat, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    flat = flat / norms
+    # SIFT-style illumination clamp then renormalize and scale.
+    flat = np.minimum(flat, 0.2)
+    norms = np.linalg.norm(flat, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return (flat / norms * DESCRIPTOR_SCALE).astype(np.float32)
+
+
+def detect_and_describe(
+    image: np.ndarray, max_keypoints: int = 200
+) -> tuple[list[Keypoint], np.ndarray]:
+    """Convenience wrapper: detect keypoints and compute their
+    descriptors."""
+    keypoints = detect_keypoints(image, max_keypoints=max_keypoints)
+    return keypoints, describe_keypoints(image, keypoints)

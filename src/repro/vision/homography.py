@@ -1,0 +1,235 @@
+"""Homography estimation (normalized DLT + RANSAC) and perspective warps.
+
+Coordinate convention
+---------------------
+Points are ``(x, y)`` with ``x`` the column index.  A homography ``H`` maps
+*source* coordinates to *destination* coordinates:
+
+    dest_homogeneous = H @ [x_src, y_src, 1]^T
+
+``warp_perspective(image, H, shape)`` produces an output image in the
+destination space: output pixel ``p`` samples ``image`` at ``H^-1 p``
+(inverse mapping with bilinear interpolation).
+
+In VSS's joint compression, ``H`` maps right-frame coordinates into the
+left frame's space, so ``warp_perspective(right, H, left.shape)`` overlays
+the right frame onto the left (paper Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import HomographyError
+
+
+def _normalization(points: np.ndarray) -> np.ndarray:
+    """Hartley normalization transform for DLT conditioning."""
+    centroid = points.mean(axis=0)
+    spread = np.sqrt(((points - centroid) ** 2).sum(axis=1)).mean()
+    scale = np.sqrt(2.0) / max(spread, 1e-12)
+    return np.array(
+        [
+            [scale, 0.0, -scale * centroid[0]],
+            [0.0, scale, -scale * centroid[1]],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Least-squares homography taking ``src`` points to ``dst`` points.
+
+    Requires at least four correspondences.  Uses the normalized direct
+    linear transform; the result is scaled so ``H[2, 2] == 1``.
+    """
+    src = np.asarray(src, dtype=np.float64).reshape(-1, 2)
+    dst = np.asarray(dst, dtype=np.float64).reshape(-1, 2)
+    if src.shape[0] < 4 or src.shape != dst.shape:
+        raise HomographyError(
+            f"need >= 4 matched points, got {src.shape[0]} and {dst.shape[0]}"
+        )
+    t_src = _normalization(src)
+    t_dst = _normalization(dst)
+    ones = np.ones((src.shape[0], 1))
+    src_n = (t_src @ np.hstack([src, ones]).T).T
+    dst_n = (t_dst @ np.hstack([dst, ones]).T).T
+    x, y = src_n[:, 0], src_n[:, 1]
+    u, v = dst_n[:, 0], dst_n[:, 1]
+    zero = np.zeros_like(x)
+    one = np.ones_like(x)
+    rows_a = np.stack([x, y, one, zero, zero, zero, -u * x, -u * y, -u], axis=1)
+    rows_b = np.stack([zero, zero, zero, x, y, one, -v * x, -v * y, -v], axis=1)
+    system = np.concatenate([rows_a, rows_b], axis=0)
+    _, _, vh = np.linalg.svd(system)
+    h_normalized = vh[-1].reshape(3, 3)
+    h = np.linalg.inv(t_dst) @ h_normalized @ t_src
+    if abs(h[2, 2]) < 1e-12:
+        raise HomographyError("degenerate homography (h33 ~ 0)")
+    return h / h[2, 2]
+
+
+def apply_homography(h: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply ``h`` to an ``(n, 2)`` array of (x, y) points."""
+    points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    homogeneous = np.hstack([points, np.ones((points.shape[0], 1))])
+    mapped = (h @ homogeneous.T).T
+    w = mapped[:, 2:3]
+    w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+    return mapped[:, :2] / w
+
+
+def reprojection_errors(
+    h: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Euclidean error of mapping each ``src`` point vs its ``dst``."""
+    mapped = apply_homography(h, src)
+    return np.sqrt(((mapped - np.asarray(dst, dtype=np.float64)) ** 2).sum(axis=1))
+
+
+def ransac_homography(
+    src: np.ndarray,
+    dst: np.ndarray,
+    iterations: int = 300,
+    inlier_threshold: float = 2.0,
+    min_inliers: int = 8,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Robust homography via RANSAC.
+
+    Returns ``(H, inlier_mask)``; raises :class:`HomographyError` when no
+    model reaches ``min_inliers``.  The final model is re-estimated from all
+    inliers of the best minimal sample.
+    """
+    src = np.asarray(src, dtype=np.float64).reshape(-1, 2)
+    dst = np.asarray(dst, dtype=np.float64).reshape(-1, 2)
+    n = src.shape[0]
+    if n < 4:
+        raise HomographyError(f"need >= 4 correspondences, got {n}")
+    rng = np.random.default_rng(seed)
+    best_mask: np.ndarray | None = None
+    best_count = 0
+    for _ in range(iterations):
+        sample = rng.choice(n, size=4, replace=False)
+        try:
+            candidate = estimate_homography(src[sample], dst[sample])
+        except (HomographyError, np.linalg.LinAlgError):
+            continue
+        errors = reprojection_errors(candidate, src, dst)
+        mask = errors <= inlier_threshold
+        count = int(mask.sum())
+        if count > best_count:
+            best_count = count
+            best_mask = mask
+            if count == n:
+                break
+    if best_mask is None or best_count < max(min_inliers, 4):
+        raise HomographyError(
+            f"RANSAC found only {best_count} inliers (need {min_inliers})"
+        )
+    refined = estimate_homography(src[best_mask], dst[best_mask])
+    errors = reprojection_errors(refined, src, dst)
+    final_mask = errors <= inlier_threshold
+    if final_mask.sum() >= 4:
+        refined = estimate_homography(src[final_mask], dst[final_mask])
+    else:
+        final_mask = best_mask
+    return refined, final_mask
+
+
+def homography_identity_distance(h: np.ndarray) -> float:
+    """``||H - I||_2`` after scale normalization (paper's duplicate test).
+
+    VSS treats a pair as exact duplicates when this distance is <= 0.1 and
+    replaces the redundant GOP with a pointer (section 5.1.1).
+    """
+    h = np.asarray(h, dtype=np.float64)
+    if abs(h[2, 2]) > 1e-12:
+        h = h / h[2, 2]
+    return float(np.linalg.norm(h - np.eye(3), ord=2))
+
+
+def warp_perspective(
+    image: np.ndarray,
+    h: np.ndarray,
+    output_shape: tuple[int, int],
+    fill: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Warp ``image`` into the destination space defined by ``h``.
+
+    ``output_shape`` is ``(height, width)``.  Returns ``(warped, valid)``
+    where ``valid`` marks output pixels whose source coordinate fell inside
+    the input image.  Works on 2-D (gray) and 3-D (rgb) arrays.
+    """
+    h = np.asarray(h, dtype=np.float64)
+    try:
+        h_inv = np.linalg.inv(h)
+    except np.linalg.LinAlgError as exc:
+        raise HomographyError(f"homography not invertible: {exc}") from exc
+    out_h, out_w = output_shape
+    ys, xs = np.mgrid[0:out_h, 0:out_w]
+    coords = np.stack([xs.ravel(), ys.ravel(), np.ones(out_h * out_w)])
+    mapped = h_inv @ coords
+    w = mapped[2]
+    w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+    src_x = (mapped[0] / w).reshape(out_h, out_w)
+    src_y = (mapped[1] / w).reshape(out_h, out_w)
+    in_h, in_w = image.shape[:2]
+    valid = (
+        (src_x >= 0) & (src_x <= in_w - 1) & (src_y >= 0) & (src_y <= in_h - 1)
+    )
+    sample = np.stack([src_y, src_x])
+    if image.ndim == 2:
+        warped = ndimage.map_coordinates(
+            image.astype(np.float32), sample, order=1, mode="constant", cval=fill
+        )
+        warped = np.where(valid, warped, fill)
+        return warped.astype(image.dtype), valid
+    channels = []
+    for c in range(image.shape[2]):
+        warped = ndimage.map_coordinates(
+            image[..., c].astype(np.float32),
+            sample,
+            order=1,
+            mode="constant",
+            cval=fill,
+        )
+        channels.append(np.where(valid, warped, fill))
+    warped = np.stack(channels, axis=-1)
+    if np.issubdtype(image.dtype, np.integer):
+        warped = np.clip(np.rint(warped), 0, 255)
+    return warped.astype(image.dtype), valid
+
+
+def translation_homography(dx: float, dy: float) -> np.ndarray:
+    """Pure-translation homography."""
+    h = np.eye(3)
+    h[0, 2] = dx
+    h[1, 2] = dy
+    return h
+
+
+def perspective_skew_homography(
+    width: int, height: int, skew: float
+) -> np.ndarray:
+    """A mild perspective distortion used by the synthetic camera rig.
+
+    ``skew`` of 0 is the identity; positive values tilt the image plane so
+    the right edge stretches vertically (like the bulge in paper Figure 6c).
+    """
+    src = np.array(
+        [[0, 0], [width - 1, 0], [width - 1, height - 1], [0, height - 1]],
+        dtype=np.float64,
+    )
+    offset = skew * height
+    dst = np.array(
+        [
+            [0, 0],
+            [width - 1, -offset],
+            [width - 1, height - 1 + offset],
+            [0, height - 1],
+        ],
+        dtype=np.float64,
+    )
+    return estimate_homography(src, dst)

@@ -1,0 +1,98 @@
+"""Descriptor matching with Lowe's ratio test and ambiguity rejection.
+
+The paper's joint-compression candidate search requires correspondences to
+be *unambiguous*: a feature matching multiple nearby features in the other
+frame is rejected (section 5.1.3).  That is exactly the ratio test plus a
+mutual-best check implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Lowe's ratio: best distance must be below this fraction of second best.
+DEFAULT_RATIO = 0.8
+
+#: The paper requires matched features within distance d = 400.
+DEFAULT_MAX_DISTANCE = 400.0
+
+
+@dataclass(frozen=True)
+class Match:
+    """A correspondence between descriptor ``index_a`` in set A and
+    ``index_b`` in set B, at Euclidean ``distance``."""
+
+    index_a: int
+    index_b: int
+    distance: float
+
+
+def _distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between rows of ``a`` and ``b``."""
+    aa = np.sum(a * a, axis=1)[:, None]
+    bb = np.sum(b * b, axis=1)[None, :]
+    squared = aa + bb - 2.0 * (a @ b.T)
+    return np.sqrt(np.maximum(squared, 0.0))
+
+
+def match_descriptors(
+    descriptors_a: np.ndarray,
+    descriptors_b: np.ndarray,
+    ratio: float = DEFAULT_RATIO,
+    max_distance: float = DEFAULT_MAX_DISTANCE,
+    mutual: bool = True,
+) -> list[Match]:
+    """Match two descriptor sets.
+
+    A pair survives when (i) it passes Lowe's ratio test in A->B direction,
+    (ii) its distance is at most ``max_distance``, and (iii) when ``mutual``
+    is set, it is also B's best match back to A (cross-check).  The result
+    is sorted by ascending distance.
+    """
+    if len(descriptors_a) == 0 or len(descriptors_b) == 0:
+        return []
+    distances = _distance_matrix(
+        descriptors_a.astype(np.float64), descriptors_b.astype(np.float64)
+    )
+    matches: list[Match] = []
+    best_for_b = np.argmin(distances, axis=0) if mutual else None
+    for ia in range(distances.shape[0]):
+        row = distances[ia]
+        if row.shape[0] == 1:
+            ib = 0
+            best, second = row[0], np.inf
+        else:
+            two = np.argpartition(row, 1)[:2]
+            if row[two[0]] <= row[two[1]]:
+                ib, second_ib = int(two[0]), int(two[1])
+            else:
+                ib, second_ib = int(two[1]), int(two[0])
+            best, second = row[ib], row[second_ib]
+        if best > max_distance:
+            continue
+        if second > 0 and best >= ratio * second:
+            continue  # ambiguous: a second candidate is nearly as close
+        if mutual and best_for_b[ib] != ia:
+            continue
+        matches.append(Match(ia, int(ib), float(best)))
+    matches.sort(key=lambda m: m.distance)
+    return matches
+
+
+def matched_points(
+    matches: list[Match],
+    keypoints_a: list,
+    keypoints_b: list,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract matched (x, y) coordinate arrays from keypoint lists."""
+    pts_a = np.array(
+        [(keypoints_a[m.index_a].x, keypoints_a[m.index_a].y) for m in matches],
+        dtype=np.float64,
+    ).reshape(-1, 2)
+    pts_b = np.array(
+        [(keypoints_b[m.index_b].x, keypoints_b[m.index_b].y) for m in matches],
+        dtype=np.float64,
+    ).reshape(-1, 2)
+    return pts_a, pts_b

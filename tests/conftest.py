@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Test media is deliberately tiny (64x36) so the full suite stays fast; the
+synthetic scene generator provides deterministic, feature-rich content.
+VSS stores under test use the canned default calibration instead of timing
+the local machine, keeping cost-model-dependent assertions stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import VSS
+from repro.synthetic.scene import RoadScene
+from repro.vbench.calibrate import Calibration
+from repro.video.frame import VideoSegment
+
+
+@pytest.fixture(scope="session")
+def calibration() -> Calibration:
+    return Calibration.default()
+
+
+def _render_clip(num_frames: int, height: int = 36, width: int = 64,
+                 seed: int = 7) -> VideoSegment:
+    scene = RoadScene(world_width=width + 32, height=height, seed=seed,
+                      num_vehicles=4)
+    stack = np.empty((num_frames, height, width, 3), dtype=np.uint8)
+    for t in range(num_frames):
+        stack[t] = scene.render_world(t)[:, :width]
+    return VideoSegment(stack, "rgb", height, width, fps=30.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_clip() -> VideoSegment:
+    """24 frames (0.8 s) of 64x36 textured traffic video."""
+    return _render_clip(24)
+
+
+@pytest.fixture(scope="session")
+def three_second_clip() -> VideoSegment:
+    """90 frames (3 s) for read-planner and cache tests."""
+    return _render_clip(90)
+
+
+@pytest.fixture()
+def store(tmp_path, calibration) -> VSS:
+    vss = VSS(tmp_path / "store", calibration=calibration)
+    yield vss
+    vss.close()
+
+
+@pytest.fixture()
+def loaded_store(store, three_second_clip) -> VSS:
+    """A store with one 3-second h264 original named 'traffic'."""
+    store.create("traffic")
+    store.write("traffic", three_second_clip, codec="h264", qp=10, gop_size=30)
+    return store

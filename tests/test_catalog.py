@@ -1,0 +1,235 @@
+"""Tests for the SQLite catalog and on-disk layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.layout import Layout
+from repro.errors import CatalogError, VideoExistsError, VideoNotFoundError
+from repro.video.codec.registry import encode_gop
+from tests.test_frame import make_segment
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    cat = Catalog(tmp_path / "catalog.db")
+    yield cat
+    cat.close()
+
+
+@pytest.fixture()
+def layout(tmp_path):
+    return Layout(tmp_path / "store")
+
+
+def add_physical(catalog, logical, **overrides):
+    defaults = dict(
+        logical_id=logical.id,
+        codec="h264",
+        pixel_format="rgb",
+        width=64,
+        height=36,
+        fps=30.0,
+        qp=14,
+        roi=None,
+        start_time=0.0,
+        end_time=1.0,
+        mse_estimate=0.0,
+        is_original=True,
+    )
+    defaults.update(overrides)
+    return catalog.add_physical(**defaults)
+
+
+class TestLogicalVideos:
+    def test_create_and_get(self, catalog):
+        video = catalog.create_logical("traffic", 1000)
+        assert video.name == "traffic"
+        assert catalog.get_logical("traffic").id == video.id
+
+    def test_duplicate_name_rejected(self, catalog):
+        catalog.create_logical("a", 0)
+        with pytest.raises(VideoExistsError):
+            catalog.create_logical("a", 0)
+
+    def test_missing_video(self, catalog):
+        with pytest.raises(VideoNotFoundError):
+            catalog.get_logical("ghost")
+
+    def test_list_sorted(self, catalog):
+        for name in ("zebra", "alpha"):
+            catalog.create_logical(name, 0)
+        assert [v.name for v in catalog.list_logical()] == ["alpha", "zebra"]
+
+    def test_budget_update(self, catalog):
+        video = catalog.create_logical("v", 0)
+        catalog.set_budget(video.id, 555)
+        assert catalog.get_logical("v").budget_bytes == 555
+
+    def test_delete_cascades(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video)
+        catalog.add_gop(physical.id, 0, 0.0, 1.0, 30, "I" + "P" * 29, 100, "p")
+        catalog.delete_logical(video.id)
+        with pytest.raises(VideoNotFoundError):
+            catalog.get_logical("v")
+        assert catalog.gops_of_physical(physical.id) == []
+
+
+class TestPhysicalVideos:
+    def test_roundtrip_with_roi(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, roi=(0, 10, 32, 30))
+        fetched = catalog.get_physical(physical.id)
+        assert fetched.roi == (0, 10, 32, 30)
+        assert fetched.is_original
+
+    def test_original_lookup(self, catalog):
+        video = catalog.create_logical("v", 0)
+        add_physical(catalog, video, is_original=False)
+        original = add_physical(catalog, video, is_original=True)
+        assert catalog.original_physical(video.id).id == original.id
+
+    def test_missing_physical(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_physical(999)
+
+    def test_seal_and_times(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, sealed=False)
+        assert not catalog.get_physical(physical.id).sealed
+        catalog.update_physical_times(physical.id, 0.0, 9.0)
+        catalog.seal_physical(physical.id)
+        fetched = catalog.get_physical(physical.id)
+        assert fetched.sealed and fetched.end_time == 9.0
+
+    def test_mse_update(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video)
+        catalog.update_mse_estimate(physical.id, 12.5)
+        assert catalog.get_physical(physical.id).mse_estimate == 12.5
+
+
+class TestGops:
+    def test_time_range_query(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, end_time=3.0)
+        for seq in range(3):
+            catalog.add_gop(
+                physical.id, seq, float(seq), float(seq + 1), 30,
+                "I" + "P" * 29, 100, f"p{seq}",
+            )
+        hits = catalog.gops_of_physical(physical.id, start=0.5, end=1.5)
+        assert [g.seq for g in hits] == [0, 1]
+
+    def test_touch_updates_access(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video)
+        gop = catalog.add_gop(physical.id, 0, 0.0, 1.0, 30, "I", 100, "p")
+        catalog.touch_gops([gop.id], 42)
+        assert catalog.get_gop(gop.id).last_access == 42
+        assert catalog.max_last_access() == 42
+
+    def test_compression_update(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video)
+        gop = catalog.add_gop(physical.id, 0, 0.0, 1.0, 30, "I", 100, "p")
+        catalog.set_gop_compression(gop.id, 7, 40, "p.z")
+        fetched = catalog.get_gop(gop.id)
+        assert (fetched.zstd_level, fetched.nbytes, fetched.path) == (7, 40, "p.z")
+
+    def test_total_bytes(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video)
+        catalog.add_gop(physical.id, 0, 0.0, 1.0, 30, "I", 100, "a")
+        catalog.add_gop(physical.id, 1, 1.0, 2.0, 30, "I", 250, "b")
+        assert catalog.total_bytes(video.id) == 350
+
+
+class TestFragments:
+    def test_contiguous_gops_form_one_fragment(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, end_time=3.0)
+        for seq in range(3):
+            catalog.add_gop(
+                physical.id, seq, float(seq), float(seq + 1), 30, "I", 100, f"p{seq}"
+            )
+        fragments = catalog.fragments_of_logical(video.id)
+        assert len(fragments) == 1
+        assert fragments[0].start_time == 0.0
+        assert fragments[0].end_time == 3.0
+        assert fragments[0].num_frames == 90
+
+    def test_eviction_hole_splits_fragment(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, end_time=3.0)
+        gops = [
+            catalog.add_gop(
+                physical.id, seq, float(seq), float(seq + 1), 30, "I", 100, f"p{seq}"
+            )
+            for seq in range(3)
+        ]
+        catalog.delete_gop(gops[1].id)
+        fragments = catalog.fragments_of_logical(video.id)
+        assert len(fragments) == 2
+        assert [f.start_time for f in fragments] == [0.0, 2.0]
+
+    def test_sealed_only_filter(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, sealed=False)
+        catalog.add_gop(physical.id, 0, 0.0, 1.0, 30, "I", 100, "p")
+        assert catalog.fragments_of_logical(video.id, sealed_only=True) == []
+        assert len(catalog.fragments_of_logical(video.id)) == 1
+
+    def test_gops_overlapping(self, catalog):
+        video = catalog.create_logical("v", 0)
+        physical = add_physical(catalog, video, end_time=3.0)
+        for seq in range(3):
+            catalog.add_gop(
+                physical.id, seq, float(seq), float(seq + 1), 30, "I", 100, f"p{seq}"
+            )
+        fragment = catalog.fragments_of_logical(video.id)[0]
+        assert [g.seq for g in fragment.gops_overlapping(1.2, 1.8)] == [1]
+
+
+class TestLayout:
+    def test_gop_file_roundtrip(self, layout):
+        seg = make_segment(n=6, h=16, w=24)
+        gop = encode_gop("h264", seg, qp=14, gop_size=6)[0]
+        relpath, nbytes = layout.write_gop("v", 1, 0, gop)
+        assert nbytes > 0
+        back = layout.read_gop(relpath)
+        assert back.frame_types == gop.frame_types
+        assert back.payloads == gop.payloads
+
+    def test_deferred_compression_file(self, layout):
+        seg = make_segment(n=4, h=16, w=24)
+        gop = encode_gop("raw", seg, gop_size=4)[0]
+        relpath, nbytes = layout.write_gop("v", 1, 0, gop)
+        new_rel, new_bytes = layout.compress_gop_file(relpath, 5)
+        assert new_rel.endswith(".z")
+        assert not (layout.root / relpath).exists()
+        back = layout.read_gop(new_rel, zstd_level=5)
+        assert back.payloads == gop.payloads
+
+    def test_delete_prunes_empty_dirs(self, layout):
+        seg = make_segment(n=2, h=16, w=24)
+        gop = encode_gop("raw", seg)[0]
+        relpath, _ = layout.write_gop("v", 1, 0, gop)
+        layout.delete_gop_file(relpath)
+        assert not (layout.root / "videos/v/1").exists()
+
+    def test_delete_logical_files(self, layout):
+        seg = make_segment(n=2, h=16, w=24)
+        gop = encode_gop("raw", seg)[0]
+        layout.write_gop("v", 1, 0, gop)
+        layout.write_gop("v", 2, 0, gop)
+        layout.delete_logical_files("v")
+        assert not (layout.root / "videos/v").exists()
+
+    def test_joint_piece_roundtrip(self, layout):
+        seg = make_segment(n=2, h=16, w=24)
+        gop = encode_gop("h264", seg, qp=14)[0]
+        relpath, _ = layout.write_joint_piece(7, "left", gop)
+        assert relpath == "joint/7.left.gop"
+        assert layout.read_joint_piece(relpath).payloads == gop.payloads

@@ -1,0 +1,118 @@
+"""Tests for the BIRCH clustering substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import Birch
+
+
+class TestBirch:
+    def test_separated_blobs_form_separate_clusters(self):
+        rng = np.random.default_rng(0)
+        birch = Birch(threshold=0.5, branching=8)
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 5.0]])
+        labels = []
+        for i in range(60):
+            c = i % 3
+            point = centers[c] + rng.normal(0, 0.1, 2)
+            birch.insert(point, member_id=i)
+            labels.append(c)
+        clusters = birch.clusters()
+        # Every cluster must be pure (all members from one blob).
+        for cluster in clusters:
+            blob_ids = {labels[m] for m in cluster.members}
+            assert len(blob_ids) == 1
+        # And all three blobs must be represented.
+        represented = {labels[c.members[0]] for c in clusters}
+        assert represented == {0, 1, 2}
+
+    def test_incremental_insertion_tracks_count(self):
+        birch = Birch(threshold=1.0)
+        for i in range(25):
+            birch.insert(np.array([float(i % 5), 0.0]))
+        assert len(birch) == 25
+        assert sum(c.size for c in birch.clusters()) == 25
+
+    def test_identical_points_merge(self):
+        birch = Birch(threshold=0.1)
+        for i in range(10):
+            birch.insert(np.array([1.0, 2.0]), member_id=i)
+        clusters = birch.clusters()
+        assert len(clusters) == 1
+        assert clusters[0].size == 10
+        assert clusters[0].radius == pytest.approx(0.0, abs=1e-9)
+
+    def test_clusters_sorted_by_radius(self):
+        rng = np.random.default_rng(1)
+        birch = Birch(threshold=2.0)
+        for _ in range(20):
+            birch.insert(rng.normal(0, 0.01, 3))
+        for _ in range(20):
+            birch.insert(np.array([50.0, 0, 0]) + rng.normal(0, 1.5, 3))
+        radii = [c.radius for c in birch.clusters()]
+        assert radii == sorted(radii)
+
+    def test_smallest_cluster_respects_min_size(self):
+        birch = Birch(threshold=0.1)
+        birch.insert(np.array([0.0]))  # singleton
+        for i in range(5):
+            birch.insert(np.array([5.0]) + i * 0.001)
+        smallest = birch.smallest_cluster(min_size=2)
+        assert smallest is not None
+        assert smallest.size >= 2
+
+    def test_smallest_cluster_none_when_all_singletons(self):
+        birch = Birch(threshold=0.001)
+        birch.insert(np.array([0.0]))
+        birch.insert(np.array([100.0]))
+        assert birch.smallest_cluster(min_size=3) is None
+
+    def test_branching_validation(self):
+        with pytest.raises(ValueError):
+            Birch(branching=1)
+        with pytest.raises(ValueError):
+            Birch(threshold=-1.0)
+
+    def test_radius_threshold_respected(self):
+        threshold = 0.3
+        rng = np.random.default_rng(2)
+        birch = Birch(threshold=threshold)
+        for _ in range(100):
+            birch.insert(rng.uniform(0, 5, 2))
+        for cluster in birch.clusters():
+            assert cluster.radius <= threshold + 1e-9
+
+    def test_tree_grows_beyond_branching_factor(self):
+        # Many well-separated points force splits and root growth.
+        birch = Birch(threshold=0.1, branching=3)
+        for i in range(30):
+            birch.insert(np.array([float(10 * i)]))
+        assert len(birch.clusters()) == 30
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_property_all_members_preserved(seed):
+    """No points are lost or duplicated regardless of insertion order."""
+    rng = np.random.default_rng(seed)
+    birch = Birch(threshold=float(rng.uniform(0.05, 2.0)), branching=4)
+    n = int(rng.integers(5, 60))
+    for i in range(n):
+        birch.insert(rng.uniform(0, 10, 3), member_id=i)
+    members = sorted(m for c in birch.clusters() for m in c.members)
+    assert members == list(range(n))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_property_centroid_is_mean_of_members(seed):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 10, (30, 2))
+    birch = Birch(threshold=1.0, branching=5)
+    for i, p in enumerate(points):
+        birch.insert(p, member_id=i)
+    for cluster in birch.clusters():
+        expected = points[list(cluster.members)].mean(axis=0)
+        assert np.allclose(cluster.centroid, expected, atol=1e-9)

@@ -1,0 +1,317 @@
+"""Tests for the codec stack: DCT, quantization, entropy, motion, GOPs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, ContainerError
+from repro.video.codec import dct, entropy, motion, quant
+from repro.video.codec.container import (
+    EncodedGOP,
+    decode_container,
+    encode_container,
+)
+from repro.video.codec.registry import (
+    CODEC_NAMES,
+    codec_for,
+    decode_gop,
+    encode_gop,
+    is_compressed_codec,
+)
+from repro.video.metrics import segment_psnr
+from tests.test_frame import make_segment
+
+
+class TestDCT:
+    def test_roundtrip_exact_without_quantization(self):
+        rng = np.random.default_rng(0)
+        plane = rng.uniform(-128, 128, (24, 40)).astype(np.float32)
+        coeffs = dct.forward_dct(plane, 8)
+        recon = dct.inverse_dct(coeffs, 24, 40)
+        assert np.abs(recon - plane).max() < 1e-2
+
+    def test_padding_handles_non_multiple_sizes(self):
+        plane = np.random.default_rng(1).uniform(0, 255, (13, 21)).astype(np.float32)
+        coeffs = dct.forward_dct(plane, 8)
+        recon = dct.inverse_dct(coeffs, 13, 21)
+        assert recon.shape == (13, 21)
+        assert np.abs(recon - plane).max() < 1e-2
+
+    def test_block_tiling_roundtrip(self):
+        plane = np.arange(64, dtype=np.float32).reshape(8, 8)
+        blocks = dct.to_blocks(dct.pad_to_blocks(plane, 4), 4)
+        assert blocks.shape == (2, 2, 4, 4)
+        assert np.array_equal(dct.from_blocks(blocks), plane)
+
+    def test_dc_coefficient_is_block_mean_scaled(self):
+        plane = np.full((8, 8), 80.0, dtype=np.float32)
+        coeffs = dct.forward_dct(plane, 8)
+        # Orthonormal 2-D DCT: DC = mean * block for constant blocks.
+        assert coeffs[0, 0, 0, 0] == pytest.approx(80.0 * 8)
+        assert np.abs(coeffs[0, 0][1:, 1:]).max() < 1e-4
+
+
+class TestQuantization:
+    def test_qstep_doubles_every_six(self):
+        assert quant.qstep(6) == pytest.approx(2 * quant.qstep(0))
+        assert quant.qstep(18) == pytest.approx(8 * quant.qstep(0))
+
+    def test_qp_range_enforced(self):
+        with pytest.raises(ValueError):
+            quant.qstep(-1)
+        with pytest.raises(ValueError):
+            quant.qstep(99)
+
+    def test_weight_matrix_shape_and_monotonicity(self):
+        weights = quant.weight_matrix(8)
+        assert weights.shape == (8, 8)
+        assert weights[0, 0] == pytest.approx(1.0)
+        assert weights[7, 7] == pytest.approx(4.0)
+        assert (np.diff(weights.diagonal()) >= 0).all()
+
+    def test_roundtrip_error_bounded_by_step(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.uniform(-200, 200, (2, 2, 8, 8)).astype(np.float32)
+        levels = quant.quantize(coeffs, 0, 8)
+        recon = quant.dequantize(levels, 0, 8)
+        bound = quant.qstep(0) * quant.weight_matrix(8) / 2 + 1e-4
+        assert (np.abs(recon - coeffs) <= bound[None, None]).all()
+
+    def test_higher_qp_coarser(self):
+        coeffs = np.random.default_rng(3).uniform(-100, 100, (1, 1, 8, 8)).astype(np.float32)
+        fine = quant.dequantize(quant.quantize(coeffs, 0, 8), 0, 8)
+        coarse = quant.dequantize(quant.quantize(coeffs, 30, 8), 30, 8)
+        assert np.abs(fine - coeffs).mean() < np.abs(coarse - coeffs).mean()
+
+    def test_deadzone_zeroes_more_coefficients(self):
+        coeffs = np.random.default_rng(4).uniform(-8, 8, (4, 4, 8, 8)).astype(np.float32)
+        plain = quant.quantize(coeffs, 20, 8, deadzone=0.5)
+        dead = quant.quantize(coeffs, 20, 8, deadzone=0.2)
+        assert (dead == 0).sum() >= (plain == 0).sum()
+
+    def test_deadzone_validation(self):
+        with pytest.raises(ValueError):
+            quant.quantize(np.zeros((1, 1, 8, 8), dtype=np.float32), 10, 8, deadzone=0.0)
+
+
+class TestEntropy:
+    def test_zigzag_is_permutation(self):
+        order = entropy.zigzag_order(8)
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_zigzag_starts_low_frequency(self):
+        order = entropy.zigzag_order(4)
+        assert order[0] == 0  # DC first
+        assert set(order[:3].tolist()) == {0, 1, 4}
+
+    def test_inverse_zigzag(self):
+        order = entropy.zigzag_order(8)
+        inverse = entropy.inverse_zigzag_order(8)
+        flat = np.arange(64)
+        assert np.array_equal(flat[order][inverse], flat)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_levels_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        levels = rng.integers(-300, 300, (3, 5, 8, 8)).astype(np.int16)
+        payload = entropy.encode_levels(levels, 8)
+        back = entropy.decode_levels(payload, 3, 5, 8)
+        assert np.array_equal(back, levels)
+
+    def test_sparse_levels_compress_well(self):
+        levels = np.zeros((4, 4, 8, 8), dtype=np.int16)
+        levels[:, :, 0, 0] = 100
+        payload = entropy.encode_levels(levels, 8)
+        assert len(payload) < levels.nbytes / 10
+
+    def test_wrong_block_count_rejected(self):
+        levels = np.zeros((2, 2, 8, 8), dtype=np.int16)
+        payload = entropy.encode_levels(levels, 8)
+        with pytest.raises(ValueError, match="blocks"):
+            entropy.decode_levels(payload, 3, 3, 8)
+
+
+class TestMotion:
+    def test_phase_correlation_recovers_shift(self):
+        rng = np.random.default_rng(5)
+        from scipy.ndimage import gaussian_filter
+
+        base = gaussian_filter(rng.uniform(0, 255, (64, 96)), 1.0)
+        shifted = motion.shift_plane(base, 5, -7)
+        dy, dx = motion.phase_correlate(base, shifted)
+        assert (dy, dx) == (5, -7)
+
+    def test_shift_plane_zero_is_noop(self):
+        plane = np.random.default_rng(6).uniform(0, 255, (16, 16))
+        assert motion.shift_plane(plane, 0, 0) is plane
+
+    def test_shift_plane_replicates_edges(self):
+        plane = np.arange(16, dtype=np.float32).reshape(4, 4)
+        out = motion.shift_plane(plane, 1, 0)
+        assert np.array_equal(out[0], plane[0])  # replicated top row
+        assert np.array_equal(out[1], plane[0])
+
+    def test_refine_rejects_bad_vector(self):
+        rng = np.random.default_rng(7)
+        ref = rng.uniform(0, 255, (32, 32)).astype(np.float32)
+        tgt = ref + rng.normal(0, 1, (32, 32)).astype(np.float32)
+        # A large bogus candidate must be rejected in favour of (0, 0).
+        assert motion._refine(ref, tgt, (10, 10)) == (0, 0)
+
+    def test_vector_scaling_for_chroma(self):
+        assert motion.scale_vector_for_plane((4, 6), (32, 32), (16, 16)) == (2, 3)
+
+
+class TestBlockCodec:
+    @pytest.mark.parametrize("codec", ["h264", "hevc"])
+    def test_roundtrip_high_quality(self, codec, tiny_clip):
+        gops = encode_gop(codec, tiny_clip, qp=0, gop_size=12)
+        decoded = [decode_gop(g) for g in gops]
+        recovered = decoded[0].concatenate(decoded)
+        assert segment_psnr(tiny_clip, recovered) >= 40.0
+
+    @pytest.mark.parametrize("codec", ["h264", "hevc"])
+    def test_quality_monotone_in_qp(self, codec, tiny_clip):
+        qualities = []
+        for qp in (0, 20, 40):
+            gops = encode_gop(codec, tiny_clip, qp=qp, gop_size=24)
+            decoded = decode_gop(gops[0])
+            qualities.append(segment_psnr(tiny_clip, decoded))
+        assert qualities[0] > qualities[1] > qualities[2]
+
+    @pytest.mark.parametrize("codec", ["h264", "hevc"])
+    def test_size_decreases_with_qp(self, codec, tiny_clip):
+        sizes = [
+            sum(g.nbytes for g in encode_gop(codec, tiny_clip, qp=qp, gop_size=24))
+            for qp in (0, 20, 40)
+        ]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_hevc_smaller_than_h264_at_same_qp(self, tiny_clip):
+        h264 = sum(g.nbytes for g in encode_gop("h264", tiny_clip, qp=14))
+        hevc = sum(g.nbytes for g in encode_gop("hevc", tiny_clip, qp=14))
+        assert hevc < h264
+
+    def test_gop_structure(self, tiny_clip):
+        gops = encode_gop("h264", tiny_clip, qp=14, gop_size=8)
+        assert len(gops) == 3
+        for gop in gops:
+            assert gop.frame_types[0] == "I"
+            assert set(gop.frame_types[1:]) <= {"P"}
+        assert gops[1].start_time == pytest.approx(8 / 30)
+
+    def test_prefix_decode_matches_full_decode(self, tiny_clip):
+        gop = encode_gop("h264", tiny_clip, qp=10, gop_size=24)[0]
+        codec = codec_for("h264")
+        full = codec.decode_gop(gop)
+        prefix = codec.decode_gop_frames(gop, 10)
+        assert prefix.num_frames == 10
+        assert np.array_equal(prefix.pixels, full.pixels[:10])
+
+    def test_prefix_decode_bounds(self, tiny_clip):
+        gop = encode_gop("h264", tiny_clip, qp=10, gop_size=24)[0]
+        with pytest.raises(CodecError):
+            codec_for("h264").decode_gop_frames(gop, 0)
+        with pytest.raises(CodecError):
+            codec_for("h264").decode_gop_frames(gop, 99)
+
+    def test_wrong_codec_decode_rejected(self, tiny_clip):
+        gop = encode_gop("h264", tiny_clip, qp=10)[0]
+        with pytest.raises(CodecError, match="encoded with"):
+            codec_for("hevc").decode_gop(gop)
+
+    def test_empty_gop_rejected(self, tiny_clip):
+        with pytest.raises(CodecError):
+            codec_for("h264").encode_gop(tiny_clip.slice_frames(0, 0))
+
+    @pytest.mark.parametrize("fmt", ["gray", "yuv420", "yuv422"])
+    def test_non_rgb_formats_roundtrip(self, fmt, tiny_clip):
+        from repro.video.frame import convert_segment
+
+        seg = convert_segment(tiny_clip.slice_frames(0, 6), fmt)
+        gop = encode_gop("h264", seg, qp=0, gop_size=6)[0]
+        decoded = decode_gop(gop)
+        assert decoded.pixel_format == fmt
+        assert segment_psnr(seg, decoded) >= 38.0
+
+
+class TestRawCodec:
+    def test_lossless_roundtrip(self, tiny_clip):
+        gops = encode_gop("raw", tiny_clip, gop_size=8)
+        decoded = [decode_gop(g) for g in gops]
+        recovered = decoded[0].concatenate(decoded)
+        assert np.array_equal(recovered.pixels, tiny_clip.pixels)
+
+    def test_all_intra(self, tiny_clip):
+        for gop in encode_gop("raw", tiny_clip):
+            assert set(gop.frame_types) == {"I"}
+
+    def test_size_matches_raw_bytes(self, tiny_clip):
+        gops = encode_gop("raw", tiny_clip, gop_size=tiny_clip.num_frames)
+        payload = sum(len(p) for p in gops[0].payloads)
+        assert payload == tiny_clip.nbytes
+
+
+class TestRegistry:
+    def test_names(self):
+        assert CODEC_NAMES == ("h264", "hevc", "raw")
+
+    def test_compressed_flags(self):
+        assert is_compressed_codec("h264")
+        assert is_compressed_codec("hevc")
+        assert not is_compressed_codec("raw")
+
+    def test_unknown_codec(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            codec_for("av1")
+
+
+class TestContainer:
+    def test_roundtrip(self, tiny_clip):
+        gop = encode_gop("h264", tiny_clip, qp=14)[0]
+        data = encode_container(gop)
+        back = decode_container(data)
+        assert back.codec == gop.codec
+        assert back.frame_types == gop.frame_types
+        assert back.payloads == gop.payloads
+        assert back.start_time == gop.start_time
+
+    def test_magic_check(self):
+        with pytest.raises(ContainerError, match="magic"):
+            decode_container(b"XXXX" + b"\x00" * 32)
+
+    def test_truncation_detected(self, tiny_clip):
+        data = encode_container(encode_gop("h264", tiny_clip, qp=14)[0])
+        with pytest.raises(ContainerError, match="truncated"):
+            decode_container(data[: len(data) // 2])
+
+    def test_gop_must_start_with_i_frame(self):
+        with pytest.raises(ContainerError, match="I frame"):
+            EncodedGOP("h264", "rgb", 8, 8, 30.0, 10, 0.0, "P", [b"x"])
+
+    def test_bits_per_pixel(self, tiny_clip):
+        gop = encode_gop("raw", tiny_clip, gop_size=tiny_clip.num_frames)[0]
+        assert gop.bits_per_pixel == pytest.approx(24.0)
+
+    def test_with_start_time(self, tiny_clip):
+        gop = encode_gop("h264", tiny_clip, qp=14)[0]
+        moved = gop.with_start_time(5.0)
+        assert moved.start_time == 5.0
+        assert moved.end_time == pytest.approx(5.0 + gop.duration)
+        assert gop.start_time == 0.0  # original untouched
+
+
+@settings(max_examples=10, deadline=None)
+@given(qp=st.integers(0, 44), gop_size=st.integers(2, 12))
+def test_property_codec_roundtrip_geometry(qp, gop_size):
+    """Any qp/gop_size yields a decodable stream with identical geometry."""
+    seg = make_segment(n=8, h=16, w=24)
+    gops = encode_gop("h264", seg, qp=qp, gop_size=gop_size)
+    assert sum(g.num_frames for g in gops) == seg.num_frames
+    decoded = [decode_gop(g) for g in gops]
+    recovered = decoded[0].concatenate(decoded)
+    assert recovered.pixels.shape == seg.pixels.shape

@@ -1,0 +1,74 @@
+"""Tests for the zstd-style lossless compressor (deferred compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.lossless import LEVEL_MAX, LEVEL_MIN, compress, decompress, level_for_budget
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("level", [1, 5, 9, 10, 15, 19])
+    def test_roundtrip_exact(self, level):
+        rng = np.random.default_rng(level)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        assert decompress(compress(data, level)) == data
+
+    def test_empty_payload(self):
+        assert decompress(compress(b"", 3)) == b""
+
+    def test_pixel_data_compresses(self, tiny_clip):
+        data = tiny_clip.pixels.tobytes()
+        packed = compress(data, 3)
+        assert len(packed) < len(data)
+
+    def test_delta_filter_helps_on_gradients(self):
+        # Smooth ramps are exactly what the delta pre-filter targets.
+        ramp = np.tile(np.arange(256, dtype=np.uint8), 64).tobytes()
+        low = compress(ramp, 3)
+        high = compress(ramp, 13)
+        assert len(high) <= len(low)
+
+    def test_level_validation(self):
+        with pytest.raises(FormatError):
+            compress(b"x", 0)
+        with pytest.raises(FormatError):
+            compress(b"x", 20)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError, match="magic"):
+            decompress(b"XXXXxxxxxx")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(FormatError):
+            decompress(b"VZ")
+
+
+class TestLevelPolicy:
+    def test_full_budget_gives_min_level(self):
+        assert level_for_budget(1.0) == LEVEL_MIN
+
+    def test_empty_budget_gives_max_level(self):
+        assert level_for_budget(0.0) == LEVEL_MAX
+
+    def test_midpoint(self):
+        assert level_for_budget(0.5) == round((LEVEL_MIN + LEVEL_MAX) / 2)
+
+    def test_clamping(self):
+        assert level_for_budget(-0.5) == LEVEL_MAX
+        assert level_for_budget(2.0) == LEVEL_MIN
+
+    def test_monotone_in_pressure(self):
+        levels = [level_for_budget(r) for r in np.linspace(1.0, 0.0, 20)]
+        assert levels == sorted(levels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    level=st.integers(LEVEL_MIN, LEVEL_MAX),
+    data=st.binary(min_size=0, max_size=2048),
+)
+def test_property_roundtrip_any_bytes(level, data):
+    assert decompress(compress(data, level)) == data

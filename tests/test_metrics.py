@@ -1,0 +1,131 @@
+"""Unit and property tests for the MSE/PSNR quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.metrics import (
+    PSNR_CAP,
+    mse,
+    mse_from_psnr,
+    psnr,
+    psnr_from_mse,
+    segment_mse,
+    segment_psnr,
+)
+from tests.test_frame import make_segment
+
+
+class TestMSE:
+    def test_identical_is_zero(self):
+        a = np.full((8, 8), 42, dtype=np.uint8)
+        assert mse(a, a) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 10, dtype=np.uint8)
+        assert mse(a, b) == pytest.approx(100.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestPSNR:
+    def test_identical_hits_cap(self):
+        a = np.random.default_rng(0).integers(0, 256, (8, 8), dtype=np.uint8)
+        assert psnr(a, a) == PSNR_CAP
+
+    def test_known_value(self):
+        # MSE 100 -> 10*log10(255^2/100) ~= 28.13 dB
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 10, dtype=np.uint8)
+        assert psnr(a, b) == pytest.approx(28.13, abs=0.01)
+
+    def test_monotone_in_error(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        q_small = psnr(a, np.full((4, 4), 2, dtype=np.uint8))
+        q_large = psnr(a, np.full((4, 4), 50, dtype=np.uint8))
+        assert q_small > q_large
+
+    def test_forty_db_is_low_error(self):
+        # >= 40 dB (the paper's lossless band) corresponds to MSE <= ~6.5.
+        assert mse_from_psnr(40.0) == pytest.approx(6.5025)
+
+
+class TestConversionInverses:
+    @given(st.floats(1.0, 359.0))
+    @settings(max_examples=50, deadline=None)
+    def test_psnr_mse_roundtrip(self, db):
+        assert psnr_from_mse(mse_from_psnr(db)) == pytest.approx(db, abs=1e-6)
+
+    def test_cap_maps_to_zero(self):
+        assert mse_from_psnr(PSNR_CAP) == 0.0
+        assert psnr_from_mse(0.0) == PSNR_CAP
+
+
+class TestSegmentMetrics:
+    def test_identical_segments(self):
+        seg = make_segment()
+        assert segment_mse(seg, seg.copy()) == 0.0
+        assert segment_psnr(seg, seg.copy()) == PSNR_CAP
+
+    def test_frame_count_mismatch(self):
+        with pytest.raises(ValueError, match="frame count"):
+            segment_mse(make_segment(n=2), make_segment(n=3))
+
+    def test_resolution_mismatch(self):
+        with pytest.raises(ValueError, match="resolution"):
+            segment_mse(make_segment(w=16), make_segment(w=32))
+
+    def test_cross_format_comparison(self):
+        seg = make_segment()
+        from repro.video.frame import convert_segment
+
+        yuv = convert_segment(seg, "yuv420")
+        # Comparing rgb against yuv converts; random-noise chroma is very
+        # lossy under 4:2:0 subsampling, but the comparison must stay
+        # finite and below the identity cap.
+        value = segment_psnr(seg, yuv)
+        assert 5.0 < value < PSNR_CAP
+
+
+@settings(max_examples=25, deadline=None)
+@given(shift=st.integers(1, 80))
+def test_property_psnr_decreases_with_uniform_shift(shift):
+    a = np.full((8, 8), 100, dtype=np.uint8)
+    b = np.full((8, 8), 100 + shift, dtype=np.uint8)
+    expected_mse = float(shift) ** 2
+    assert mse(a, b) == pytest.approx(expected_mse)
+    assert psnr(a, b) == pytest.approx(
+        10 * np.log10(255**2 / expected_mse), abs=1e-6
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_property_mse_symmetry(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, (6, 6), dtype=np.uint8)
+    b = rng.integers(0, 256, (6, 6), dtype=np.uint8)
+    assert mse(a, b) == pytest.approx(mse(b, a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_property_paper_chain_bound_holds(seed):
+    """The section 3.2 derivation: MSE(f0,f2) <= 2*(MSE(f0,f1)+MSE(f1,f2)).
+
+    This is the bound VSS uses to chain quality estimates without
+    re-decoding the original; verify it on random frame triples.
+    """
+    rng = np.random.default_rng(seed)
+    f0 = rng.integers(0, 256, (8, 8), dtype=np.uint8)
+    f1 = np.clip(
+        f0.astype(int) + rng.integers(-30, 30, (8, 8)), 0, 255
+    ).astype(np.uint8)
+    f2 = np.clip(
+        f1.astype(int) + rng.integers(-30, 30, (8, 8)), 0, 255
+    ).astype(np.uint8)
+    assert mse(f0, f2) <= 2.0 * (mse(f0, f1) + mse(f1, f2)) + 1e-9

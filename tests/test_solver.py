@@ -1,0 +1,213 @@
+"""Tests for the branch-and-bound pseudo-boolean optimizer."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, SolverError
+from repro.solver import Optimizer
+
+
+class TestBasics:
+    def test_single_exactly_one_picks_cheapest(self):
+        opt = Optimizer()
+        a, b, c = (opt.variable(n) for n in "abc")
+        opt.add_linear_cost(a, 5.0)
+        opt.add_linear_cost(b, 2.0)
+        opt.add_linear_cost(c, 9.0)
+        opt.add_exactly_one([a, b, c])
+        sol = opt.minimize()
+        assert sol.assignment[b] and not sol.assignment[a]
+        assert sol.objective == pytest.approx(2.0)
+        assert sol.optimal
+
+    def test_at_least_one_allows_minimum(self):
+        opt = Optimizer()
+        a, b = opt.variable("a"), opt.variable("b")
+        opt.add_linear_cost(a, 1.0)
+        opt.add_linear_cost(b, 1.0)
+        opt.add_at_least_one([a, b])
+        sol = opt.minimize()
+        assert sum(sol.assignment.values()) == 1
+
+    def test_at_most_one_propagates_exclusion(self):
+        opt = Optimizer()
+        a, b = opt.variable("a"), opt.variable("b")
+        opt.add_linear_cost(a, 1.0)
+        opt.add_linear_cost(b, 1.0)
+        opt.add_at_most_one([a, b])
+        opt.add_at_least_one([a])
+        opt.add_at_least_one([a, b])
+        sol = opt.minimize()
+        assert sol.assignment[a] and not sol.assignment[b]
+
+    def test_infeasible_detected(self):
+        opt = Optimizer()
+        a = opt.variable("a")
+        opt.add_exactly_one([a])
+        opt.add_exactly_one([a])  # fine: same var satisfies both
+        b = opt.variable("b")
+        opt.add_at_most_one([a, b])
+        opt.add_exactly_one([b])  # conflicts with a being required
+        with pytest.raises(InfeasibleError):
+            opt.minimize()
+
+    def test_empty_exactly_one_rejected(self):
+        opt = Optimizer()
+        with pytest.raises(InfeasibleError):
+            opt.add_exactly_one([])
+
+    def test_negative_cost_rejected(self):
+        opt = Optimizer()
+        a = opt.variable("a")
+        with pytest.raises(SolverError):
+            opt.add_linear_cost(a, -1.0)
+
+
+class TestConditionalCosts:
+    def test_unconditional_conditional_charged(self):
+        opt = Optimizer()
+        a = opt.variable("a")
+        opt.add_exactly_one([a])
+        opt.add_conditional_cost(a, None, 7.0)
+        assert opt.minimize().objective == pytest.approx(7.0)
+
+    def test_conditional_waived_when_unless_true(self):
+        opt = Optimizer()
+        a0, a1 = opt.variable("a0"), opt.variable("a1")
+        b1 = opt.variable("b1")
+        opt.add_exactly_one([a0])
+        opt.add_exactly_one([a1, b1])
+        opt.add_linear_cost(a1, 3.0)
+        opt.add_linear_cost(b1, 1.0)
+        # Choosing a again is free of look-back; switching to b costs 5.
+        opt.add_conditional_cost(b1, None, 5.0)
+        opt.add_conditional_cost(a1, a0, 5.0)
+        sol = opt.minimize()
+        # a1 costs 3 + 0 (a0 selected) = 3; b1 costs 1 + 5 = 6.
+        assert sol.assignment[a1]
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_lookback_chain_prefers_continuity(self):
+        """Three intervals; fragment 'b' is cheaper per interval but pays a
+        start-up (look-back) cost; the solver must weigh both."""
+        opt = Optimizer()
+        variables = {}
+        for k in range(3):
+            pair = []
+            for name, cost in (("a", 10.0), ("b", 8.0)):
+                v = opt.variable(f"{name}{k}")
+                variables[(name, k)] = v
+                opt.add_linear_cost(v, cost)
+                pair.append(v)
+            opt.add_exactly_one(pair)
+        for k in range(3):
+            unless = variables[("b", k - 1)] if k else None
+            opt.add_conditional_cost(variables[("b", k)], unless, 7.0)
+        sol = opt.minimize()
+        # all-a = 30; all-b = 24 + 7 = 31 -> all-a wins.
+        assert sol.objective == pytest.approx(30.0)
+        assert all(sol.assignment[variables[("a", k)]] for k in range(3))
+
+    def test_lookback_amortized_over_long_run(self):
+        """With more intervals the one-time look-back amortizes and the
+        cheaper fragment wins."""
+        opt = Optimizer()
+        variables = {}
+        for k in range(6):
+            pair = []
+            for name, cost in (("a", 10.0), ("b", 8.0)):
+                v = opt.variable(f"{name}{k}")
+                variables[(name, k)] = v
+                opt.add_linear_cost(v, cost)
+                pair.append(v)
+            opt.add_exactly_one(pair)
+        for k in range(6):
+            unless = variables[("b", k - 1)] if k else None
+            opt.add_conditional_cost(variables[("b", k)], unless, 7.0)
+        sol = opt.minimize()
+        # all-b = 48 + 7 = 55 < all-a = 60.
+        assert sol.objective == pytest.approx(55.0)
+
+
+class TestWarmStart:
+    def test_upper_bound_prunes_but_keeps_optimum(self):
+        opt = Optimizer()
+        a, b = opt.variable("a"), opt.variable("b")
+        opt.add_linear_cost(a, 4.0)
+        opt.add_linear_cost(b, 6.0)
+        opt.add_exactly_one([a, b])
+        sol = opt.minimize(upper_bound=5.0)
+        assert sol.objective == pytest.approx(4.0)
+
+
+def _brute_force(groups, linear, conditionals):
+    """Reference optimum by enumeration for the property test."""
+    n = len(linear)
+    best = float("inf")
+    for bits in itertools.product([False, True], repeat=n):
+        ok = True
+        for kind, members in groups:
+            count = sum(bits[m] for m in members)
+            if kind == "exactly" and count != 1:
+                ok = False
+            if kind == "atleast" and count < 1:
+                ok = False
+            if kind == "atmost" and count > 1:
+                ok = False
+        if not ok:
+            continue
+        cost = sum(linear[i] for i in range(n) if bits[i])
+        for var, unless, c in conditionals:
+            if bits[var] and (unless is None or not bits[unless]):
+                cost += c
+        best = min(best, cost)
+    return best
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_matches_brute_force(seed):
+    """Random small instances: solver optimum == brute-force optimum."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    num_groups = int(rng.integers(1, 4))
+    group_size = int(rng.integers(1, 4))
+    opt = Optimizer()
+    variables = []
+    linear = []
+    groups = []
+    for g in range(num_groups):
+        members = []
+        for i in range(group_size):
+            v = opt.variable(f"v{g}_{i}")
+            cost = float(rng.uniform(0, 10))
+            opt.add_linear_cost(v, cost)
+            variables.append(v)
+            linear.append(cost)
+            members.append(v.index)
+        opt.add_exactly_one([variables[m] for m in members])
+        groups.append(("exactly", members))
+    conditionals = []
+    for _ in range(int(rng.integers(0, 4))):
+        var = int(rng.integers(0, len(variables)))
+        unless = (
+            None
+            if rng.random() < 0.4
+            else int(rng.integers(0, len(variables)))
+        )
+        if unless == var:
+            unless = None
+        cost = float(rng.uniform(0, 8))
+        opt.add_conditional_cost(
+            variables[var],
+            None if unless is None else variables[unless],
+            cost,
+        )
+        conditionals.append((var, unless, cost))
+    sol = opt.minimize()
+    expected = _brute_force(groups, linear, conditionals)
+    assert sol.objective == pytest.approx(expected)

@@ -1,0 +1,153 @@
+"""Tests for the synthetic scene/camera/dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic import (
+    DATASET_BUILDERS,
+    build_dataset,
+    robotcar,
+    visualroad,
+    waymo,
+)
+from repro.synthetic.camera import Camera, overlapping_rig
+from repro.synthetic.scene import RoadScene
+from repro.vision.homography import apply_homography
+
+
+class TestScene:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return RoadScene(world_width=256, height=72, seed=5)
+
+    def test_rendering_deterministic(self, scene):
+        assert np.array_equal(scene.render_world(7), scene.render_world(7))
+
+    def test_frames_differ_over_time(self, scene):
+        assert not np.array_equal(scene.render_world(0), scene.render_world(15))
+
+    def test_frame_geometry(self, scene):
+        frame = scene.render_world(0)
+        assert frame.shape == (72, 256, 3)
+        assert frame.dtype == np.uint8
+
+    def test_ground_truth_boxes_inside_world(self, scene):
+        for t in (0, 10, 33):
+            for box in scene.ground_truth(t):
+                assert 0 <= box.x0 < box.x1 <= 256
+                assert 0 <= box.y0 < box.y1 <= 72
+
+    def test_ground_truth_matches_rendered_vehicles(self, scene):
+        frame = scene.render_world(3)
+        for box in scene.ground_truth(3):
+            region = frame[box.y0 : box.y1, box.x0 : box.x1]
+            assert region.size > 0
+
+    def test_vehicles_move(self, scene):
+        v = scene.vehicles[0]
+        positions = {v.x_at(t, 256) for t in range(0, 60, 10)}
+        assert len(positions) > 1
+
+    def test_too_small_scene_rejected(self):
+        with pytest.raises(ValueError):
+            RoadScene(world_width=8, height=8)
+
+
+class TestCameraRig:
+    def test_overlap_fraction_matches_request(self):
+        for overlap in (0.3, 0.5, 0.75):
+            rig = overlapping_rig(96, 54, overlap, skew=0.0)
+            measured = rig.overlap_fraction("left", "right")
+            assert measured == pytest.approx(overlap, abs=0.05)
+
+    def test_true_homography_maps_shared_content(self):
+        rig = overlapping_rig(96, 54, 0.5, skew=0.03)
+        h = rig.true_homography("right", "left", 0)
+        # A point in the right camera's overlap half maps into the left
+        # camera's frame bounds.
+        pts = apply_homography(h, np.array([[10.0, 27.0]]))
+        assert 0 <= pts[0, 0] <= 96
+
+    def test_render_all_shares_world(self):
+        rig = overlapping_rig(96, 54, 0.9, skew=0.0)
+        left, right = rig.render_all(0, 2)
+        # 90% overlap and no skew: the shared columns are identical.
+        shift = rig.cameras[1].x_offset - rig.cameras[0].x_offset
+        assert np.array_equal(
+            left.pixels[:, :, shift:], right.pixels[:, :, : 96 - shift]
+        )
+
+    def test_panning_camera_moves(self):
+        cam = Camera("c", 10, 32, 24, pan_rate=1.0)
+        offsets = [cam.offset_at(t, 200) for t in (0, 20, 40)]
+        assert len(set(offsets)) > 1
+
+    def test_pan_bounces_within_world(self):
+        cam = Camera("c", 0, 32, 24, pan_rate=3.0)
+        for t in range(0, 500, 17):
+            offset = cam.offset_at(t, 100)
+            assert 0 <= offset <= 100 - 32
+
+    def test_camera_lookup(self):
+        rig = overlapping_rig(64, 36, 0.3)
+        assert rig.camera("left").name == "left"
+        assert rig.camera(1).name == "right"
+        with pytest.raises(KeyError):
+            rig.camera("middle")
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            overlapping_rig(64, 36, 1.5)
+
+
+class TestDatasets:
+    def test_builders_cover_table1(self):
+        assert set(DATASET_BUILDERS) == {
+            "robotcar",
+            "waymo",
+            "visualroad-1k-30",
+            "visualroad-1k-50",
+            "visualroad-1k-75",
+            "visualroad-2k-30",
+            "visualroad-4k-30",
+        }
+
+    def test_build_by_name(self):
+        ds = build_dataset("visualroad-1k-50", num_frames=4)
+        assert ds.overlap == pytest.approx(0.5)
+        assert ds.resolution == (192, 108)
+        assert ds.num_frames == 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            build_dataset("kitti")
+
+    def test_resolution_classes(self):
+        assert visualroad("1K", num_frames=1).resolution == (192, 108)
+        assert visualroad("2K", num_frames=1).resolution == (384, 216)
+        assert visualroad("4K", num_frames=1).resolution == (768, 432)
+
+    def test_robotcar_has_high_overlap(self):
+        ds = robotcar(num_frames=1)
+        assert ds.overlap >= 0.75
+
+    def test_waymo_has_low_overlap(self):
+        ds = waymo(num_frames=1)
+        assert ds.overlap <= 0.2
+
+    def test_video_rendering(self):
+        ds = visualroad("1K", num_frames=6)
+        seg = ds.video(0, 0, 6)
+        assert seg.num_frames == 6
+        assert seg.resolution == (192, 108)
+        assert seg.fps == 30.0
+
+    def test_videos_render_both_cameras(self):
+        ds = visualroad("1K", overlap=0.5, num_frames=2)
+        left, right = ds.videos(0, 2)
+        assert left.resolution == right.resolution
+        assert not np.array_equal(left.pixels, right.pixels)
+
+    def test_unknown_resolution_class(self):
+        with pytest.raises(ValueError):
+            visualroad("8K")

@@ -1,0 +1,270 @@
+"""Tests for the vision substrate: features, matching, homography,
+histograms, detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HomographyError
+from repro.synthetic import visualroad
+from repro.vision.detection import (
+    VEHICLE_PALETTE,
+    classify_color,
+    detect_vehicles,
+    matches_search_color,
+)
+from repro.vision.features import (
+    describe_keypoints,
+    detect_and_describe,
+    detect_keypoints,
+)
+from repro.vision.histogram import (
+    color_distance,
+    color_histogram,
+    dominant_color,
+    histogram_distance,
+)
+from repro.vision.homography import (
+    apply_homography,
+    estimate_homography,
+    homography_identity_distance,
+    perspective_skew_homography,
+    ransac_homography,
+    translation_homography,
+    warp_perspective,
+)
+from repro.vision.matching import match_descriptors, matched_points
+
+
+def checkerboard(h=64, w=96, square=8):
+    ys, xs = np.mgrid[0:h, 0:w]
+    board = (((ys // square) + (xs // square)) % 2 * 255).astype(np.uint8)
+    return np.repeat(board[..., None], 3, axis=-1)
+
+
+class TestFeatures:
+    def test_corners_found_on_checkerboard(self):
+        kps = detect_keypoints(checkerboard(), max_keypoints=100)
+        assert len(kps) > 10
+
+    def test_no_keypoints_on_flat_image(self):
+        flat = np.full((64, 64, 3), 128, dtype=np.uint8)
+        assert detect_keypoints(flat) == []
+
+    def test_keypoints_respect_budget(self):
+        kps = detect_keypoints(checkerboard(), max_keypoints=5)
+        assert len(kps) <= 5
+
+    def test_keypoints_avoid_borders(self):
+        for kp in detect_keypoints(checkerboard()):
+            assert 8 <= kp.x <= 96 - 8
+            assert 8 <= kp.y <= 64 - 8
+
+    def test_descriptor_shape_and_scale(self):
+        image = checkerboard()
+        kps, descs = detect_and_describe(image, max_keypoints=20)
+        assert descs.shape == (len(kps), 128)
+        norms = np.linalg.norm(descs, axis=1)
+        assert np.all(norms <= 512.0 + 1e-3)
+
+    def test_empty_keypoints_empty_descriptors(self):
+        descs = describe_keypoints(checkerboard(), [])
+        assert descs.shape == (0, 128)
+
+
+class TestMatching:
+    def test_self_match_is_identity(self):
+        # A non-repeating texture: repeated patterns (e.g. checkerboards)
+        # legitimately produce ambiguous matches, which is exactly what
+        # the ratio test is for.
+        rng = np.random.default_rng(3)
+        from scipy.ndimage import gaussian_filter
+
+        image = gaussian_filter(
+            rng.uniform(0, 255, (64, 96, 3)), (2, 2, 0)
+        ).astype(np.uint8)
+        kps, descs = detect_and_describe(image, max_keypoints=30)
+        matches = match_descriptors(descs, descs.copy())
+        assert len(matches) > 0
+        for m in matches:
+            assert m.index_a == m.index_b
+            assert m.distance < 1e-3
+
+    def test_distance_threshold_filters(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 512, (10, 128)).astype(np.float32)
+        b = rng.uniform(0, 512, (10, 128)).astype(np.float32)
+        # Random descriptors land far apart; a tiny threshold kills all.
+        assert match_descriptors(a, b, max_distance=1.0) == []
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 128), dtype=np.float32)
+        assert match_descriptors(empty, empty) == []
+
+    def test_matched_points_extracts_coordinates(self):
+        image = checkerboard()
+        kps, descs = detect_and_describe(image, max_keypoints=10)
+        matches = match_descriptors(descs, descs)
+        pts_a, pts_b = matched_points(matches, kps, kps)
+        assert pts_a.shape == pts_b.shape == (len(matches), 2)
+        assert np.array_equal(pts_a, pts_b)
+
+
+class TestHomography:
+    def test_dlt_recovers_known_transform(self):
+        h_true = np.array([[1.1, 0.02, 5.0], [0.01, 0.95, -3.0], [1e-4, 0, 1.0]])
+        src = np.array(
+            [[0, 0], [50, 5], [45, 40], [3, 38], [25, 20], [10, 30]], float
+        )
+        dst = apply_homography(h_true, src)
+        h_est = estimate_homography(src, dst)
+        assert np.allclose(h_est, h_true / h_true[2, 2], atol=1e-6)
+
+    def test_insufficient_points_rejected(self):
+        with pytest.raises(HomographyError):
+            estimate_homography(np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_ransac_survives_outliers(self):
+        rng = np.random.default_rng(1)
+        h_true = translation_homography(12.0, -4.0)
+        src = rng.uniform(0, 100, (40, 2))
+        dst = apply_homography(h_true, src)
+        # Corrupt 30% of the correspondences.
+        bad = rng.choice(40, size=12, replace=False)
+        dst[bad] += rng.uniform(20, 60, (12, 2))
+        h_est, inliers = ransac_homography(src, dst, seed=3)
+        assert inliers.sum() >= 25
+        probe = np.array([[10.0, 10.0], [80.0, 60.0]])
+        assert np.allclose(
+            apply_homography(h_est, probe), apply_homography(h_true, probe),
+            atol=0.5,
+        )
+
+    def test_ransac_needs_min_inliers(self):
+        rng = np.random.default_rng(2)
+        src = rng.uniform(0, 100, (10, 2))
+        dst = rng.uniform(0, 100, (10, 2))  # garbage correspondences
+        with pytest.raises(HomographyError):
+            ransac_homography(src, dst, min_inliers=9, iterations=50)
+
+    def test_identity_distance(self):
+        assert homography_identity_distance(np.eye(3)) == pytest.approx(0.0)
+        assert homography_identity_distance(2.0 * np.eye(3)) == pytest.approx(0.0)
+        shifted = translation_homography(5.0, 0.0)
+        assert homography_identity_distance(shifted) >= 5.0
+
+    def test_warp_translation(self):
+        image = checkerboard(32, 48)
+        h = translation_homography(8.0, 0.0)
+        warped, valid = warp_perspective(image, h, (32, 48))
+        assert np.array_equal(warped[:, 8:], image[:, :-8])
+        assert not valid[:, :8].any()
+        assert valid[:, 8:].all()
+
+    def test_warp_identity(self):
+        image = checkerboard(32, 48)
+        warped, valid = warp_perspective(image, np.eye(3), (32, 48))
+        assert np.array_equal(warped, image)
+        assert valid.all()
+
+    def test_warp_inverse_roundtrip(self):
+        image = checkerboard(48, 64, square=16).astype(np.uint8)
+        h = perspective_skew_homography(64, 48, 0.03)
+        warped, _ = warp_perspective(image, h, (48, 64))
+        back, valid = warp_perspective(warped, np.linalg.inv(h), (48, 64))
+        diff = np.abs(
+            back.astype(int)[valid] - image.astype(int)[valid]
+        ).mean()
+        assert diff < 30.0  # interpolation blur only
+
+    def test_skew_homography_identity_at_zero(self):
+        h = perspective_skew_homography(64, 48, 0.0)
+        assert np.allclose(h, np.eye(3), atol=1e-9)
+
+
+class TestHistogram:
+    def test_histogram_sums_to_one(self):
+        hist = color_histogram(checkerboard())
+        assert hist.sum() == pytest.approx(1.0)
+        assert hist.shape == (64,)
+
+    def test_identical_images_zero_distance(self):
+        a = color_histogram(checkerboard())
+        assert histogram_distance(a, a.copy()) == 0.0
+
+    def test_different_images_nonzero_distance(self):
+        a = color_histogram(checkerboard())
+        b = color_histogram(np.full((16, 16, 3), 200, dtype=np.uint8))
+        assert histogram_distance(a, b) > 0.1
+
+    def test_dominant_color_of_solid_image(self):
+        solid = np.full((16, 16, 3), (200, 30, 30), dtype=np.uint8)
+        dom = dominant_color(solid)
+        assert color_distance(dom, (200, 30, 30)) < 40.0
+
+    def test_empty_image(self):
+        assert dominant_color(np.zeros((0, 0, 3), dtype=np.uint8)) == (0, 0, 0)
+
+
+class TestDetection:
+    @pytest.fixture(scope="class")
+    def scene_frame(self):
+        ds = visualroad("1K", overlap=0.3, num_frames=2)
+        segment = ds.video(0, 0, 1)
+        truth = [
+            b
+            for b in ds.rig.scene.ground_truth(0)
+        ]
+        return segment.frame(0), truth, ds
+
+    def test_detects_vehicles(self, scene_frame):
+        frame, truth, ds = scene_frame
+        detections = detect_vehicles(frame)
+        assert len(detections) >= 1
+
+    def test_detection_colors_match_palette(self, scene_frame):
+        frame, truth, ds = scene_frame
+        for det in detect_vehicles(frame):
+            assert det.color in VEHICLE_PALETTE
+
+    def test_classify_color_on_solid_regions(self):
+        for name, rgb in VEHICLE_PALETTE.items():
+            region = np.full((10, 10, 3), rgb, dtype=np.uint8)
+            assert classify_color(region) == name
+
+    def test_search_color_predicate(self):
+        red = np.full((8, 8, 3), VEHICLE_PALETTE["red"], dtype=np.uint8)
+        assert matches_search_color(red, VEHICLE_PALETTE["red"])
+        assert not matches_search_color(red, VEHICLE_PALETTE["blue"])
+
+    def test_rejects_non_rgb_input(self):
+        with pytest.raises(ValueError):
+            detect_vehicles(np.zeros((10, 10), dtype=np.uint8))
+
+
+@settings(max_examples=15, deadline=None)
+@given(dx=st.floats(-20, 20), dy=st.floats(-10, 10))
+def test_property_translation_homography_roundtrip(dx, dy):
+    h = translation_homography(dx, dy)
+    pts = np.array([[0.0, 0.0], [10.0, 5.0], [3.0, 7.0]])
+    mapped = apply_homography(h, pts)
+    assert np.allclose(mapped - pts, [dx, dy], atol=1e-9)
+    back = apply_homography(np.linalg.inv(h), mapped)
+    assert np.allclose(back, pts, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_estimated_homography_maps_inputs(seed):
+    """DLT output maps the input correspondences (exactly for exact
+    correspondences)."""
+    rng = np.random.default_rng(seed)
+    h_true = np.eye(3)
+    h_true[0, 2] = rng.uniform(-10, 10)
+    h_true[1, 2] = rng.uniform(-10, 10)
+    h_true[0, 0] = rng.uniform(0.8, 1.2)
+    src = rng.uniform(0, 100, (12, 2))
+    dst = apply_homography(h_true, src)
+    h_est = estimate_homography(src, dst)
+    assert np.allclose(apply_homography(h_est, src), dst, atol=1e-5)
