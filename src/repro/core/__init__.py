@@ -7,11 +7,15 @@ reads and writes.
 """
 
 from repro.core.api import VSS, ReadResult
+from repro.core.decode_cache import DecodeCache
+from repro.core.executor import Executor
 from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
 from repro.core.read_planner import ReadRequest
 
 __all__ = [
     "VSS",
+    "DecodeCache",
+    "Executor",
     "GopRecord",
     "LogicalVideo",
     "PhysicalVideo",

@@ -22,7 +22,9 @@ from repro.core.cache import CacheManager, EvictionReport
 from repro.core.catalog import Catalog
 from repro.core.compaction import Compactor
 from repro.core.cost import CostModel
+from repro.core.decode_cache import DEFAULT_DECODE_CACHE_BYTES, DecodeCache
 from repro.core.deferred import DeferredCompressionManager
+from repro.core.executor import Executor
 from repro.core.layout import Layout
 from repro.core.quality import DEFAULT_EPSILON_DB, QualityModel
 from repro.core.read_planner import ReadRequest, plan_read
@@ -49,7 +51,12 @@ COMPACT_INTERVAL = 8
 
 @dataclass
 class StoreStats:
-    """Summary statistics for one logical video."""
+    """Summary statistics for one logical video.
+
+    The decode-cache counters are store-wide (the cache is shared across
+    logical videos): ``decode_cache_hit_rate`` is hits / (hits + misses)
+    over the store's lifetime.
+    """
 
     name: str
     budget_bytes: int
@@ -57,6 +64,10 @@ class StoreStats:
     num_physicals: int
     num_fragments: int
     num_gops: int
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
+    decode_cache_hit_rate: float = 0.0
+    decode_cache_bytes: int = 0
 
 
 class VSS:
@@ -67,6 +78,21 @@ class VSS:
     solver/greedy/original fragment selection (Figure 10), and
     ``deferred_compression`` toggles section 5.2's optimization
     (Figure 12/13).
+
+    Execution knobs:
+
+    * ``parallelism`` — worker-thread count for the parallel GOP
+      pipeline.  Encode, decode, and GOP file IO fan out across a shared
+      lazily-created thread pool (GOPs are independent decode units, and
+      the numpy/zlib kernels release the GIL).  ``None`` sizes the pool
+      from the machine's core count; ``1`` forces fully serial
+      execution.  Output is bit-identical at every setting.
+    * ``decode_cache_bytes`` — budget for the in-memory cache of decoded
+      GOP prefixes.  A GOP decoded to frame ``k`` serves any later read
+      stopping at or before ``k`` without touching disk or the codec, so
+      repeated look-back-heavy reads stop re-paying the decode chain.
+      ``0`` disables the cache.  Hit/miss counters are reported per read
+      on :class:`ReadStats` and store-wide via :meth:`stats`.
     """
 
     def __init__(
@@ -79,6 +105,8 @@ class VSS:
         background_compression: bool = False,
         calibration: Calibration | None = None,
         cache_reads: bool = True,
+        parallelism: int | None = None,
+        decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
     ):
         self.layout = Layout(root)
         self.catalog = Catalog(self.layout.catalog_path)
@@ -91,18 +119,33 @@ class VSS:
             self.clock.tick()
         self.quality_model = QualityModel(calibration)
         self.cost_model = CostModel(calibration)
-        self.writer = Writer(self.catalog, self.layout, self.clock)
-        self.reader = Reader(self.layout, self.catalog, self.cost_model)
+        self.executor = Executor(parallelism)
+        self.decode_cache = DecodeCache(decode_cache_bytes)
+        self.writer = Writer(
+            self.catalog, self.layout, self.clock, executor=self.executor
+        )
+        self.reader = Reader(
+            self.layout,
+            self.catalog,
+            self.cost_model,
+            executor=self.executor,
+            decode_cache=self.decode_cache,
+        )
         self.cache = CacheManager(
-            self.catalog, self.layout, self.quality_model, policy=cache_policy
+            self.catalog,
+            self.layout,
+            self.quality_model,
+            policy=cache_policy,
+            decode_cache=self.decode_cache,
         )
         self.deferred = DeferredCompressionManager(
             self.catalog,
             self.layout,
             self.cache,
             enabled=deferred_compression,
+            decode_cache=self.decode_cache,
         )
-        self.compactor = Compactor(self.catalog)
+        self.compactor = Compactor(self.catalog, decode_cache=self.decode_cache)
         self.budget_multiple = budget_multiple
         self.planner = planner
         self.cache_reads = cache_reads
@@ -118,6 +161,8 @@ class VSS:
         if self._closed:
             return
         self.deferred.stop_background()
+        self.executor.shutdown()
+        self.decode_cache.clear()
         self.catalog.close()
         self._closed = True
 
@@ -140,6 +185,12 @@ class VSS:
 
     def delete(self, name: str) -> None:
         logical = self.catalog.get_logical(name)
+        # Drop decoded prefixes first: SQLite reuses GOP rowids, so stale
+        # entries could otherwise serve this video's pixels under a later
+        # video's GOP ids.
+        self.decode_cache.invalidate_many(
+            g.id for g in self.catalog.gops_of_logical(logical.id)
+        )
         self.layout.delete_logical_files(name)
         self.catalog.delete_logical(logical.id)
 
@@ -352,7 +403,7 @@ class VSS:
             self._reads_since_refine = 0
             self._refine_one(logical)
         if self.background_compression:
-            if self.deferred._thread is None:
+            if not self.deferred.background_running:
                 self.deferred.start_background(logical)
             self.deferred.notify_idle()
 
@@ -439,6 +490,7 @@ class VSS:
         logical = self.catalog.get_logical(name)
         fragments = self.catalog.fragments_of_logical(logical.id)
         gops = self.catalog.gops_of_logical(logical.id)
+        decode_stats = self.decode_cache.stats
         return StoreStats(
             name=name,
             budget_bytes=logical.budget_bytes,
@@ -446,6 +498,10 @@ class VSS:
             num_physicals=len(self.catalog.list_physicals(logical.id)),
             num_fragments=len(fragments),
             num_gops=len(gops),
+            decode_cache_hits=decode_stats.hits,
+            decode_cache_misses=decode_stats.misses,
+            decode_cache_hit_rate=decode_stats.hit_rate,
+            decode_cache_bytes=self.decode_cache.current_bytes,
         )
 
 
@@ -509,5 +565,5 @@ class HookedStream:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if not self._stream._closed and self._stream._seq > 0:
+        if not self._stream.closed and self._stream.has_data:
             self.close()

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.core.catalog import Catalog
 from repro.core.layout import Layout
+from repro.errors import CatalogError
 from repro.core.quality import QualityModel, TAU_DB
 from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
 
@@ -54,6 +55,7 @@ class CacheManager:
         policy: str = "vss",
         gamma: float = GAMMA,
         zeta: float = ZETA,
+        decode_cache=None,
     ):
         if policy not in ("vss", "lru"):
             raise ValueError(f"unknown cache policy {policy!r}")
@@ -63,6 +65,7 @@ class CacheManager:
         self.policy = policy
         self.gamma = gamma
         self.zeta = zeta
+        self.decode_cache = decode_cache
 
     # ------------------------------------------------------------------
     # scoring
@@ -215,21 +218,38 @@ class CacheManager:
             physical = physicals[record.physical_id]
             if self._baseline_offset(physical, record, physicals, live) == _PROTECTED:
                 continue
-            self._evict_gop(record)
+            freed += self._evict_gop(record)
             live[record.physical_id] = [
                 g for g in live[record.physical_id] if g.id != gid
             ]
             evicted.append(gid)
-            freed += record.nbytes
         remaining = total - freed
         self._prune_empty_physicals(logical)
         return EvictionReport(
             evicted, freed, remaining, remaining <= logical.budget_bytes
         )
 
-    def _evict_gop(self, record: GopRecord) -> None:
+    def _evict_gop(self, record: GopRecord) -> int:
+        """Delete a page's file and row; returns the bytes freed.
+
+        The record is refetched first: deferred compression may have
+        rewritten the page (``x.gop`` -> ``x.gop.z``) since the eviction
+        scan snapshotted it, and evicting by the stale path would leak
+        the rewritten file.
+        """
+        try:
+            record = self.catalog.get_gop(record.id)
+        except CatalogError:
+            return 0  # row already gone
         self.layout.delete_gop_file(record.path)
+        if not record.path.endswith(".z"):
+            # A rewrite racing this eviction may have just produced the
+            # compressed twin; remove it too.
+            self.layout.delete_gop_file(record.path + ".z")
         self.catalog.delete_gop(record.id)
+        if self.decode_cache is not None:
+            self.decode_cache.invalidate(record.id)
+        return record.nbytes
 
     def _prune_empty_physicals(self, logical: LogicalVideo) -> None:
         for physical in self.catalog.list_physicals(logical.id):

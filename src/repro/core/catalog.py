@@ -64,6 +64,7 @@ CREATE TABLE IF NOT EXISTS gops (
 );
 CREATE INDEX IF NOT EXISTS gops_by_physical ON gops(physical_id, seq);
 CREATE INDEX IF NOT EXISTS gops_by_time ON gops(physical_id, start_time);
+CREATE INDEX IF NOT EXISTS gops_by_last_access ON gops(last_access);
 CREATE TABLE IF NOT EXISTS joint_pairs (
     id INTEGER PRIMARY KEY,
     homography TEXT NOT NULL,
@@ -101,6 +102,16 @@ class Catalog:
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         with self._lock:
+            try:
+                # All access shares one locked connection, so WAL's reader
+                # concurrency is not exercised here; the win is cheaper
+                # commits — WAL appends instead of journal rewrites, and
+                # NORMAL drops the per-commit fsync (durability still holds
+                # across application crashes, the bar a cache needs).
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.OperationalError:
+                pass  # e.g. network filesystems without shared-memory maps
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
 
@@ -381,15 +392,27 @@ class Catalog:
             ).fetchall()
         return [self._gop_from_row(r) for r in rows]
 
+    #: Stay safely under SQLite's default host-parameter limit.
+    _TOUCH_BATCH = 500
+
     def touch_gops(self, gop_ids: list[int], tick: int) -> None:
-        """Record an access (LRU bookkeeping)."""
+        """Record an access (LRU bookkeeping).
+
+        Batched into one ``IN (...)`` statement per chunk — every read
+        touches every GOP it used, so this runs on the hot path.
+        """
         if not gop_ids:
             return
+        unique = list(dict.fromkeys(gop_ids))
         with self._lock:
-            self._conn.executemany(
-                "UPDATE gops SET last_access = ? WHERE id = ?",
-                [(tick, gid) for gid in gop_ids],
-            )
+            for i in range(0, len(unique), self._TOUCH_BATCH):
+                chunk = unique[i : i + self._TOUCH_BATCH]
+                placeholders = ",".join("?" * len(chunk))
+                self._conn.execute(
+                    f"UPDATE gops SET last_access = ?"
+                    f" WHERE id IN ({placeholders})",
+                    [tick, *chunk],
+                )
             self._conn.commit()
 
     def delete_gop(self, gop_id: int) -> None:
@@ -399,14 +422,17 @@ class Catalog:
 
     def set_gop_compression(
         self, gop_id: int, zstd_level: int, nbytes: int, path: str
-    ) -> None:
+    ) -> bool:
+        """Record a page rewrite; False when the row no longer exists
+        (the page was evicted while its file was being rewritten)."""
         with self._lock:
-            self._conn.execute(
+            cursor = self._conn.execute(
                 "UPDATE gops SET zstd_level = ?, nbytes = ?, path = ?"
                 " WHERE id = ?",
                 (zstd_level, nbytes, path, gop_id),
             )
             self._conn.commit()
+            return cursor.rowcount > 0
 
     def reassign_gop(self, gop_id: int, physical_id: int, seq: int) -> None:
         """Move a GOP to another physical video (compaction)."""
@@ -545,20 +571,27 @@ class Catalog:
     def fragments_of_logical(
         self, logical_id: int, sealed_only: bool = False
     ) -> list[Fragment]:
-        """Maximal contiguous GOP runs per physical video (plan units)."""
+        """Maximal contiguous GOP runs per physical video (plan units).
+
+        Runs on every read (the planner's input), so the GOPs of all
+        physical videos come back from one JOIN instead of a query per
+        physical (the former N+1 pattern).
+        """
+        physicals = {p.id: p for p in self.list_physicals(logical_id)}
         fragments: list[Fragment] = []
-        for physical in self.list_physicals(logical_id):
+        run: list[GopRecord] = []
+        for gop in self.gops_of_logical(logical_id):
+            physical = physicals[gop.physical_id]
             if sealed_only and not physical.sealed:
                 continue
-            run: list[GopRecord] = []
-            for gop in self.gops_of_physical(physical.id):
-                if run and (
-                    gop.seq != run[-1].seq + 1
-                    or abs(gop.start_time - run[-1].end_time) > 1e-6
-                ):
-                    fragments.append(Fragment(physical, run))
-                    run = []
-                run.append(gop)
-            if run:
-                fragments.append(Fragment(physical, run))
+            if run and (
+                gop.physical_id != run[-1].physical_id
+                or gop.seq != run[-1].seq + 1
+                or abs(gop.start_time - run[-1].end_time) > 1e-6
+            ):
+                fragments.append(Fragment(physicals[run[-1].physical_id], run))
+                run = []
+            run.append(gop)
+        if run:
+            fragments.append(Fragment(physicals[run[-1].physical_id], run))
         return fragments

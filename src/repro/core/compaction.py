@@ -41,8 +41,9 @@ def _mergeable(a: PhysicalVideo, b: PhysicalVideo) -> bool:
 class Compactor:
     """Merges contiguous cached physical videos."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, decode_cache=None):
         self.catalog = catalog
+        self.decode_cache = decode_cache
 
     def compact(self, logical: LogicalVideo) -> int:
         """Run compaction to a fixpoint; returns the number of merges."""
@@ -69,6 +70,8 @@ class Compactor:
         next_seq = (first_gops[-1].seq + 1) if first_gops else 0
         for gop in self.catalog.gops_of_physical(second.id):
             self.catalog.reassign_gop(gop.id, first.id, next_seq)
+            if self.decode_cache is not None:
+                self.decode_cache.invalidate(gop.id)
             next_seq += 1
         self.catalog.update_physical_times(
             first.id, first.start_time, second.end_time

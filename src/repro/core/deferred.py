@@ -36,15 +36,26 @@ class DeferredCompressionManager:
         cache: CacheManager,
         threshold: float = DEFAULT_THRESHOLD,
         enabled: bool = True,
+        decode_cache=None,
     ):
         self.catalog = catalog
         self.layout = layout
         self.cache = cache
         self.threshold = threshold
         self.enabled = enabled
+        self.decode_cache = decode_cache
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._wake = threading.Event()
+        # Serializes page compression: the foreground read hook and the
+        # background thread must not race to compress (and unlink) the
+        # same raw page.
+        self._compress_lock = threading.Lock()
+
+    @property
+    def background_running(self) -> bool:
+        """True while the background compression thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
 
     # ------------------------------------------------------------------
     def active(self, logical: LogicalVideo) -> bool:
@@ -69,18 +80,45 @@ class DeferredCompressionManager:
         return self.compress_one(logical)
 
     def compress_one(self, logical: LogicalVideo) -> int | None:
-        """Compress the raw page least likely to be evicted."""
-        candidates = self._raw_pages(logical)
-        if not candidates:
+        """Compress the raw page least likely to be evicted.
+
+        Opportunistic: when another thread is already compressing, return
+        immediately rather than stalling the read hot path behind a
+        multi-megabyte rewrite.
+        """
+        if not self._compress_lock.acquire(blocking=False):
             return None
-        scores = self.cache.scores(logical)
-        # "Last entry in eviction order" = highest finite score; protected
-        # pages (inf) are also fine to compress — they will never leave.
-        target = max(candidates, key=lambda g: scores.get(g.id, 0.0))
-        level = self.level(logical)
-        new_path, new_bytes = self.layout.compress_gop_file(target.path, level)
-        self.catalog.set_gop_compression(target.id, level, new_bytes, new_path)
-        return target.id
+        try:
+            candidates = self._raw_pages(logical)
+            if not candidates:
+                return None
+            scores = self.cache.scores(logical)
+            # "Last entry in eviction order" = highest finite score;
+            # protected pages (inf) are also fine to compress — they will
+            # never leave.
+            target = max(candidates, key=lambda g: scores.get(g.id, 0.0))
+            level = self.level(logical)
+            try:
+                new_path, new_bytes = self.layout.compress_gop_file(
+                    target.path, level
+                )
+            except FileNotFoundError:
+                # The page was evicted between the candidate scan and the
+                # rewrite; drop any half-written compressed file.
+                self.layout.delete_gop_file(target.path + ".z")
+                return None
+            if not self.catalog.set_gop_compression(
+                target.id, level, new_bytes, new_path
+            ):
+                # The row vanished (eviction won the race after the
+                # rewrite); remove the now-orphaned compressed file.
+                self.layout.delete_gop_file(new_path)
+                return None
+            if self.decode_cache is not None:
+                self.decode_cache.invalidate(target.id)
+            return target.id
+        finally:
+            self._compress_lock.release()
 
     def _raw_pages(self, logical: LogicalVideo):
         pages = []
@@ -102,7 +140,9 @@ class DeferredCompressionManager:
         ``notify_idle`` wakes it.  Call :meth:`stop_background` to join.
         """
         if self._thread is not None:
-            return
+            if self._thread.is_alive():
+                return
+            self._thread = None  # a crashed thread may be restarted
         self._stop.clear()
 
         def loop() -> None:

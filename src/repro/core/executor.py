@@ -1,0 +1,81 @@
+"""Shared thread-pool execution for the parallel GOP pipeline.
+
+Every GOP opens with an I frame, so GOPs are independent decode/encode
+units; the heavy kernels underneath (numpy DCTs, zlib entropy coding)
+release the GIL, so plain threads give genuine core scaling without the
+serialization cost a process pool would pay shipping pixel arrays around.
+
+One :class:`Executor` is shared per store (codec encode, reader decode,
+and GOP file IO all funnel through it).  The underlying
+``ThreadPoolExecutor`` is created lazily on the first parallel ``map`` —
+a store opened only for metadata work never spawns threads — and
+``parallelism=1`` runs every task inline on the calling thread, making
+the serial path byte-identical to pre-parallel behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Cap worker counts: past ~8 threads the numpy kernels saturate memory
+#: bandwidth long before they saturate additional cores.
+MAX_DEFAULT_PARALLELISM = 8
+
+
+def default_parallelism() -> int:
+    """The worker count used when ``VSS(parallelism=None)``."""
+    return max(1, min(MAX_DEFAULT_PARALLELISM, os.cpu_count() or 1))
+
+
+class Executor:
+    """A lazily-created, shared thread pool with an inline serial mode."""
+
+    def __init__(self, parallelism: int | None = None):
+        if parallelism is None:
+            parallelism = default_parallelism()
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def map(
+        self, fn: Callable[[_T], _R], items: Iterable[_T]
+    ) -> list[_R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        Falls back to an inline loop when parallelism is 1 or there is at
+        most one item (no thread round-trip for work that cannot overlap).
+        Exceptions propagate exactly as in the serial loop: the first
+        failing item's exception is raised.
+        """
+        work: Sequence[_T] = items if isinstance(items, list) else list(items)
+        if self.parallelism == 1 or len(work) < 2:
+            return [fn(item) for item in work]
+        return list(self._ensure_pool().map(fn, work))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            with self._lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.parallelism,
+                        thread_name_prefix="vss-worker",
+                    )
+                    self._pool = pool
+        return pool
+
+    def shutdown(self) -> None:
+        """Join and discard the pool (a later ``map`` recreates it)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

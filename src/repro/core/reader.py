@@ -12,6 +12,13 @@ use; this module turns that plan into pixels:
 * compressed requests are re-encoded (or served byte-for-byte when the
   stored format already matches — no transcode, as in Figure 14's
   same-format reads).
+
+GOPs are independent decode units (each opens with an I frame), so both
+the decode-and-assemble path and the direct-serve path fan their GOP
+loads/decodes across the store's shared :class:`Executor`; results are
+reassembled in plan order, keeping output pixels and stats deterministic.
+A :class:`DecodeCache` short-circuits the decode entirely when a
+sufficiently long prefix of the GOP was decoded by an earlier read.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.core.layout import Layout
 from repro.core.read_planner import IntervalChoice, ReadPlan
 from repro.core.records import ROI, Fragment, GopRecord
 from repro.errors import ReadError
+from repro.util import map_parallel
 from repro.video.codec.container import EncodedGOP
 from repro.video.codec.registry import codec_for
 from repro.video.frame import VideoSegment, convert_segment
@@ -49,6 +57,8 @@ class ReadStats:
     resample_mse: float = 0.0
     output_bpp: float = 0.0
     gop_ids_touched: list[int] = field(default_factory=list)
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
 
 
 @dataclass
@@ -74,13 +84,45 @@ class ReadResult:
         return self.segment.nbytes
 
 
-class Reader:
-    """Executes :class:`ReadPlan` objects against the store."""
+@dataclass
+class _GopWindow:
+    """One worker's output: a decoded GOP window plus its stat deltas.
 
-    def __init__(self, layout: Layout, catalog, cost_model: CostModel):
+    ``cache_hit`` is None when the window was not decode-cache eligible
+    (cache disabled or a joint GOP) — such windows count as neither hit
+    nor miss.
+    """
+
+    segment: VideoSegment
+    frames_decoded: int
+    lookback_frames: int
+    bytes_read: int
+    cache_hit: bool | None
+
+
+class Reader:
+    """Executes :class:`ReadPlan` objects against the store.
+
+    ``executor`` parallelizes per-GOP work (None = serial);
+    ``decode_cache`` reuses decoded GOP prefixes across reads (None = off).
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        catalog,
+        cost_model: CostModel,
+        executor=None,
+        decode_cache=None,
+    ):
         self.layout = layout
         self.catalog = catalog
         self.cost_model = cost_model
+        self.executor = executor
+        self.decode_cache = decode_cache
+
+    def _map(self, fn, items):
+        return map_parallel(self.executor, fn, items)
 
     # ------------------------------------------------------------------
     def execute(self, plan: ReadPlan) -> ReadResult:
@@ -99,7 +141,10 @@ class Reader:
             codec = codec_for(plan.request.codec)
             gop_size = max(1, int(round(plan.target_fps)))
             gops = codec.encode_segment(
-                segment, qp=plan.request.qp, gop_size=gop_size
+                segment,
+                qp=plan.request.qp,
+                gop_size=gop_size,
+                executor=self.executor,
             )
             stats.output_bpp = float(
                 np.mean([g.bits_per_pixel for g in gops])
@@ -142,13 +187,15 @@ class Reader:
             or abs(gops[-1].end_time - request.end) > 1e-6
         ):
             return None  # boundaries unaligned; fall back to transcode path
-        served = []
-        for record in gops:
-            if record.joint_pair_id is not None:
-                return None  # joint GOPs need reconstruction
-            encoded = self.layout.read_gop(record.path, record.zstd_level)
-            served.append(encoded.with_start_time(record.start_time))
-            stats.bytes_read += record.nbytes
+        if any(record.joint_pair_id is not None for record in gops):
+            return None  # joint GOPs need reconstruction
+        served = self._map(
+            lambda record: self._read_gop_file(record).with_start_time(
+                record.start_time
+            ),
+            gops,
+        )
+        stats.bytes_read += sum(record.nbytes for record in gops)
         stats.gop_ids_touched = [g.id for g in gops]
         stats.direct_serve = True
         return served
@@ -209,7 +256,12 @@ class Reader:
     def _decode_interval(
         self, choice: IntervalChoice, stats: ReadStats
     ) -> VideoSegment:
-        """Decode a fragment's frames covering ``choice``'s interval as RGB."""
+        """Decode a fragment's frames covering ``choice``'s interval as RGB.
+
+        The per-GOP windows decode concurrently; stats are folded in
+        afterwards in plan order, so counters and ``gop_ids_touched`` are
+        identical to the serial execution.
+        """
         fragment = choice.fragment
         records = fragment.gops_overlapping(choice.start, choice.end)
         if not records:
@@ -217,12 +269,23 @@ class Reader:
                 f"fragment {fragment.physical.id} has no GOPs in "
                 f"[{choice.start}, {choice.end})"
             )
+        windows = self._map(
+            lambda record: self._decode_gop_window(
+                record, fragment, choice.start, choice.end
+            ),
+            records,
+        )
         pieces = []
-        for record in records:
-            segment = self._decode_gop_window(
-                record, fragment, choice.start, choice.end, stats
-            )
-            pieces.append(segment)
+        for record, window in zip(records, windows):
+            stats.gop_ids_touched.append(record.id)
+            stats.bytes_read += window.bytes_read
+            stats.frames_decoded += window.frames_decoded
+            stats.lookback_frames += window.lookback_frames
+            if window.cache_hit is True:
+                stats.decode_cache_hits += 1
+            elif window.cache_hit is False:
+                stats.decode_cache_misses += 1
+            pieces.append(window.segment)
         merged = pieces[0].concatenate(pieces) if len(pieces) > 1 else pieces[0]
         return convert_segment(merged, "rgb")
 
@@ -232,16 +295,14 @@ class Reader:
         fragment: Fragment,
         start: float,
         end: float,
-        stats: ReadStats,
-    ) -> VideoSegment:
+    ) -> _GopWindow:
         """Decode the frames of one GOP that fall inside [start, end).
 
         Frames before the window inside the GOP are decoded anyway (the
-        look-back dependency chain) and then dropped.
+        look-back dependency chain) and then dropped — unless the decode
+        cache already holds a prefix that covers the window, in which
+        case no bytes are read and no frames are decoded at all.
         """
-        stats.gop_ids_touched.append(record.id)
-        stats.bytes_read += record.nbytes
-        encoded = self._load_gop(record, fragment)
         fps = fragment.physical.fps
         first_needed = max(
             0, int(np.floor((start - record.start_time) * fps + 1e-6))
@@ -252,18 +313,44 @@ class Reader:
         )
         stop = max(stop, first_needed + 1)
         stop = min(stop, record.num_frames)
+        # Joint GOPs are rebuilt from shared pair pieces rather than their
+        # own page file; never cache them.
+        cacheable = (
+            self.decode_cache is not None
+            and self.decode_cache.enabled
+            and record.joint_pair_id is None
+        )
+        if cacheable:
+            prefix = self.decode_cache.get(record.id, stop)
+            if prefix is not None:
+                if first_needed:
+                    prefix = prefix.slice_frames(first_needed, stop)
+                return _GopWindow(prefix, 0, 0, 0, True)
+        encoded = self._load_gop(record, fragment)
         codec = codec_for(encoded.codec)
         if codec.is_compressed:
             decoded = codec.decode_gop_frames(encoded, stop)
-            stats.frames_decoded += stop
-            stats.lookback_frames += first_needed
+            if cacheable:
+                self.decode_cache.put(record.id, stop, decoded)
+            frames_decoded = stop
+            lookback = first_needed
+            if first_needed:
+                decoded = decoded.slice_frames(first_needed, stop)
         else:
             # Raw frames are independently decodable; skip the prefix.
-            decoded = codec.decode_gop(encoded).slice_frames(first_needed, stop)
-            stats.frames_decoded += stop - first_needed
-        if codec.is_compressed and first_needed:
-            decoded = decoded.slice_frames(first_needed, stop)
-        return decoded
+            full = codec.decode_gop(encoded)
+            if cacheable:
+                self.decode_cache.put(record.id, record.num_frames, full)
+            decoded = full.slice_frames(first_needed, stop)
+            frames_decoded = stop - first_needed
+            lookback = 0
+        return _GopWindow(
+            decoded,
+            frames_decoded,
+            lookback,
+            record.nbytes,
+            False if cacheable else None,
+        )
 
     def _load_gop(self, record: GopRecord, fragment: Fragment) -> EncodedGOP:
         if record.joint_pair_id is not None:
@@ -272,8 +359,17 @@ class Reader:
 
             pair = self.catalog.get_joint_pair(record.joint_pair_id)
             return recover_gop(self.layout, pair, record)
-        encoded = self.layout.read_gop(record.path, record.zstd_level)
-        return encoded.with_start_time(record.start_time)
+        return self._read_gop_file(record).with_start_time(record.start_time)
+
+    def _read_gop_file(self, record: GopRecord) -> EncodedGOP:
+        try:
+            return self.layout.read_gop(record.path, record.zstd_level)
+        except FileNotFoundError:
+            # Deferred compression may rewrite a raw page (x.gop -> x.gop.z)
+            # between planning and this load; the catalog row already
+            # points at the new file, so refetch and retry once.
+            fresh = self.catalog.get_gop(record.id)
+            return self.layout.read_gop(fresh.path, fresh.zstd_level)
 
     # ------------------------------------------------------------------
     def _paste(

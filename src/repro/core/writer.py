@@ -33,12 +33,23 @@ class WriteOutcome:
 
 
 class Writer:
-    """Durably stores encoded or raw video under a logical video."""
+    """Durably stores encoded or raw video under a logical video.
 
-    def __init__(self, catalog: Catalog, layout: Layout, clock: LogicalClock):
+    ``executor`` (an :class:`repro.core.executor.Executor`) parallelizes
+    the per-GOP encode work; None encodes serially.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        layout: Layout,
+        clock: LogicalClock,
+        executor=None,
+    ):
         self.catalog = catalog
         self.layout = layout
         self.clock = clock
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def write_segment(
@@ -53,7 +64,9 @@ class Writer:
         roi: ROI | None = None,
     ) -> WriteOutcome:
         """Encode and store a segment as a new physical video."""
-        gops = codec_for(codec).encode_segment(segment, qp=qp, gop_size=gop_size)
+        gops = codec_for(codec).encode_segment(
+            segment, qp=qp, gop_size=gop_size, executor=self.executor
+        )
         return self.write_gops(
             logical,
             gops,
@@ -168,11 +181,26 @@ class StreamWriter:
     def num_gops(self) -> int:
         return self._seq
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has sealed the stream."""
+        return self._closed
+
+    @property
+    def has_data(self) -> bool:
+        """True when at least one GOP has been appended."""
+        return self._seq > 0
+
     def append(self, segment: VideoSegment) -> None:
         """Encode and append a raw segment at the stream's current end."""
         self._check_open()
         codec = codec_for(self.physical.codec)
-        gops = codec.encode_segment(segment, qp=self._qp, gop_size=self._gop_size)
+        gops = codec.encode_segment(
+            segment,
+            qp=self._qp,
+            gop_size=self._gop_size,
+            executor=self._writer.executor,
+        )
         self.append_gops(gops)
 
     def append_gops(self, gops: list[EncodedGOP]) -> None:
@@ -222,5 +250,5 @@ class StreamWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if not self._closed and self._seq > 0:
+        if not self.closed and self.has_data:
             self.close()

@@ -208,6 +208,12 @@ class JointCompressionManager:
             share_a, share_b = left_bytes, 0
         catalog.set_gop_joint(gop_a.id, pair.id, "a", share_a)
         catalog.set_gop_joint(gop_b.id, pair.id, "b", share_b)
+        decode_cache = getattr(self.vss, "decode_cache", None)
+        if decode_cache is not None:
+            # Joint GOPs are never served from the decode cache; drop any
+            # stale decoded prefixes so they stop occupying its budget.
+            decode_cache.invalidate(gop_a.id)
+            decode_cache.invalidate(gop_b.id)
 
         report.pairs_compressed += 1
         if result.duplicate:

@@ -101,3 +101,16 @@ class LogicalClock:
     @property
     def now(self) -> int:
         return self._now
+
+
+def map_parallel(executor, fn, items):
+    """Apply ``fn`` to every item, in input order.
+
+    ``executor`` is an :class:`repro.core.executor.Executor` (or anything
+    with a compatible ``map``); ``None`` runs the items inline.  Lives
+    here so the codec layer can share the dispatch without importing
+    ``repro.core``.
+    """
+    if executor is None:
+        return [fn(item) for item in items]
+    return executor.map(fn, items)

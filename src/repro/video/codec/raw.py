@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CodecError
+from repro.util import map_parallel
 from repro.video.codec.container import EncodedGOP
 from repro.video.frame import VideoSegment, pixel_format
 
@@ -32,15 +33,18 @@ class RawCodec:
         segment: VideoSegment,
         qp: int = 0,
         gop_size: int | None = None,
+        executor=None,
     ) -> list[EncodedGOP]:
         size = gop_size or self.default_gop_size
         if size < 1:
             raise CodecError(f"gop_size must be >= 1, got {size}")
-        gops = []
-        for start in range(0, segment.num_frames, size):
-            stop = min(start + size, segment.num_frames)
-            gops.append(self.encode_gop(segment.slice_frames(start, stop), qp))
-        return gops
+        slices = [
+            segment.slice_frames(start, min(start + size, segment.num_frames))
+            for start in range(0, segment.num_frames, size)
+        ]
+        return map_parallel(
+            executor, lambda piece: self.encode_gop(piece, qp), slices
+        )
 
     def encode_gop(self, segment: VideoSegment, qp: int = 0) -> EncodedGOP:
         if segment.num_frames == 0:

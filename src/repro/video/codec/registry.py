@@ -63,10 +63,16 @@ def is_compressed_codec(name: str) -> bool:
 
 
 def encode_gop(
-    name: str, segment: VideoSegment, qp: int = 14, gop_size: int | None = None
+    name: str,
+    segment: VideoSegment,
+    qp: int = 14,
+    gop_size: int | None = None,
+    executor=None,
 ) -> list[EncodedGOP]:
     """Encode ``segment`` with codec ``name`` into one or more GOPs."""
-    return codec_for(name).encode_segment(segment, qp=qp, gop_size=gop_size)
+    return codec_for(name).encode_segment(
+        segment, qp=qp, gop_size=gop_size, executor=executor
+    )
 
 
 def decode_gop(gop: EncodedGOP) -> VideoSegment:
