@@ -12,7 +12,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import Series, print_series
 from repro.jointcomp.selection import JointCandidateSelector, random_pairs

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import make_store
 from repro.bench.harness import Series, print_series

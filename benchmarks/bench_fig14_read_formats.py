@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import make_store
 from repro.baselines import LocalFSStore, VStoreBaseline

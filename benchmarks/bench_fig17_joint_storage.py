@@ -7,7 +7,6 @@ savings grow with overlap, up to ~45% at high overlap.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Series, print_series
 from repro.jointcomp import JointCompressor

@@ -11,7 +11,6 @@ with the re-estimation period.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, print_table
 from repro.jointcomp import JointCompressor

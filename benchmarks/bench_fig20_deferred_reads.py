@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.bench.harness import Series, print_series
 from repro.lossless import compress, decompress

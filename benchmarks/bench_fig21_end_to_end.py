@@ -14,7 +14,6 @@ and streaming (least-cost transcode planning).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import make_store
 from repro.apps import MonitoringApp

@@ -1,7 +1,12 @@
-"""Parallel GOP pipeline scaling: throughput vs ``parallelism`` plus the
-decoded-GOP cache's effect on repeated look-back-heavy reads.
+"""Parallel GOP pipeline scaling: throughput vs ``parallelism``, the
+decoded-GOP cache's effect on repeated look-back-heavy reads, and the
+batched session read path's decode sharing.
 
-Two experiments:
+Set ``VSS_BENCH_QUICK=1`` for the CI smoke configuration (fewer
+parallelism points and reads; the hardware-independent assertions keep
+running, so perf regressions surface on PRs).
+
+Three experiments:
 
 * **Core scaling** — write the workhorse clip and replay the Figure 12
   short-read workload at ``parallelism`` 1/2/4 with the decode cache off,
@@ -14,6 +19,10 @@ Two experiments:
   compare a cold pass against a warm pass served from the cache.  The
   warm pass skips both disk and the codec, so it must be >= 2x faster
   regardless of core count, with the hit rate reported via ``VSS.stats``.
+* **Batched reads** — ``session.read_batch`` of overlapping look-back
+  reads on a cache-disabled store vs the same reads issued sequentially.
+  The batch decodes each shared GOP once, so it must beat sequential on
+  any hardware.
 """
 
 from __future__ import annotations
@@ -24,12 +33,17 @@ import time
 from benchmarks.conftest import make_store
 from repro.bench.harness import Series, print_series
 from repro.bench.workloads import RandomReadWorkload
+from repro.core.specs import ReadSpec
 
 DURATION = 5.0
 RESOLUTION = (192, 108)
-PARALLELISMS = (1, 2, 4)
-MEASURE_READS = 6
-LOOKBACK_READS = 6
+
+#: Quick mode (VSS_BENCH_QUICK=1): the CI smoke configuration — fewer
+#: parallelism points and reads, same assertions where hardware allows.
+QUICK = os.environ.get("VSS_BENCH_QUICK", "") not in ("", "0")
+PARALLELISMS = (1, 2) if QUICK else (1, 2, 4)
+MEASURE_READS = 3 if QUICK else 6
+LOOKBACK_READS = 4 if QUICK else 6
 SEED = 17
 
 
@@ -113,14 +127,48 @@ def test_parallel_scaling(tmp_path, calibration, vroad_clip, benchmark):
     benchmark.pedantic(_lookback_reads, args=(vss,), rounds=1, iterations=1)
     vss.close()
 
+    # ------------------------------------------------------------------
+    # batched reads: shared decode work vs sequential execution
+    # ------------------------------------------------------------------
+    vss = make_store(
+        tmp_path / "batch", calibration, parallelism=1, decode_cache_bytes=0
+    )
+    vss.write("video", vroad_clip, codec="h264", qp=10, gop_size=30)
+    session = vss.engine.session()
+    base = ReadSpec("video", 0.5, 1.4, cache=False)
+    specs = [
+        base.replace(start=0.5 + 0.05 * i, end=1.4 + 0.05 * i)
+        for i in range(LOOKBACK_READS)
+    ]
+    session.read(specs[0])  # warm both code paths once
+    session.read_batch(specs[:1])
+    start = time.perf_counter()
+    for spec in specs:
+        session.read(spec)
+    sequential = time.perf_counter() - start
+    start = time.perf_counter()
+    session.read_batch(specs)
+    batched = time.perf_counter() - start
+    shared = session.stats.last_batch
+    print(
+        f"parallel_scaling: read_batch of {len(specs)} overlapping reads "
+        f"{batched:.3f}s vs sequential {sequential:.3f}s "
+        f"({sequential / batched:.1f}x); decoded {shared.gops_decoded} of "
+        f"{shared.window_requests} GOP windows"
+    )
+    vss.close()
+
     # Shape assertions.  A warm decode cache eliminates the decode work
-    # entirely, so the 2x bar holds on any hardware; the thread-scaling
-    # bar needs the cores to exist.
+    # entirely, so the 2x bar holds on any hardware, and a batch shares
+    # decode work regardless of core count; the thread-scaling bar needs
+    # the cores to exist.
     assert stats.decode_cache_hits > 0
     assert warm * 2.0 <= cold
-    if (os.cpu_count() or 1) >= 4:
+    assert shared.gops_decoded < shared.window_requests
+    assert batched < sequential
+    if not QUICK and (os.cpu_count() or 1) >= 4:
         assert read_tp[4] >= 1.5 * read_tp[1]
-    else:
+    elif not QUICK:
         print(
             "parallel_scaling: <4 cores available; skipping the 1.5x "
             "thread-scaling assertion"

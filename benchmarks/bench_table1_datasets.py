@@ -8,7 +8,6 @@ sample (rendering hours of video in pure Python is not useful work).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, print_table
 from repro.synthetic import DATASET_BUILDERS, build_dataset

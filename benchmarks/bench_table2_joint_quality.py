@@ -10,7 +10,6 @@ quality and more admissions.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import Table, print_table
 from repro.jointcomp import JointCompressor

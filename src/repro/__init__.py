@@ -2,18 +2,40 @@
 
 Public entry points:
 
-* :class:`repro.VSS` — the storage manager (create/write/read/delete).
+* :class:`repro.VSSEngine` — the thread-safe storage manager; hand out
+  :class:`repro.Session` objects via ``engine.session()`` and read/write
+  with typed :class:`repro.ReadSpec` / :class:`repro.WriteSpec`.
+* :class:`repro.VSS` — the deprecated four-operation facade
+  (create/write/read/delete with kwargs), kept as a shim.
 * :mod:`repro.synthetic` — Table 1 dataset equivalents.
 * :mod:`repro.video` — frames, formats, codecs, metrics.
 * :mod:`repro.baselines` — Local-FS and VStore-style comparators.
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart and docs/api.md for the engine/session
+migration guide.
 """
 
-from repro.core import VSS, ReadResult
+from repro.core import (
+    VSS,
+    ReadResult,
+    ReadSpec,
+    Session,
+    VSSEngine,
+    WriteSpec,
+)
 from repro.core.read_planner import ReadRequest
 from repro.video.frame import VideoSegment
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["VSS", "ReadRequest", "ReadResult", "VideoSegment", "__version__"]
+__all__ = [
+    "ReadRequest",
+    "ReadResult",
+    "ReadSpec",
+    "Session",
+    "VSS",
+    "VSSEngine",
+    "VideoSegment",
+    "WriteSpec",
+    "__version__",
+]

@@ -1,24 +1,43 @@
 """VSS core: the storage manager itself.
 
-The public entry point is :class:`repro.core.api.VSS`, which exposes the
-paper's four-operation API (Figure 1): ``create``, ``write``, ``read``,
-``delete``, with spatial (S), temporal (T), and physical (P) parameters on
-reads and writes.
+The public entry point is :class:`repro.core.engine.VSSEngine` — a
+thread-safe store handing out cheap :class:`repro.core.engine.Session`
+objects whose ``read`` / ``write`` / ``read_batch`` / ``read_async``
+take typed :class:`ReadSpec` / :class:`WriteSpec` requests.  The paper's
+four-operation facade (Figure 1) survives as the deprecated
+:class:`repro.core.api.VSS` shim.
 """
 
-from repro.core.api import VSS, ReadResult
+from repro.core.api import VSS
 from repro.core.decode_cache import DecodeCache
+from repro.core.engine import (
+    EngineStats,
+    Session,
+    SessionStats,
+    StoreStats,
+    VSSEngine,
+)
 from repro.core.executor import Executor
+from repro.core.reader import BatchStats, ReadResult
 from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
 from repro.core.read_planner import ReadRequest
+from repro.core.specs import ReadSpec, WriteSpec
 
 __all__ = [
-    "VSS",
+    "BatchStats",
     "DecodeCache",
+    "EngineStats",
     "Executor",
     "GopRecord",
     "LogicalVideo",
     "PhysicalVideo",
     "ReadRequest",
     "ReadResult",
+    "ReadSpec",
+    "Session",
+    "SessionStats",
+    "StoreStats",
+    "VSS",
+    "VSSEngine",
+    "WriteSpec",
 ]

@@ -1,69 +1,93 @@
-"""The VSS facade: the paper's four-operation API (Figure 1).
+"""The legacy ``VSS`` facade: a deprecated shim over the engine API.
 
-    vss = VSS("/path/to/store")
+The public API is now the engine/session/spec model in
+:mod:`repro.core.engine`:
+
+* :class:`repro.core.engine.VSSEngine` — one thread-safe object per
+  store; owns the catalog, layout, executor, decode cache, and budget /
+  maintenance loops, with per-logical-video locking so concurrent reads
+  and writes to different videos never serialize on one lock.
+* :class:`repro.core.engine.Session` — cheap handles from
+  ``engine.session()`` carrying per-caller defaults (codec, quality, qp,
+  cache policy) and per-session stats, with ``read``, ``read_batch``
+  (shared planning + deduplicated decode work across overlapping reads),
+  and ``read_async`` (``concurrent.futures``).
+* :class:`repro.core.specs.ReadSpec` / :class:`repro.core.specs.WriteSpec`
+  — frozen, validated-at-construction request types used uniformly by the
+  planner, reader, writer, and cache admission.
+
+This module keeps the paper's four-operation facade (Figure 1) working::
+
+    vss = VSS("/path/to/store")          # DeprecationWarning
     vss.create("traffic")
     vss.write("traffic", segment, codec="h264")
     result = vss.read("traffic", start=20, end=80, codec="h264")
 
-Reads accept spatial (``resolution``, ``roi``), temporal (``start``,
-``end``, ``fps``), and physical (``codec``, ``pixel_format``, ``qp``,
-``quality_db``) parameters.  Results are cached as new materialized
-physical videos (unless ``cache=False``), budgets are enforced with the
-LRU_VSS policy, raw reads trigger deferred compression, and compaction
-runs periodically — all transparently, as in the paper.
+``VSS(root)`` constructs a :class:`VSSEngine` plus a default session and
+forwards everything to them, so pre-existing code (and all pre-existing
+tests) runs unchanged — reads still accept the spatial (``resolution``,
+``roi``), temporal (``start``, ``end``, ``fps``), and physical
+(``codec``, ``pixel_format``, ``qp``, ``quality_db``) kwargs, results
+are still cached as materialized physical videos under the LRU_VSS
+budget policy, raw reads still trigger deferred compression, and
+compaction still runs periodically.  New code should use the engine API
+directly; see ``docs/api.md`` for the migration guide.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.cache import CacheManager, EvictionReport
-from repro.core.catalog import Catalog
-from repro.core.compaction import Compactor
-from repro.core.cost import CostModel
-from repro.core.decode_cache import DEFAULT_DECODE_CACHE_BYTES, DecodeCache
-from repro.core.deferred import DeferredCompressionManager
-from repro.core.executor import Executor
-from repro.core.layout import Layout
-from repro.core.quality import DEFAULT_EPSILON_DB, QualityModel
-from repro.core.read_planner import ReadRequest, plan_read
-from repro.core.reader import Reader, ReadResult
-from repro.core.records import ROI, LogicalVideo, PhysicalVideo
-from repro.core.writer import StreamWriter, Writer
-from repro.errors import ReadError, VideoNotFoundError, WriteError
-from repro.util import LogicalClock
-from repro.vbench.calibrate import Calibration, load_or_run
+from repro.core.engine import (
+    COMPACT_INTERVAL,
+    DEFAULT_BUDGET_MULTIPLE,
+    REFINE_INTERVAL,
+    EngineStats,
+    HookedStream,
+    Session,
+    SessionStats,
+    StoreStats,
+    VSSEngine,
+)
+from repro.core.decode_cache import DEFAULT_DECODE_CACHE_BYTES
+from repro.core.reader import ReadResult
+from repro.core.records import ROI, PhysicalVideo
+from repro.core.specs import ReadSpec, WriteSpec
+from repro.core.quality import DEFAULT_EPSILON_DB
+from repro.vbench.calibrate import Calibration
 from repro.video.codec.container import EncodedGOP
 from repro.video.codec.quant import QP_DEFAULT
-from repro.video.codec.registry import codec_for
-from repro.video.frame import VideoSegment, convert_segment
-from repro.video.metrics import segment_mse
-from repro.video.resample import crop_roi, resize_segment
+from repro.video.frame import VideoSegment
 
-#: Default storage budget: 10x the initially written physical video.
-DEFAULT_BUDGET_MULTIPLE = 10.0
-
-#: Run exact-quality refinement every N reads, compaction every M reads.
-REFINE_INTERVAL = 16
-COMPACT_INTERVAL = 8
+__all__ = [
+    "COMPACT_INTERVAL",
+    "DEFAULT_BUDGET_MULTIPLE",
+    "REFINE_INTERVAL",
+    "EngineStats",
+    "HookedStream",
+    "LegacyStoreStats",
+    "ReadSpec",
+    "Session",
+    "SessionStats",
+    "StoreStats",
+    "VSS",
+    "VSSEngine",
+    "WriteSpec",
+]
 
 
 @dataclass
-class StoreStats:
-    """Summary statistics for one logical video.
+class LegacyStoreStats(StoreStats):
+    """Deprecated: the old ``VSS.stats`` shape.
 
-    The decode-cache counters are store-wide (the cache is shared across
-    logical videos): ``decode_cache_hit_rate`` is hits / (hits + misses)
-    over the store's lifetime.
+    It mixed per-video fields with store-wide decode-cache counters (the
+    cache is shared across logical videos).  New code should read
+    per-video fields from ``engine.video_stats(name)`` (:class:`StoreStats`)
+    and store-wide counters from ``engine.stats()`` (:class:`EngineStats`).
     """
 
-    name: str
-    budget_bytes: int
-    total_bytes: int
-    num_physicals: int
-    num_fragments: int
-    num_gops: int
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
     decode_cache_hit_rate: float = 0.0
@@ -71,28 +95,12 @@ class StoreStats:
 
 
 class VSS:
-    """A VSS store rooted at a directory.
+    """Deprecated facade: a :class:`VSSEngine` plus a default session.
 
-    Parameters mirror the prototype's knobs: ``cache_policy`` selects
-    LRU_VSS or plain LRU (the Figure 16 comparison), ``planner`` selects
-    solver/greedy/original fragment selection (Figure 10), and
-    ``deferred_compression`` toggles section 5.2's optimization
-    (Figure 12/13).
-
-    Execution knobs:
-
-    * ``parallelism`` — worker-thread count for the parallel GOP
-      pipeline.  Encode, decode, and GOP file IO fan out across a shared
-      lazily-created thread pool (GOPs are independent decode units, and
-      the numpy/zlib kernels release the GIL).  ``None`` sizes the pool
-      from the machine's core count; ``1`` forces fully serial
-      execution.  Output is bit-identical at every setting.
-    * ``decode_cache_bytes`` — budget for the in-memory cache of decoded
-      GOP prefixes.  A GOP decoded to frame ``k`` serves any later read
-      stopping at or before ``k`` without touching disk or the codec, so
-      repeated look-back-heavy reads stop re-paying the decode chain.
-      ``0`` disables the cache.  Hit/miss counters are reported per read
-      on :class:`ReadStats` and store-wide via :meth:`stats`.
+    All constructor knobs, methods, and attributes of the pre-engine
+    ``VSS`` keep working (engine internals like ``catalog``, ``layout``,
+    ``decode_cache``, ``deferred`` are reachable through attribute
+    forwarding).  Construction emits a :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -108,63 +116,41 @@ class VSS:
         parallelism: int | None = None,
         decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
     ):
-        self.layout = Layout(root)
-        self.catalog = Catalog(self.layout.catalog_path)
-        if calibration is None:
-            calibration = load_or_run(self.layout.calibration_path, quick=True)
-        self.calibration = calibration
-        self.clock = LogicalClock()
-        for _ in range(self.catalog.max_last_access()):
-            # Resume the logical clock past persisted access stamps.
-            self.clock.tick()
-        self.quality_model = QualityModel(calibration)
-        self.cost_model = CostModel(calibration)
-        self.executor = Executor(parallelism)
-        self.decode_cache = DecodeCache(decode_cache_bytes)
-        self.writer = Writer(
-            self.catalog, self.layout, self.clock, executor=self.executor
+        warnings.warn(
+            "VSS(root) is deprecated; use VSSEngine(root) and "
+            "engine.session() (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.reader = Reader(
-            self.layout,
-            self.catalog,
-            self.cost_model,
-            executor=self.executor,
-            decode_cache=self.decode_cache,
+        self.engine = VSSEngine(
+            root,
+            budget_multiple=budget_multiple,
+            cache_policy=cache_policy,
+            planner=planner,
+            deferred_compression=deferred_compression,
+            background_compression=background_compression,
+            calibration=calibration,
+            cache_reads=cache_reads,
+            parallelism=parallelism,
+            decode_cache_bytes=decode_cache_bytes,
         )
-        self.cache = CacheManager(
-            self.catalog,
-            self.layout,
-            self.quality_model,
-            policy=cache_policy,
-            decode_cache=self.decode_cache,
-        )
-        self.deferred = DeferredCompressionManager(
-            self.catalog,
-            self.layout,
-            self.cache,
-            enabled=deferred_compression,
-            decode_cache=self.decode_cache,
-        )
-        self.compactor = Compactor(self.catalog, decode_cache=self.decode_cache)
-        self.budget_multiple = budget_multiple
-        self.planner = planner
-        self.cache_reads = cache_reads
-        self.background_compression = background_compression
-        self._reads_since_refine = 0
-        self._reads_since_compact = 0
-        self._closed = False
+        self.default_session = self.engine.session()
+
+    def __getattr__(self, name: str):
+        # Forward everything else (catalog, layout, decode_cache, deferred,
+        # cache, compactor, executor, reader, writer, create, delete, ...)
+        # to the engine, preserving the old object's full surface.
+        try:
+            engine = object.__getattribute__(self, "engine")
+        except AttributeError:
+            raise AttributeError(name) from None
+        return getattr(engine, name)
 
     # ------------------------------------------------------------------
-    # lifecycle
+    # lifecycle (special methods bypass __getattr__, so defined here)
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._closed:
-            return
-        self.deferred.stop_background()
-        self.executor.shutdown()
-        self.decode_cache.clear()
-        self.catalog.close()
-        self._closed = True
+        self.engine.close()
 
     def __enter__(self) -> "VSS":
         return self
@@ -173,36 +159,7 @@ class VSS:
         self.close()
 
     # ------------------------------------------------------------------
-    # create / delete
-    # ------------------------------------------------------------------
-    def create(self, name: str, budget_bytes: int = 0) -> LogicalVideo:
-        """Create a logical video.
-
-        ``budget_bytes = 0`` defers the budget to the default multiple of
-        the first written physical video's size.
-        """
-        return self.catalog.create_logical(name, budget_bytes)
-
-    def delete(self, name: str) -> None:
-        logical = self.catalog.get_logical(name)
-        # Drop decoded prefixes first: SQLite reuses GOP rowids, so stale
-        # entries could otherwise serve this video's pixels under a later
-        # video's GOP ids.
-        self.decode_cache.invalidate_many(
-            g.id for g in self.catalog.gops_of_logical(logical.id)
-        )
-        self.layout.delete_logical_files(name)
-        self.catalog.delete_logical(logical.id)
-
-    def list_videos(self) -> list[str]:
-        return [v.name for v in self.catalog.list_logical()]
-
-    def set_budget(self, name: str, budget_bytes: int) -> None:
-        logical = self.catalog.get_logical(name)
-        self.catalog.set_budget(logical.id, budget_bytes)
-
-    # ------------------------------------------------------------------
-    # write
+    # kwargs facade over the typed spec API
     # ------------------------------------------------------------------
     def write(
         self,
@@ -213,75 +170,10 @@ class VSS:
         qp: int = QP_DEFAULT,
         gop_size: int | None = None,
     ) -> PhysicalVideo:
-        """Write video under ``name`` (raw segment or pre-encoded GOPs).
+        """Write video under ``name`` (raw segment or pre-encoded GOPs)."""
+        spec = WriteSpec(name=name, codec=codec, qp=qp, gop_size=gop_size)
+        return self.engine.write(spec, segment=segment, gops=gops)
 
-        The first write to a logical video becomes its *original*: the
-        lossless reference all quality estimates chain back to.
-        """
-        logical = self._get_or_create(name)
-        is_original = self.catalog.original_physical(logical.id) is None
-        if (segment is None) == (gops is None):
-            raise WriteError("provide exactly one of segment= or gops=")
-        if gops is not None:
-            outcome = self.writer.write_gops(
-                logical, gops, is_original=is_original
-            )
-        else:
-            outcome = self.writer.write_segment(
-                logical,
-                segment,
-                codec=codec,
-                qp=qp,
-                gop_size=gop_size,
-                is_original=is_original,
-            )
-        if is_original:
-            self._default_budget(logical, outcome.nbytes)
-        return outcome.physical
-
-    def open_write_stream(
-        self,
-        name: str,
-        codec: str,
-        pixel_format: str,
-        width: int,
-        height: int,
-        fps: float,
-        qp: int = QP_DEFAULT,
-        gop_size: int | None = None,
-    ) -> "HookedStream":
-        """Begin a non-blocking streaming write (prefix reads allowed)."""
-        logical = self._get_or_create(name)
-        is_original = self.catalog.original_physical(logical.id) is None
-        stream = self.writer.open_stream(
-            logical,
-            codec=codec,
-            pixel_format=pixel_format,
-            width=width,
-            height=height,
-            fps=fps,
-            qp=qp,
-            is_original=is_original,
-            gop_size=gop_size,
-        )
-        return HookedStream(self, logical, stream, is_original)
-
-    def _get_or_create(self, name: str) -> LogicalVideo:
-        try:
-            return self.catalog.get_logical(name)
-        except VideoNotFoundError:
-            return self.create(name)
-
-    def _default_budget(self, logical: LogicalVideo, original_bytes: int) -> None:
-        fresh = self.catalog.get_logical_by_id(logical.id)
-        if fresh.budget_bytes == 0:
-            self.catalog.set_budget(
-                logical.id, int(original_bytes * self.budget_multiple)
-            )
-
-    # ------------------------------------------------------------------
-    # read
-    # ------------------------------------------------------------------
     def read(
         self,
         name: str,
@@ -298,11 +190,7 @@ class VSS:
         mode: str | None = None,
     ) -> ReadResult:
         """Read video in any spatial/temporal/physical configuration."""
-        logical = self.catalog.get_logical(name)
-        original = self.catalog.original_physical(logical.id)
-        if original is None:
-            raise ReadError(f"logical video {name!r} has no data")
-        request = ReadRequest(
+        spec = ReadSpec(
             name=name,
             start=start,
             end=end,
@@ -313,257 +201,24 @@ class VSS:
             fps=fps,
             quality_db=quality_db,
             qp=qp,
+            cache=cache,
+            mode=mode,
         )
-        if codec == "raw":
-            self.deferred.on_uncompressed_read(logical)
-        fragments = self.catalog.fragments_of_logical(logical.id)
-        plan = plan_read(
-            request,
-            fragments,
-            original,
-            self.cost_model,
-            self.quality_model,
-            mode=mode or self.planner,
+        return self.default_session.read(spec)
+
+    def stats(self, name: str) -> LegacyStoreStats:
+        """Deprecated combined per-video + store-wide stats shape."""
+        video = self.engine.video_stats(name)
+        store = self.engine.stats()
+        return LegacyStoreStats(
+            name=video.name,
+            budget_bytes=video.budget_bytes,
+            total_bytes=video.total_bytes,
+            num_physicals=video.num_physicals,
+            num_fragments=video.num_fragments,
+            num_gops=video.num_gops,
+            decode_cache_hits=store.decode_cache_hits,
+            decode_cache_misses=store.decode_cache_misses,
+            decode_cache_hit_rate=store.decode_cache_hit_rate,
+            decode_cache_bytes=store.decode_cache_bytes,
         )
-        result = self.reader.execute(plan)
-        self.catalog.touch_gops(result.stats.gop_ids_touched, self.clock.tick())
-
-        should_cache = self.cache_reads if cache is None else cache
-        if should_cache and not result.stats.direct_serve:
-            self._admit(logical, plan, result)
-        self._periodic_maintenance(logical)
-        return result
-
-    # ------------------------------------------------------------------
-    # cache admission (section 4)
-    # ------------------------------------------------------------------
-    def _admit(self, logical: LogicalVideo, plan, result: ReadResult) -> None:
-        if self._would_duplicate(plan):
-            return
-        source_mse = max(
-            (c.fragment.physical.mse_estimate for c in plan.choices),
-            default=0.0,
-        )
-        mse_estimate = self.quality_model.estimate_after_transcode(
-            source_mse=source_mse,
-            resample_mse=result.stats.resample_mse,
-            target_codec=plan.request.codec,
-            achieved_bpp=result.stats.output_bpp,
-        )
-        full = (0, 0, *plan.original_resolution)
-        roi = None if tuple(plan.roi) == full else tuple(plan.roi)
-        if result.gops is not None:
-            self.writer.write_gops(
-                logical, result.gops, mse_estimate=mse_estimate, roi=roi
-            )
-        else:
-            self.writer.write_segment(
-                logical,
-                result.segment,
-                codec="raw",
-                mse_estimate=mse_estimate,
-                roi=roi,
-            )
-        # Enforce the budget and accept the outcome, whatever mix of old
-        # and new pages the policy retains (paper Figure 5: admitting m4
-        # evicts part of m1).  No rollback: eviction may already have
-        # removed pages the new physical was covering, so deleting the new
-        # pages afterwards could orphan part of the timeline.
-        self.cache.enforce_budget(logical)
-
-    def _would_duplicate(self, plan) -> bool:
-        """True when the read was served from a single fragment already in
-        the requested format — caching it again would store a byte-level
-        duplicate and only churn the budget."""
-        if len({id(c.fragment) for c in plan.choices}) != 1:
-            return False
-        fragment = plan.choices[0].fragment
-        if not self.cost_model.is_format_match(fragment, plan.target):
-            return False
-        if abs(fragment.physical.fps - plan.target_fps) > 1e-9:
-            return False
-        full = (0, 0, *plan.original_resolution)
-        frag_roi = fragment.physical.roi_or(full)
-        return tuple(frag_roi) == tuple(plan.roi)
-
-    def enforce_budget(self, name: str) -> EvictionReport:
-        logical = self.catalog.get_logical(name)
-        return self.cache.enforce_budget(logical)
-
-    # ------------------------------------------------------------------
-    # maintenance
-    # ------------------------------------------------------------------
-    def _periodic_maintenance(self, logical: LogicalVideo) -> None:
-        self._reads_since_compact += 1
-        if self._reads_since_compact >= COMPACT_INTERVAL:
-            self._reads_since_compact = 0
-            self.compactor.compact(logical)
-        self._reads_since_refine += 1
-        if self._reads_since_refine >= REFINE_INTERVAL:
-            self._reads_since_refine = 0
-            self._refine_one(logical)
-        if self.background_compression:
-            if not self.deferred.background_running:
-                self.deferred.start_background(logical)
-            self.deferred.notify_idle()
-
-    def compact(self, name: str) -> int:
-        logical = self.catalog.get_logical(name)
-        return self.compactor.compact(logical)
-
-    def _refine_one(self, logical: LogicalVideo) -> None:
-        """Periodic exact-quality sampling (section 3.2): decode a sample
-        of one cached physical video, compare against the original, and
-        replace the estimated MSE with the measurement."""
-        original = self.catalog.original_physical(logical.id)
-        if original is None:
-            return
-        candidates = [
-            p
-            for p in self.catalog.list_physicals(logical.id)
-            if not p.is_original and p.sealed and p.mse_estimate > 0.0
-        ]
-        if not candidates:
-            return
-        physical = candidates[0]
-        gops = self.catalog.gops_of_physical(physical.id)
-        if not gops:
-            return
-        sample = gops[0]
-        try:
-            cached = codec_for(physical.codec).decode_gop(
-                self.layout.read_gop(sample.path, sample.zstd_level)
-            )
-            reference = self._decode_original_window(
-                logical, original, sample.start_time, sample.end_time
-            )
-        except Exception:
-            return  # sampling is best-effort
-        reference = self._match_geometry(reference, physical, original)
-        frames = min(cached.num_frames, reference.num_frames)
-        if frames == 0:
-            return
-        measured = segment_mse(
-            reference.slice_frames(0, frames), cached.slice_frames(0, frames)
-        )
-        self.catalog.update_mse_estimate(physical.id, measured)
-
-    def _decode_original_window(
-        self,
-        logical: LogicalVideo,
-        original: PhysicalVideo,
-        start: float,
-        end: float,
-    ) -> VideoSegment:
-        pieces = []
-        for gop in self.catalog.gops_of_physical(original.id, start, end):
-            encoded = self.layout.read_gop(gop.path, gop.zstd_level)
-            pieces.append(
-                codec_for(encoded.codec).decode_gop(
-                    encoded.with_start_time(gop.start_time)
-                )
-            )
-        if not pieces:
-            raise ReadError("original GOPs missing for refinement window")
-        merged = pieces[0].concatenate(pieces)
-        return merged.slice_time(start, end)
-
-    @staticmethod
-    def _match_geometry(
-        reference: VideoSegment,
-        physical: PhysicalVideo,
-        original: PhysicalVideo,
-    ) -> VideoSegment:
-        if physical.roi is not None:
-            x0, y0, x1, y1 = physical.roi
-            reference = crop_roi(reference, x0, x1, y0, y1)
-        if (reference.width, reference.height) != physical.resolution:
-            reference = resize_segment(
-                reference, physical.width, physical.height
-            )
-        return convert_segment(reference, physical.pixel_format)
-
-    # ------------------------------------------------------------------
-    # stats
-    # ------------------------------------------------------------------
-    def stats(self, name: str) -> StoreStats:
-        logical = self.catalog.get_logical(name)
-        fragments = self.catalog.fragments_of_logical(logical.id)
-        gops = self.catalog.gops_of_logical(logical.id)
-        decode_stats = self.decode_cache.stats
-        return StoreStats(
-            name=name,
-            budget_bytes=logical.budget_bytes,
-            total_bytes=self.catalog.total_bytes(logical.id),
-            num_physicals=len(self.catalog.list_physicals(logical.id)),
-            num_fragments=len(fragments),
-            num_gops=len(gops),
-            decode_cache_hits=decode_stats.hits,
-            decode_cache_misses=decode_stats.misses,
-            decode_cache_hit_rate=decode_stats.hit_rate,
-            decode_cache_bytes=self.decode_cache.current_bytes,
-        )
-
-
-class HookedStream:
-    """Streaming writer that drives deferred compression as data lands.
-
-    During a long raw write the budget fills early; the paper's Figure 13
-    shows deferred compression activating mid-write and moderating size at
-    the cost of throughput.  This wrapper triggers that path after every
-    appended chunk.
-    """
-
-    def __init__(
-        self,
-        vss: VSS,
-        logical: LogicalVideo,
-        stream: StreamWriter,
-        is_original: bool,
-    ):
-        self._vss = vss
-        self._logical = logical
-        self._stream = stream
-        self._is_original = is_original
-
-    @property
-    def physical(self) -> PhysicalVideo:
-        return self._stream.physical
-
-    @property
-    def nbytes(self) -> int:
-        return self._stream.nbytes
-
-    def append(self, segment: VideoSegment) -> None:
-        self._stream.append(segment)
-        self._maybe_defer()
-
-    def append_gops(self, gops: list[EncodedGOP]) -> None:
-        self._stream.append_gops(gops)
-        self._maybe_defer()
-
-    def _maybe_defer(self) -> None:
-        if self._is_original:
-            # Budget defaults are set from the original's final size; during
-            # an original write, derive a provisional budget from bytes so
-            # far so the threshold can engage (the paper's Figure 13 run).
-            logical = self._vss.catalog.get_logical_by_id(self._logical.id)
-            if logical.budget_bytes == 0:
-                return
-        if self._stream.physical.codec == "raw" and self._vss.deferred.active(
-            self._logical
-        ):
-            self._vss.deferred.compress_one(self._logical)
-
-    def close(self):
-        outcome = self._stream.close()
-        if self._is_original:
-            self._vss._default_budget(self._logical, outcome.nbytes)
-        return outcome
-
-    def __enter__(self) -> "HookedStream":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if not self._stream.closed and self._stream.has_data:
-            self.close()

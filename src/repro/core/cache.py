@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro.core.catalog import Catalog
 from repro.core.layout import Layout
 from repro.errors import CatalogError
-from repro.core.quality import QualityModel, TAU_DB
+from repro.core.quality import QualityModel
 from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
 
 #: Paper prototype weights: position is weighed above redundancy.

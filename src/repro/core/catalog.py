@@ -1,8 +1,22 @@
 """SQLite-backed catalog of logical videos, physical videos, and GOPs.
 
 The paper's prototype keeps its metadata in SQLite [44]; so does this one.
-One connection serves the whole store, guarded by a re-entrant lock so the
-deferred-compression background thread can update rows safely.
+Concurrency model (the engine API serves many sessions at once):
+
+* **Writes** funnel through one connection guarded by a re-entrant lock —
+  SQLite allows a single writer anyway, and taking our own lock avoids
+  ``SQLITE_BUSY`` churn between the read path, the deferred-compression
+  background thread, and concurrent sessions.
+* **Reads** use a connection per thread when WAL mode is available, so
+  concurrent sessions reading the catalog never serialize on the writer
+  lock (WAL readers see the last committed snapshot and never block).
+  Where WAL is unavailable (e.g. network filesystems without
+  shared-memory maps) every operation falls back to the single locked
+  connection, the pre-engine behaviour.
+
+Cross-statement consistency for one logical video (e.g. the two queries
+inside :meth:`fragments_of_logical`) is provided by the engine's
+per-logical locks, not by the catalog.
 """
 
 from __future__ import annotations
@@ -11,6 +25,8 @@ import json
 import sqlite3
 import threading
 import time
+import weakref
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.errors import CatalogError, VideoExistsError, VideoNotFoundError
@@ -92,52 +108,126 @@ def _roi_from_text(text) -> tuple[int, int, int, int] | None:
     return None if text is None else tuple(json.loads(text))
 
 
+class _ReaderConn:
+    """Weakref-able wrapper for one thread's reader connection.
+
+    ``sqlite3.Connection`` itself cannot be weak-referenced, so the
+    catalog keeps a weakref to this holder: the holder lives in the
+    owning thread's local storage, and when that thread dies the holder
+    is dropped, the connection's last strong reference goes with it, and
+    SQLite closes the handle — no per-dead-thread leak.
+    """
+
+    __slots__ = ("conn", "__weakref__")
+
+    def __init__(self, conn: sqlite3.Connection):
+        self.conn = conn
+
+
 class Catalog:
     """All metadata operations for one VSS store."""
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.RLock()
-        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
-        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()  # guards the writer connection
+        self._readers_lock = threading.Lock()
+        self._readers: list[weakref.ref[_ReaderConn]] = []
+        self._tls = threading.local()
+        self._closed = False
+        self._conn, self._wal = self._connect()
         with self._lock:
-            try:
-                # All access shares one locked connection, so WAL's reader
-                # concurrency is not exercised here; the win is cheaper
-                # commits — WAL appends instead of journal rewrites, and
-                # NORMAL drops the per-commit fsync (durability still holds
-                # across application crashes, the bar a cache needs).
-                self._conn.execute("PRAGMA journal_mode=WAL")
-                self._conn.execute("PRAGMA synchronous=NORMAL")
-            except sqlite3.OperationalError:
-                pass  # e.g. network filesystems without shared-memory maps
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
 
-    def close(self) -> None:
+    def _connect(self) -> tuple[sqlite3.Connection, bool]:
+        conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, timeout=30.0
+        )
+        conn.row_factory = sqlite3.Row
+        wal = False
+        try:
+            # WAL gives cheaper commits (appends instead of journal
+            # rewrites) and lets reader connections proceed without ever
+            # blocking on the writer; NORMAL drops the per-commit fsync
+            # (durability still holds across application crashes, the bar
+            # a cache needs).
+            row = conn.execute("PRAGMA journal_mode=WAL").fetchone()
+            wal = row is not None and str(row[0]).lower() == "wal"
+            conn.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.OperationalError:
+            pass  # e.g. network filesystems without shared-memory maps
+        return conn, wal
+
+    @contextmanager
+    def _read(self):
+        """A connection for a read-only statement.
+
+        Per-thread (lock-free) under WAL; the locked writer connection
+        otherwise.  Every thread — including the one that opened the
+        catalog — gets its own reader connection: reusing the writer
+        connection for reads would let an unlocked read interleave with
+        another thread's in-progress write transaction.
+        """
+        if not self._wal:
+            with self._lock:
+                yield self._conn
+            return
+        holder = getattr(self._tls, "reader", None)
+        if holder is None:
+            conn, _ = self._connect()
+            holder = _ReaderConn(conn)
+            self._tls.reader = holder
+            with self._readers_lock:
+                self._readers = [r for r in self._readers if r() is not None]
+                self._readers.append(weakref.ref(holder))
+                if self._closed:
+                    conn.close()  # lost the race against close()
+                    raise sqlite3.ProgrammingError("catalog is closed")
+        yield holder.conn
+
+    @contextmanager
+    def _write(self):
+        """The single writer connection, exclusively held."""
         with self._lock:
-            self._conn.close()
+            yield self._conn
+
+    def close(self) -> None:
+        with self._readers_lock:
+            self._closed = True
+            readers, self._readers = self._readers, []
+        for ref in readers:
+            holder = ref()
+            if holder is not None:
+                try:
+                    holder.conn.close()
+                except sqlite3.Error:
+                    pass
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
 
     # ------------------------------------------------------------------
     # logical videos
     # ------------------------------------------------------------------
     def create_logical(self, name: str, budget_bytes: int) -> LogicalVideo:
-        with self._lock:
+        with self._write() as conn:
             try:
-                cursor = self._conn.execute(
+                cursor = conn.execute(
                     "INSERT INTO logical_videos (name, budget_bytes, created_at)"
                     " VALUES (?, ?, ?)",
                     (name, budget_bytes, time.time()),
                 )
             except sqlite3.IntegrityError:
                 raise VideoExistsError(name) from None
-            self._conn.commit()
+            conn.commit()
             return self.get_logical_by_id(cursor.lastrowid)
 
     def get_logical(self, name: str) -> LogicalVideo:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM logical_videos WHERE name = ?", (name,)
             ).fetchone()
         if row is None:
@@ -145,8 +235,8 @@ class Catalog:
         return self._logical_from_row(row)
 
     def get_logical_by_id(self, logical_id: int) -> LogicalVideo:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM logical_videos WHERE id = ?", (logical_id,)
             ).fetchone()
         if row is None:
@@ -154,34 +244,34 @@ class Catalog:
         return self._logical_from_row(row)
 
     def list_logical(self) -> list[LogicalVideo]:
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT * FROM logical_videos ORDER BY name"
             ).fetchall()
         return [self._logical_from_row(r) for r in rows]
 
     def set_budget(self, logical_id: int, budget_bytes: int) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE logical_videos SET budget_bytes = ? WHERE id = ?",
                 (budget_bytes, logical_id),
             )
-            self._conn.commit()
+            conn.commit()
 
     def delete_logical(self, logical_id: int) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "DELETE FROM gops WHERE physical_id IN "
                 "(SELECT id FROM physical_videos WHERE logical_id = ?)",
                 (logical_id,),
             )
-            self._conn.execute(
+            conn.execute(
                 "DELETE FROM physical_videos WHERE logical_id = ?", (logical_id,)
             )
-            self._conn.execute(
+            conn.execute(
                 "DELETE FROM logical_videos WHERE id = ?", (logical_id,)
             )
-            self._conn.commit()
+            conn.commit()
 
     @staticmethod
     def _logical_from_row(row: sqlite3.Row) -> LogicalVideo:
@@ -211,8 +301,8 @@ class Catalog:
         is_original: bool,
         sealed: bool = True,
     ) -> PhysicalVideo:
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._write() as conn:
+            cursor = conn.execute(
                 "INSERT INTO physical_videos (logical_id, codec, pixel_format,"
                 " width, height, fps, qp, roi, start_time, end_time,"
                 " mse_estimate, is_original, sealed)"
@@ -233,12 +323,12 @@ class Catalog:
                     int(sealed),
                 ),
             )
-            self._conn.commit()
+            conn.commit()
             return self.get_physical(cursor.lastrowid)
 
     def get_physical(self, physical_id: int) -> PhysicalVideo:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM physical_videos WHERE id = ?", (physical_id,)
             ).fetchone()
         if row is None:
@@ -246,8 +336,8 @@ class Catalog:
         return self._physical_from_row(row)
 
     def list_physicals(self, logical_id: int) -> list[PhysicalVideo]:
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT * FROM physical_videos WHERE logical_id = ?"
                 " ORDER BY id",
                 (logical_id,),
@@ -255,8 +345,8 @@ class Catalog:
         return [self._physical_from_row(r) for r in rows]
 
     def original_physical(self, logical_id: int) -> PhysicalVideo | None:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM physical_videos WHERE logical_id = ?"
                 " AND is_original = 1 ORDER BY id LIMIT 1",
                 (logical_id,),
@@ -266,39 +356,39 @@ class Catalog:
     def update_physical_times(
         self, physical_id: int, start_time: float, end_time: float
     ) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE physical_videos SET start_time = ?, end_time = ?"
                 " WHERE id = ?",
                 (start_time, end_time, physical_id),
             )
-            self._conn.commit()
+            conn.commit()
 
     def seal_physical(self, physical_id: int) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE physical_videos SET sealed = 1 WHERE id = ?",
                 (physical_id,),
             )
-            self._conn.commit()
+            conn.commit()
 
     def update_mse_estimate(self, physical_id: int, mse_estimate: float) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE physical_videos SET mse_estimate = ? WHERE id = ?",
                 (mse_estimate, physical_id),
             )
-            self._conn.commit()
+            conn.commit()
 
     def delete_physical(self, physical_id: int) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "DELETE FROM gops WHERE physical_id = ?", (physical_id,)
             )
-            self._conn.execute(
+            conn.execute(
                 "DELETE FROM physical_videos WHERE id = ?", (physical_id,)
             )
-            self._conn.commit()
+            conn.commit()
 
     @staticmethod
     def _physical_from_row(row: sqlite3.Row) -> PhysicalVideo:
@@ -334,8 +424,8 @@ class Catalog:
         path: str,
         last_access: int = 0,
     ) -> GopRecord:
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._write() as conn:
+            cursor = conn.execute(
                 "INSERT INTO gops (physical_id, seq, start_time, end_time,"
                 " num_frames, frame_types, nbytes, path, last_access)"
                 " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -351,12 +441,12 @@ class Catalog:
                     last_access,
                 ),
             )
-            self._conn.commit()
+            conn.commit()
             return self.get_gop(cursor.lastrowid)
 
     def get_gop(self, gop_id: int) -> GopRecord:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM gops WHERE id = ?", (gop_id,)
             ).fetchone()
         if row is None:
@@ -378,13 +468,13 @@ class Catalog:
             query += " AND start_time < ?"
             params.append(end - 1e-9)
         query += " ORDER BY seq"
-        with self._lock:
-            rows = self._conn.execute(query, params).fetchall()
+        with self._read() as conn:
+            rows = conn.execute(query, params).fetchall()
         return [self._gop_from_row(r) for r in rows]
 
     def gops_of_logical(self, logical_id: int) -> list[GopRecord]:
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT gops.* FROM gops JOIN physical_videos p"
                 " ON gops.physical_id = p.id WHERE p.logical_id = ?"
                 " ORDER BY gops.physical_id, gops.seq",
@@ -404,55 +494,55 @@ class Catalog:
         if not gop_ids:
             return
         unique = list(dict.fromkeys(gop_ids))
-        with self._lock:
+        with self._write() as conn:
             for i in range(0, len(unique), self._TOUCH_BATCH):
                 chunk = unique[i : i + self._TOUCH_BATCH]
                 placeholders = ",".join("?" * len(chunk))
-                self._conn.execute(
+                conn.execute(
                     f"UPDATE gops SET last_access = ?"
                     f" WHERE id IN ({placeholders})",
                     [tick, *chunk],
                 )
-            self._conn.commit()
+            conn.commit()
 
     def delete_gop(self, gop_id: int) -> None:
-        with self._lock:
-            self._conn.execute("DELETE FROM gops WHERE id = ?", (gop_id,))
-            self._conn.commit()
+        with self._write() as conn:
+            conn.execute("DELETE FROM gops WHERE id = ?", (gop_id,))
+            conn.commit()
 
     def set_gop_compression(
         self, gop_id: int, zstd_level: int, nbytes: int, path: str
     ) -> bool:
         """Record a page rewrite; False when the row no longer exists
         (the page was evicted while its file was being rewritten)."""
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._write() as conn:
+            cursor = conn.execute(
                 "UPDATE gops SET zstd_level = ?, nbytes = ?, path = ?"
                 " WHERE id = ?",
                 (zstd_level, nbytes, path, gop_id),
             )
-            self._conn.commit()
+            conn.commit()
             return cursor.rowcount > 0
 
     def reassign_gop(self, gop_id: int, physical_id: int, seq: int) -> None:
         """Move a GOP to another physical video (compaction)."""
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE gops SET physical_id = ?, seq = ? WHERE id = ?",
                 (physical_id, seq, gop_id),
             )
-            self._conn.commit()
+            conn.commit()
 
     def set_gop_joint(
         self, gop_id: int, joint_pair_id: int, role: str, nbytes: int
     ) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE gops SET joint_pair_id = ?, joint_role = ?, nbytes = ?"
                 " WHERE id = ?",
                 (joint_pair_id, role, nbytes, gop_id),
             )
-            self._conn.commit()
+            conn.commit()
 
     @staticmethod
     def _gop_from_row(row: sqlite3.Row) -> GopRecord:
@@ -487,8 +577,8 @@ class Catalog:
         nbytes: int,
         duplicate: bool = False,
     ) -> JointPairRecord:
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._write() as conn:
+            cursor = conn.execute(
                 "INSERT INTO joint_pairs (homography, x_f, x_g, merge,"
                 " left_path, overlap_path, right_path, nbytes, duplicate)"
                 " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -504,7 +594,7 @@ class Catalog:
                     int(duplicate),
                 ),
             )
-            self._conn.commit()
+            conn.commit()
             return self.get_joint_pair(cursor.lastrowid)
 
     def update_joint_pair_paths(
@@ -515,17 +605,17 @@ class Catalog:
         right_path: str | None,
         nbytes: int,
     ) -> None:
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE joint_pairs SET left_path = ?, overlap_path = ?,"
                 " right_path = ?, nbytes = ? WHERE id = ?",
                 (left_path, overlap_path, right_path, nbytes, pair_id),
             )
-            self._conn.commit()
+            conn.commit()
 
     def get_joint_pair(self, pair_id: int) -> JointPairRecord:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM joint_pairs WHERE id = ?", (pair_id,)
             ).fetchone()
         if row is None:
@@ -552,8 +642,8 @@ class Catalog:
         Jointly compressed GOPs share the pair's storage; each side is
         accounted half the pair to avoid double counting.
         """
-        with self._lock:
-            plain = self._conn.execute(
+        with self._read() as conn:
+            plain = conn.execute(
                 "SELECT COALESCE(SUM(gops.nbytes), 0) FROM gops"
                 " JOIN physical_videos p ON gops.physical_id = p.id"
                 " WHERE p.logical_id = ?",
@@ -562,8 +652,8 @@ class Catalog:
         return int(plain)
 
     def max_last_access(self) -> int:
-        with self._lock:
-            value = self._conn.execute(
+        with self._read() as conn:
+            value = conn.execute(
                 "SELECT COALESCE(MAX(last_access), 0) FROM gops"
             ).fetchone()[0]
         return int(value)
@@ -581,7 +671,13 @@ class Catalog:
         fragments: list[Fragment] = []
         run: list[GopRecord] = []
         for gop in self.gops_of_logical(logical_id):
-            physical = physicals[gop.physical_id]
+            physical = physicals.get(gop.physical_id)
+            if physical is None:
+                # A physical committed between the two snapshot queries by
+                # a writer on another logical's thread; skip its GOPs —
+                # the engine's per-logical lock guarantees this cannot
+                # happen for the logical being planned.
+                continue
             if sealed_only and not physical.sealed:
                 continue
             if run and (

@@ -96,6 +96,19 @@ class DecodeCache:
             return segment
         return segment.slice_frames(0, stop)
 
+    def peek(self, gop_id: int, stop: int) -> bool:
+        """True when a prefix covering ``[0, stop)`` is cached.
+
+        Unlike :meth:`get` this neither counts a hit/miss nor refreshes
+        LRU order — it exists so batch planning can test coverage without
+        skewing the store-wide counters.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            entry = self._entries.get(gop_id)
+            return entry is not None and entry[0] >= stop
+
     def put(self, gop_id: int, stop: int, segment: VideoSegment) -> None:
         """Remember ``segment`` as the decoded prefix ``[0, stop)``.
 
@@ -144,3 +157,58 @@ class DecodeCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+
+
+class BatchDecodeCache:
+    """Batch-local decoded-GOP store layered over the shared cache.
+
+    ``Reader.execute_batch`` decodes each GOP needed by a batch exactly
+    once and parks the result here; every read in the batch then hits.
+    The overlay is unbounded but lives only for one batch, so its high
+    -water mark is the batch's unique decoded GOPs.  When the store's
+    :class:`DecodeCache` is enabled, puts are written through to it (so
+    later non-batch reads benefit) and gets consult it first (so its
+    hit/miss counters keep describing store-wide behaviour); when the
+    store cache is disabled the overlay still guarantees single-decode
+    semantics within the batch.
+    """
+
+    def __init__(self, base: DecodeCache | None):
+        self.base = base if (base is not None and base.enabled) else None
+        self._lock = threading.Lock()
+        # gop_id -> (stop_frame, decoded prefix [0, stop_frame))
+        self._local: dict[int, tuple[int, VideoSegment]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def peek(self, gop_id: int, stop: int) -> bool:
+        """True when the overlay or the base already covers ``[0, stop)``."""
+        with self._lock:
+            entry = self._local.get(gop_id)
+        if entry is not None and entry[0] >= stop:
+            return True
+        return self.base is not None and self.base.peek(gop_id, stop)
+
+    def get(self, gop_id: int, stop: int) -> VideoSegment | None:
+        if self.base is not None:
+            segment = self.base.get(gop_id, stop)
+            if segment is not None:
+                return segment
+        with self._lock:
+            entry = self._local.get(gop_id)
+        if entry is None or entry[0] < stop:
+            return None
+        cached_stop, segment = entry
+        if cached_stop == stop:
+            return segment
+        return segment.slice_frames(0, stop)
+
+    def put(self, gop_id: int, stop: int, segment: VideoSegment) -> None:
+        with self._lock:
+            entry = self._local.get(gop_id)
+            if entry is None or entry[0] < stop:
+                self._local[gop_id] = (stop, segment)
+        if self.base is not None:
+            self.base.put(gop_id, stop, segment)

@@ -20,6 +20,7 @@ from repro.core.cache import CacheManager
 from repro.core.catalog import Catalog
 from repro.core.layout import Layout
 from repro.core.records import LogicalVideo
+from repro.errors import CatalogError
 from repro.lossless.zstd import level_for_budget
 
 #: Budget fraction above which deferred compression activates.
@@ -45,6 +46,10 @@ class DeferredCompressionManager:
         self.enabled = enabled
         self.decode_cache = decode_cache
         self._thread: threading.Thread | None = None
+        self._bg_logical_id: int | None = None
+        # Serializes background-thread lifecycle: concurrent maintenance
+        # ticks must not both pass the alive-check and spawn two loops.
+        self._bg_lock = threading.RLock()
         self._stop = threading.Event()
         self._wake = threading.Event()
         # Serializes page compression: the foreground read hook and the
@@ -59,14 +64,24 @@ class DeferredCompressionManager:
 
     # ------------------------------------------------------------------
     def active(self, logical: LogicalVideo) -> bool:
-        """Deferred compression engages above the usage threshold."""
+        """Deferred compression engages above the usage threshold.
+
+        A logical video deleted out from under a background thread is
+        simply inactive — the thread must not crash on the missing row.
+        """
         if not self.enabled:
             return False
-        return self.cache.usage_fraction(logical) > self.threshold
+        try:
+            return self.cache.usage_fraction(logical) > self.threshold
+        except CatalogError:
+            return False
 
     def level(self, logical: LogicalVideo) -> int:
         """Compression level scaled with remaining budget."""
-        usage = self.cache.usage_fraction(logical)
+        try:
+            usage = self.cache.usage_fraction(logical)
+        except CatalogError:
+            usage = 0.0  # logical deleted mid-flight; level is moot
         return level_for_budget(remaining_fraction=1.0 - usage)
 
     def on_uncompressed_read(self, logical: LogicalVideo) -> int | None:
@@ -89,6 +104,10 @@ class DeferredCompressionManager:
         if not self._compress_lock.acquire(blocking=False):
             return None
         try:
+            try:
+                self.catalog.get_logical_by_id(logical.id)
+            except CatalogError:
+                return None  # logical deleted; nothing to compress
             candidates = self._raw_pages(logical)
             if not candidates:
                 return None
@@ -139,10 +158,17 @@ class DeferredCompressionManager:
         The thread compresses one page per wakeup while the store is idle;
         ``notify_idle`` wakes it.  Call :meth:`stop_background` to join.
         """
+        with self._bg_lock:
+            self._start_background_locked(logical, idle_wait)
+
+    def _start_background_locked(
+        self, logical: LogicalVideo, idle_wait: float
+    ) -> None:
         if self._thread is not None:
             if self._thread.is_alive():
                 return
             self._thread = None  # a crashed thread may be restarted
+        self._bg_logical_id = logical.id
         self._stop.clear()
 
         def loop() -> None:
@@ -173,9 +199,28 @@ class DeferredCompressionManager:
         self._wake.set()
 
     def stop_background(self) -> None:
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._wake.set()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        with self._bg_lock:
+            if self._thread is None:
+                return
+            self._stop.set()
+            self._wake.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self._bg_logical_id = None
+
+    def cancel_logical(self, logical_id: int) -> None:
+        """Stop the background thread if it targets ``logical_id``.
+
+        Called by ``engine.delete()`` before the logical's rows and pages
+        vanish, so a still-running compression loop neither crashes on
+        missing metadata nor rewrites (resurrects) freshly deleted page
+        files.  Any in-flight ``compress_one`` is waited out via the
+        compression lock before this returns.
+        """
+        with self._bg_lock:
+            if self._bg_logical_id == logical_id:
+                self.stop_background()
+        # Barrier: an in-flight foreground/background compression step
+        # finishes (or bails) before the caller starts deleting files.
+        with self._compress_lock:
+            pass

@@ -1,0 +1,1002 @@
+"""The concurrency-first engine/session API.
+
+:class:`VSSEngine` owns one store's machinery — catalog, layout, executor,
+decode cache, budget enforcement, and maintenance loops — and is safe to
+share across threads: every logical video has its own lock, so concurrent
+reads and writes to *different* videos never serialize on a store-wide
+lock, while operations on the *same* video are linearized (the paper's
+no-overwrite multi-version semantics make that cheap).
+
+Callers talk to the engine through cheap :class:`Session` handles::
+
+    engine = VSSEngine("/path/to/store")
+    session = engine.session(codec="h264", qp=12)     # per-caller defaults
+    result = session.read("traffic", 0.0, 1.0)        # builds a ReadSpec
+    batch  = session.read_batch([spec0, spec1, ...])  # shared decode work
+    future = session.read_async(spec)                 # concurrent.futures
+
+Requests are immutable typed specs (:class:`repro.core.specs.ReadSpec`,
+:class:`repro.core.specs.WriteSpec`), validated at construction.
+``read_batch`` plans its specs against one catalog snapshot and decodes
+each GOP window needed by several reads exactly once (via
+:meth:`repro.core.reader.Reader.execute_batch`), then touches LRU stamps
+and enforces the budget once per batch instead of once per read.
+
+The paper's four-operation facade lives on as the deprecated
+:class:`repro.core.api.VSS` shim over an engine plus a default session.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.cache import CacheManager, EvictionReport
+from repro.core.catalog import Catalog
+from repro.core.compaction import Compactor
+from repro.core.cost import CostModel
+from repro.core.decode_cache import DEFAULT_DECODE_CACHE_BYTES, DecodeCache
+from repro.core.deferred import DeferredCompressionManager
+from repro.core.executor import Executor
+from repro.core.layout import Layout
+from repro.core.quality import QualityModel
+from repro.core.read_planner import plan_read
+from repro.core.reader import BatchStats, Reader, ReadResult
+from repro.core.records import LogicalVideo, PhysicalVideo
+from repro.core.specs import (
+    READ_SPEC_FIELDS,
+    WRITE_SPEC_FIELDS,
+    ReadSpec,
+    WriteSpec,
+)
+from repro.core.writer import StreamWriter, Writer
+from repro.errors import (
+    CatalogError,
+    ReadError,
+    VideoNotFoundError,
+    WriteError,
+)
+from repro.util import LogicalClock
+from repro.vbench.calibrate import Calibration, load_or_run
+from repro.video.codec.container import EncodedGOP
+from repro.video.codec.quant import QP_DEFAULT
+from repro.video.codec.registry import codec_for
+from repro.video.frame import VideoSegment, convert_segment
+from repro.video.metrics import segment_mse
+from repro.video.resample import crop_roi, resize_segment
+
+#: Default storage budget: 10x the initially written physical video.
+DEFAULT_BUDGET_MULTIPLE = 10.0
+
+#: Run exact-quality refinement every N reads, compaction every M reads.
+REFINE_INTERVAL = 16
+COMPACT_INTERVAL = 8
+
+
+@dataclass
+class StoreStats:
+    """Per-video summary statistics (``engine.video_stats(name)``).
+
+    Store-wide counters (decode cache, executor) live on
+    :class:`EngineStats`; the deprecated combined shape is
+    :class:`repro.core.api.LegacyStoreStats`.
+    """
+
+    name: str
+    budget_bytes: int
+    total_bytes: int
+    num_physicals: int
+    num_fragments: int
+    num_gops: int
+
+
+@dataclass
+class EngineStats:
+    """Store-wide statistics (``engine.stats()``)."""
+
+    num_logical_videos: int
+    num_sessions: int
+    reads: int
+    writes: int
+    batches: int
+    parallelism: int
+    executor_tasks: int
+    decode_cache_hits: int
+    decode_cache_misses: int
+    decode_cache_hit_rate: float
+    decode_cache_evictions: int
+    decode_cache_invalidations: int
+    decode_cache_bytes: int
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters (one :class:`Session`'s traffic)."""
+
+    reads: int = 0
+    writes: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
+    last_batch: BatchStats | None = None
+
+
+class VSSEngine:
+    """A thread-safe VSS store rooted at a directory.
+
+    Parameters mirror the prototype's knobs: ``cache_policy`` selects
+    LRU_VSS or plain LRU (the Figure 16 comparison), ``planner`` selects
+    solver/greedy/original fragment selection (Figure 10), and
+    ``deferred_compression`` toggles section 5.2's optimization
+    (Figure 12/13).
+
+    Execution knobs:
+
+    * ``parallelism`` — worker-thread count for the parallel GOP
+      pipeline (encode/decode/IO fan-out).  ``None`` sizes the pool from
+      the machine's core count; ``1`` forces fully serial execution.
+      Output is bit-identical at every setting.
+    * ``decode_cache_bytes`` — budget for the in-memory cache of decoded
+      GOP prefixes shared by all sessions.  ``0`` disables the cache.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        budget_multiple: float = DEFAULT_BUDGET_MULTIPLE,
+        cache_policy: str = "vss",
+        planner: str = "solver",
+        deferred_compression: bool = True,
+        background_compression: bool = False,
+        calibration: Calibration | None = None,
+        cache_reads: bool = True,
+        parallelism: int | None = None,
+        decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
+    ):
+        self.layout = Layout(root)
+        self.catalog = Catalog(self.layout.catalog_path)
+        if calibration is None:
+            calibration = load_or_run(self.layout.calibration_path, quick=True)
+        self.calibration = calibration
+        self.clock = LogicalClock()
+        for _ in range(self.catalog.max_last_access()):
+            # Resume the logical clock past persisted access stamps.
+            self.clock.tick()
+        self.quality_model = QualityModel(calibration)
+        self.cost_model = CostModel(calibration)
+        self.executor = Executor(parallelism)
+        self.decode_cache = DecodeCache(decode_cache_bytes)
+        self.writer = Writer(
+            self.catalog, self.layout, self.clock, executor=self.executor
+        )
+        self.reader = Reader(
+            self.layout,
+            self.catalog,
+            self.cost_model,
+            executor=self.executor,
+            decode_cache=self.decode_cache,
+        )
+        self.cache = CacheManager(
+            self.catalog,
+            self.layout,
+            self.quality_model,
+            policy=cache_policy,
+            decode_cache=self.decode_cache,
+        )
+        self.deferred = DeferredCompressionManager(
+            self.catalog,
+            self.layout,
+            self.cache,
+            enabled=deferred_compression,
+            decode_cache=self.decode_cache,
+        )
+        self.compactor = Compactor(self.catalog, decode_cache=self.decode_cache)
+        self.budget_multiple = budget_multiple
+        self.planner = planner
+        self.cache_reads = cache_reads
+        self.background_compression = background_compression
+        # Engine-wide mutable state: the per-logical lock registry, the
+        # maintenance counters, and the traffic counters.  Per-logical
+        # locks serialize operations on one video; _state_lock guards
+        # only the tiny shared bookkeeping below.
+        self._state_lock = threading.Lock()
+        self._logical_locks: dict[str, threading.RLock] = {}
+        self._reads_since_refine = 0
+        self._reads_since_compact = 0
+        self._refine_cursor: dict[int, int] = {}
+        self._reads = 0
+        self._writes = 0
+        self._batches = 0
+        self._num_sessions = 0
+        self._frontend: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            frontend, self._frontend = self._frontend, None
+        if frontend is not None:
+            frontend.shutdown(wait=True)
+        self.deferred.stop_background()
+        self.executor.shutdown()
+        self.decode_cache.clear()
+        self.catalog.close()
+
+    def __enter__(self) -> "VSSEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _lock_for(self, name: str) -> threading.RLock:
+        """The lock serializing operations on one logical video."""
+        with self._state_lock:
+            lock = self._logical_locks.get(name)
+            if lock is None:
+                lock = self._logical_locks[name] = threading.RLock()
+            return lock
+
+    @contextmanager
+    def _locked(self, name: str):
+        """Hold the per-logical lock for ``name``.
+
+        The registry must not grow without bound under name churn, so a
+        video's lock is retired when ``delete()`` removes it and when an
+        operation finds the name does not exist; acquisition therefore
+        re-checks that the acquired lock is still the registered one and
+        retries with the fresh lock when it was retired mid-wait.
+        """
+        while True:
+            lock = self._lock_for(name)
+            lock.acquire()
+            with self._state_lock:
+                if self._logical_locks.get(name) is lock:
+                    break
+            lock.release()
+        try:
+            yield
+        except VideoNotFoundError:
+            # Probes of nonexistent names must not pin registry entries.
+            with self._state_lock:
+                if self._logical_locks.get(name) is lock:
+                    del self._logical_locks[name]
+            raise
+        finally:
+            lock.release()
+
+    def _frontend_pool(self) -> ThreadPoolExecutor:
+        """Lazily created pool running ``read_async`` requests.
+
+        Distinct from :attr:`executor` (the per-GOP worker pool): an
+        async read *submits* GOP work to the executor and waits for it,
+        so running it on the executor's own threads could deadlock.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._frontend is None:
+                self._frontend = ThreadPoolExecutor(
+                    max_workers=max(2, min(8, self.executor.parallelism)),
+                    thread_name_prefix="vss-session",
+                )
+            return self._frontend
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def session(self, **defaults) -> "Session":
+        """A cheap handle with per-caller spec defaults and stats.
+
+        ``defaults`` may name any non-positional :class:`ReadSpec` or
+        :class:`WriteSpec` field (``codec``, ``qp``, ``quality_db``,
+        ``cache``, ``mode``, ``gop_size``, ...); they fill in whatever a
+        call does not specify explicitly.
+        """
+        unknown = set(defaults) - (READ_SPEC_FIELDS | WRITE_SPEC_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"unknown session default(s) {sorted(unknown)}; expected "
+                f"fields of ReadSpec/WriteSpec"
+            )
+        with self._state_lock:
+            self._num_sessions += 1
+        return Session(self, defaults)
+
+    # ------------------------------------------------------------------
+    # create / delete
+    # ------------------------------------------------------------------
+    def create(self, name: str, budget_bytes: int = 0) -> LogicalVideo:
+        """Create a logical video.
+
+        ``budget_bytes = 0`` defers the budget to the default multiple of
+        the first written physical video's size.
+        """
+        return self.catalog.create_logical(name, budget_bytes)
+
+    def delete(self, name: str) -> None:
+        with self._locked(name):
+            logical = self.catalog.get_logical(name)
+            # A background deferred-compression thread still targeting
+            # this logical must stop before its pages vanish, or it would
+            # crash or resurrect freshly deleted page files.
+            self.deferred.cancel_logical(logical.id)
+            # Drop decoded prefixes first: SQLite reuses GOP rowids, so
+            # stale entries could otherwise serve this video's pixels
+            # under a later video's GOP ids.
+            self.decode_cache.invalidate_many(
+                g.id for g in self.catalog.gops_of_logical(logical.id)
+            )
+            self.layout.delete_logical_files(name)
+            self.catalog.delete_logical(logical.id)
+            # Retire the per-logical bookkeeping so name/id churn cannot
+            # grow the engine without bound; _locked re-validates, so a
+            # waiter on the retired lock re-acquires the fresh one.
+            with self._state_lock:
+                self._logical_locks.pop(name, None)
+                self._refine_cursor.pop(logical.id, None)
+
+    def list_videos(self) -> list[str]:
+        return [v.name for v in self.catalog.list_logical()]
+
+    def set_budget(self, name: str, budget_bytes: int) -> None:
+        logical = self.catalog.get_logical(name)
+        self.catalog.set_budget(logical.id, budget_bytes)
+
+    # ------------------------------------------------------------------
+    # write
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        spec: WriteSpec,
+        segment: VideoSegment | None = None,
+        gops: list[EncodedGOP] | None = None,
+    ) -> PhysicalVideo:
+        """Write video under ``spec.name`` (raw segment or encoded GOPs).
+
+        The first write to a logical video becomes its *original*: the
+        lossless reference all quality estimates chain back to.
+        """
+        if (segment is None) == (gops is None):
+            raise WriteError("provide exactly one of segment= or gops=")
+        with self._locked(spec.name):
+            logical = self._get_or_create(spec.name)
+            is_original = self.catalog.original_physical(logical.id) is None
+            if gops is not None:
+                outcome = self.writer.write_gops(
+                    logical, gops, is_original=is_original
+                )
+            else:
+                outcome = self.writer.write_segment(
+                    logical, segment, spec=spec, is_original=is_original
+                )
+            if is_original:
+                self._default_budget(logical, outcome.nbytes)
+        with self._state_lock:
+            self._writes += 1
+        return outcome.physical
+
+    def open_write_stream(
+        self,
+        name: str,
+        codec: str,
+        pixel_format: str,
+        width: int,
+        height: int,
+        fps: float,
+        qp: int = QP_DEFAULT,
+        gop_size: int | None = None,
+    ) -> "HookedStream":
+        """Begin a non-blocking streaming write (prefix reads allowed)."""
+        with self._locked(name):
+            logical = self._get_or_create(name)
+            is_original = self.catalog.original_physical(logical.id) is None
+            stream = self.writer.open_stream(
+                logical,
+                codec=codec,
+                pixel_format=pixel_format,
+                width=width,
+                height=height,
+                fps=fps,
+                qp=qp,
+                is_original=is_original,
+                gop_size=gop_size,
+            )
+        with self._state_lock:
+            self._writes += 1
+        return HookedStream(self, logical, stream, is_original)
+
+    def _get_or_create(self, name: str) -> LogicalVideo:
+        try:
+            return self.catalog.get_logical(name)
+        except VideoNotFoundError:
+            return self.create(name)
+
+    def _default_budget(self, logical: LogicalVideo, original_bytes: int) -> None:
+        fresh = self.catalog.get_logical_by_id(logical.id)
+        if fresh.budget_bytes == 0:
+            self.catalog.set_budget(
+                logical.id, int(original_bytes * self.budget_multiple)
+            )
+
+    # ------------------------------------------------------------------
+    # read
+    # ------------------------------------------------------------------
+    def read(self, spec: ReadSpec) -> ReadResult:
+        """Execute one read; see :meth:`Session.read` for the usual path."""
+        with self._locked(spec.name):
+            logical, original = self._read_preamble(
+                spec.name, any_raw=spec.codec == "raw"
+            )
+            fragments = self.catalog.fragments_of_logical(logical.id)
+            plan = plan_read(
+                spec,
+                fragments,
+                original,
+                self.cost_model,
+                self.quality_model,
+                mode=spec.mode or self.planner,
+            )
+            result = self.reader.execute(plan)
+            self.catalog.touch_gops(
+                result.stats.gop_ids_touched, self.clock.tick()
+            )
+            if self._should_cache(spec) and not result.stats.direct_serve:
+                self._admit(logical, plan, result)
+            self._periodic_maintenance(logical)
+        with self._state_lock:
+            self._reads += 1
+        return result
+
+    def read_batch(self, specs: list[ReadSpec]) -> tuple[list[ReadResult], BatchStats]:
+        """Execute several reads with shared planning and decode work.
+
+        Specs are grouped by logical video; each group plans against one
+        catalog snapshot, decodes every shared GOP window once, touches
+        LRU stamps once, and enforces the budget once.  Results come back
+        in spec order.
+        """
+        for spec in specs:
+            if not isinstance(spec, ReadSpec):
+                raise TypeError(
+                    f"read_batch takes ReadSpec objects, got {type(spec).__name__}"
+                )
+        results: list[ReadResult | None] = [None] * len(specs)
+        total = BatchStats()
+        groups: dict[str, list[int]] = {}
+        for index, spec in enumerate(specs):
+            groups.setdefault(spec.name, []).append(index)
+        # Fail fast before mutating anything: a typo'd or empty video in
+        # one spec must not leave earlier groups' side effects (admission,
+        # eviction, LRU stamps) committed while the batch raises.
+        for name in groups:
+            logical = self.catalog.get_logical(name)
+            if self.catalog.original_physical(logical.id) is None:
+                raise ReadError(f"logical video {name!r} has no data")
+        # Groups are handled one after another (never holding two logical
+        # locks at once), so batches cannot deadlock against each other.
+        for name in sorted(groups):
+            indices = groups[name]
+            with self._locked(name):
+                logical, original = self._read_preamble(
+                    name,
+                    any_raw=any(specs[i].codec == "raw" for i in indices),
+                )
+                fragments = self.catalog.fragments_of_logical(logical.id)
+                plans = [
+                    plan_read(
+                        specs[i],
+                        fragments,
+                        original,
+                        self.cost_model,
+                        self.quality_model,
+                        mode=specs[i].mode or self.planner,
+                    )
+                    for i in indices
+                ]
+                group_results, batch = self.reader.execute_batch(plans)
+                tick = self.clock.tick()
+                self.catalog.touch_gops(
+                    [
+                        gid
+                        for r in group_results
+                        for gid in r.stats.gop_ids_touched
+                    ],
+                    tick,
+                )
+                admitted = False
+                for i, result in zip(indices, group_results):
+                    if (
+                        self._should_cache(specs[i])
+                        and not result.stats.direct_serve
+                    ):
+                        self._admit(logical, result.plan, result, enforce=False)
+                        admitted = True
+                    results[i] = result
+                if admitted:
+                    self.cache.enforce_budget(logical)
+                self._periodic_maintenance(logical)
+                total.merge(batch)
+        with self._state_lock:
+            self._reads += len(specs)
+            self._batches += 1
+        return results, total
+
+    def _read_preamble(
+        self, name: str, any_raw: bool
+    ) -> tuple[LogicalVideo, PhysicalVideo]:
+        """Resolve the logical/original pair and fire the raw-read hook.
+
+        ``any_raw`` is True when at least one read in the operation wants
+        uncompressed output (section 5.2's deferred-compression trigger).
+        """
+        logical = self.catalog.get_logical(name)
+        original = self.catalog.original_physical(logical.id)
+        if original is None:
+            raise ReadError(f"logical video {name!r} has no data")
+        if any_raw:
+            self.deferred.on_uncompressed_read(logical)
+        return logical, original
+
+    def _should_cache(self, spec: ReadSpec) -> bool:
+        return self.cache_reads if spec.cache is None else spec.cache
+
+    # ------------------------------------------------------------------
+    # cache admission (section 4)
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        logical: LogicalVideo,
+        plan,
+        result: ReadResult,
+        enforce: bool = True,
+    ) -> None:
+        if self._would_duplicate(plan):
+            return
+        source_mse = max(
+            (c.fragment.physical.mse_estimate for c in plan.choices),
+            default=0.0,
+        )
+        mse_estimate = self.quality_model.estimate_after_transcode(
+            source_mse=source_mse,
+            resample_mse=result.stats.resample_mse,
+            target_codec=plan.request.codec,
+            achieved_bpp=result.stats.output_bpp,
+        )
+        full = (0, 0, *plan.original_resolution)
+        roi = None if tuple(plan.roi) == full else tuple(plan.roi)
+        if result.gops is not None:
+            self.writer.write_gops(
+                logical, result.gops, mse_estimate=mse_estimate, roi=roi
+            )
+        else:
+            self.writer.write_segment(
+                logical,
+                result.segment,
+                spec=WriteSpec(name=logical.name, codec="raw"),
+                mse_estimate=mse_estimate,
+                roi=roi,
+            )
+        # Enforce the budget and accept the outcome, whatever mix of old
+        # and new pages the policy retains (paper Figure 5: admitting m4
+        # evicts part of m1).  No rollback: eviction may already have
+        # removed pages the new physical was covering, so deleting the new
+        # pages afterwards could orphan part of the timeline.  Batched
+        # reads defer enforcement to one pass at the end of the batch.
+        if enforce:
+            self.cache.enforce_budget(logical)
+
+    def _would_duplicate(self, plan) -> bool:
+        """True when the read was served from a single fragment already in
+        the requested format — caching it again would store a byte-level
+        duplicate and only churn the budget."""
+        if len({id(c.fragment) for c in plan.choices}) != 1:
+            return False
+        fragment = plan.choices[0].fragment
+        if not self.cost_model.is_format_match(fragment, plan.target):
+            return False
+        if abs(fragment.physical.fps - plan.target_fps) > 1e-9:
+            return False
+        full = (0, 0, *plan.original_resolution)
+        frag_roi = fragment.physical.roi_or(full)
+        return tuple(frag_roi) == tuple(plan.roi)
+
+    def enforce_budget(self, name: str) -> EvictionReport:
+        with self._locked(name):
+            logical = self.catalog.get_logical(name)
+            return self.cache.enforce_budget(logical)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _periodic_maintenance(self, logical: LogicalVideo) -> None:
+        with self._state_lock:
+            self._reads_since_compact += 1
+            compact_due = self._reads_since_compact >= COMPACT_INTERVAL
+            if compact_due:
+                self._reads_since_compact = 0
+            self._reads_since_refine += 1
+            refine_due = self._reads_since_refine >= REFINE_INTERVAL
+            if refine_due:
+                self._reads_since_refine = 0
+        if compact_due:
+            self.compactor.compact(logical)
+        if refine_due:
+            self._refine_one(logical)
+        if self.background_compression:
+            if not self.deferred.background_running:
+                self.deferred.start_background(logical)
+            self.deferred.notify_idle()
+
+    def compact(self, name: str) -> int:
+        with self._locked(name):
+            logical = self.catalog.get_logical(name)
+            return self.compactor.compact(logical)
+
+    def _refine_one(self, logical: LogicalVideo) -> None:
+        """Periodic exact-quality sampling (section 3.2): decode a sample
+        of one cached physical video, compare against the original, and
+        replace the estimated MSE with the measurement.  A per-logical
+        cursor rotates through the candidates, so refinement eventually
+        covers every cached physical instead of resampling the first."""
+        original = self.catalog.original_physical(logical.id)
+        if original is None:
+            return
+        candidates = [
+            p
+            for p in self.catalog.list_physicals(logical.id)
+            if not p.is_original and p.sealed and p.mse_estimate > 0.0
+        ]
+        if not candidates:
+            return
+        with self._state_lock:
+            cursor = self._refine_cursor.get(logical.id, 0)
+            self._refine_cursor[logical.id] = cursor + 1
+        physical = candidates[cursor % len(candidates)]
+        gops = self.catalog.gops_of_physical(physical.id)
+        if not gops:
+            return
+        sample = gops[0]
+        try:
+            cached = codec_for(physical.codec).decode_gop(
+                self.layout.read_gop(sample.path, sample.zstd_level)
+            )
+            reference = self._decode_original_window(
+                logical, original, sample.start_time, sample.end_time
+            )
+        except Exception:
+            return  # sampling is best-effort
+        reference = self._match_geometry(reference, physical, original)
+        frames = min(cached.num_frames, reference.num_frames)
+        if frames == 0:
+            return
+        measured = segment_mse(
+            reference.slice_frames(0, frames), cached.slice_frames(0, frames)
+        )
+        self.catalog.update_mse_estimate(physical.id, measured)
+
+    def _decode_original_window(
+        self,
+        logical: LogicalVideo,
+        original: PhysicalVideo,
+        start: float,
+        end: float,
+    ) -> VideoSegment:
+        pieces = []
+        for gop in self.catalog.gops_of_physical(original.id, start, end):
+            encoded = self.layout.read_gop(gop.path, gop.zstd_level)
+            pieces.append(
+                codec_for(encoded.codec).decode_gop(
+                    encoded.with_start_time(gop.start_time)
+                )
+            )
+        if not pieces:
+            raise ReadError("original GOPs missing for refinement window")
+        merged = pieces[0].concatenate(pieces)
+        return merged.slice_time(start, end)
+
+    @staticmethod
+    def _match_geometry(
+        reference: VideoSegment,
+        physical: PhysicalVideo,
+        original: PhysicalVideo,
+    ) -> VideoSegment:
+        if physical.roi is not None:
+            x0, y0, x1, y1 = physical.roi
+            reference = crop_roi(reference, x0, x1, y0, y1)
+        if (reference.width, reference.height) != physical.resolution:
+            reference = resize_segment(
+                reference, physical.width, physical.height
+            )
+        return convert_segment(reference, physical.pixel_format)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """Store-wide counters: traffic, decode cache, executor."""
+        decode = self.decode_cache.stats
+        with self._state_lock:
+            reads, writes = self._reads, self._writes
+            batches, sessions = self._batches, self._num_sessions
+        return EngineStats(
+            num_logical_videos=len(self.catalog.list_logical()),
+            num_sessions=sessions,
+            reads=reads,
+            writes=writes,
+            batches=batches,
+            parallelism=self.executor.parallelism,
+            executor_tasks=self.executor.tasks_completed,
+            decode_cache_hits=decode.hits,
+            decode_cache_misses=decode.misses,
+            decode_cache_hit_rate=decode.hit_rate,
+            decode_cache_evictions=decode.evictions,
+            decode_cache_invalidations=decode.invalidations,
+            decode_cache_bytes=self.decode_cache.current_bytes,
+        )
+
+    def video_stats(self, name: str) -> StoreStats:
+        """Per-video summary (see :meth:`stats` for store-wide counters)."""
+        logical = self.catalog.get_logical(name)
+        fragments = self.catalog.fragments_of_logical(logical.id)
+        gops = self.catalog.gops_of_logical(logical.id)
+        return StoreStats(
+            name=name,
+            budget_bytes=logical.budget_bytes,
+            total_bytes=self.catalog.total_bytes(logical.id),
+            num_physicals=len(self.catalog.list_physicals(logical.id)),
+            num_fragments=len(fragments),
+            num_gops=len(gops),
+        )
+
+
+class Session:
+    """A cheap, thread-compatible handle onto a :class:`VSSEngine`.
+
+    A session carries per-caller spec defaults (e.g. a surveillance
+    consumer always reading ``codec="h264", qp=12``) and accumulates
+    :class:`SessionStats`.  Sessions share the engine's catalog, caches,
+    and thread pools; creating one allocates no store resources, so "one
+    session per request handler" is the intended usage.  A session's own
+    counters are lock-guarded, so a single session may also be shared by
+    several threads.
+    """
+
+    def __init__(self, engine: VSSEngine, defaults: dict):
+        self._engine = engine
+        self._defaults = dict(defaults)
+        self._lock = threading.Lock()
+        self.stats = SessionStats()
+
+    @property
+    def engine(self) -> VSSEngine:
+        return self._engine
+
+    @property
+    def defaults(self) -> dict:
+        return dict(self._defaults)
+
+    # ------------------------------------------------------------------
+    # spec builders
+    # ------------------------------------------------------------------
+    def read_spec(
+        self, name: str, start: float, end: float, **overrides
+    ) -> ReadSpec:
+        """A :class:`ReadSpec` from session defaults plus ``overrides``."""
+        fields = {
+            k: v for k, v in self._defaults.items() if k in READ_SPEC_FIELDS
+        }
+        fields.update(overrides)
+        return ReadSpec(name=name, start=start, end=end, **fields)
+
+    def write_spec(self, name: str, **overrides) -> WriteSpec:
+        """A :class:`WriteSpec` from session defaults plus ``overrides``."""
+        fields = {
+            k: v for k, v in self._defaults.items() if k in WRITE_SPEC_FIELDS
+        }
+        fields.update(overrides)
+        return WriteSpec(name=name, **fields)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        spec_or_name: ReadSpec | str,
+        start: float | None = None,
+        end: float | None = None,
+        **overrides,
+    ) -> ReadResult:
+        """Read video; takes a :class:`ReadSpec` or (name, start, end).
+
+        With a spec, ``overrides`` are applied via :meth:`ReadSpec.replace`;
+        with a name, the spec is built from session defaults.
+        """
+        spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
+        begin = time.perf_counter()
+        result = self._engine.read(spec)
+        self._note_read(result, time.perf_counter() - begin)
+        return result
+
+    def read_batch(self, specs: list[ReadSpec]) -> list[ReadResult]:
+        """Execute several reads, sharing planning and decode work.
+
+        Overlapping reads decode each shared GOP once; see
+        :attr:`SessionStats.last_batch` for the sharing counters.
+        """
+        begin = time.perf_counter()
+        results, batch = self._engine.read_batch(list(specs))
+        elapsed = time.perf_counter() - begin
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.last_batch = batch
+            self.stats.wall_seconds += elapsed
+            for result in results:
+                self.stats.reads += 1
+                self.stats.decode_cache_hits += result.stats.decode_cache_hits
+                self.stats.decode_cache_misses += (
+                    result.stats.decode_cache_misses
+                )
+        return results
+
+    def read_async(
+        self,
+        spec_or_name: ReadSpec | str,
+        start: float | None = None,
+        end: float | None = None,
+        **overrides,
+    ) -> Future:
+        """Submit a read; returns a ``concurrent.futures.Future``.
+
+        The read runs on the engine's session pool; reads of different
+        videos proceed concurrently, reads of one video are linearized.
+        """
+        spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
+        pool = self._engine._frontend_pool()
+
+        def run() -> ReadResult:
+            begin = time.perf_counter()
+            result = self._engine.read(spec)
+            self._note_read(result, time.perf_counter() - begin)
+            return result
+
+        return pool.submit(run)
+
+    def _coerce_read_spec(
+        self, spec_or_name, start, end, overrides
+    ) -> ReadSpec:
+        if isinstance(spec_or_name, ReadSpec):
+            if start is not None or end is not None:
+                raise TypeError(
+                    "pass either a ReadSpec or (name, start, end), not both"
+                )
+            spec = spec_or_name
+            return spec.replace(**overrides) if overrides else spec
+        if start is None or end is None:
+            raise TypeError("read(name, ...) requires start and end")
+        return self.read_spec(spec_or_name, start, end, **overrides)
+
+    def _note_read(self, result: ReadResult, elapsed: float) -> None:
+        with self._lock:
+            self.stats.reads += 1
+            self.stats.wall_seconds += elapsed
+            self.stats.decode_cache_hits += result.stats.decode_cache_hits
+            self.stats.decode_cache_misses += result.stats.decode_cache_misses
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        spec_or_name: WriteSpec | str,
+        segment: VideoSegment | None = None,
+        gops: list[EncodedGOP] | None = None,
+        **overrides,
+    ) -> PhysicalVideo:
+        """Write video; takes a :class:`WriteSpec` or a name."""
+        if isinstance(spec_or_name, WriteSpec):
+            spec = spec_or_name
+            if overrides:
+                spec = spec.replace(**overrides)
+        else:
+            spec = self.write_spec(spec_or_name, **overrides)
+        begin = time.perf_counter()
+        physical = self._engine.write(spec, segment=segment, gops=gops)
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.wall_seconds += time.perf_counter() - begin
+        return physical
+
+
+class HookedStream:
+    """Streaming writer that drives deferred compression as data lands.
+
+    During a long raw write the budget fills early; the paper's Figure 13
+    shows deferred compression activating mid-write and moderating size at
+    the cost of throughput.  This wrapper triggers that path after every
+    appended chunk.
+
+    Appends take the engine's per-logical lock, so a stream races neither
+    concurrent reads of its prefix nor ``engine.delete()`` — appending to
+    a video deleted mid-stream raises :class:`WriteError` instead of
+    resurrecting its pages.
+    """
+
+    def __init__(
+        self,
+        engine: VSSEngine,
+        logical: LogicalVideo,
+        stream: StreamWriter,
+        is_original: bool,
+    ):
+        self._engine = engine
+        self._logical = logical
+        self._stream = stream
+        self._is_original = is_original
+
+    @property
+    def physical(self) -> PhysicalVideo:
+        return self._stream.physical
+
+    @property
+    def nbytes(self) -> int:
+        return self._stream.nbytes
+
+    def _check_alive(self) -> None:
+        """Raise when the logical video vanished under this stream."""
+        try:
+            self._engine.catalog.get_logical_by_id(self._logical.id)
+        except CatalogError:
+            raise WriteError(
+                f"logical video {self._logical.name!r} was deleted during "
+                f"the streaming write"
+            ) from None
+
+    def append(self, segment: VideoSegment) -> None:
+        with self._engine._locked(self._logical.name):
+            self._check_alive()
+            self._stream.append(segment)
+            self._maybe_defer()
+
+    def append_gops(self, gops: list[EncodedGOP]) -> None:
+        with self._engine._locked(self._logical.name):
+            self._check_alive()
+            self._stream.append_gops(gops)
+            self._maybe_defer()
+
+    def _maybe_defer(self) -> None:
+        if self._is_original:
+            # Budget defaults are set from the original's final size; during
+            # an original write, derive a provisional budget from bytes so
+            # far so the threshold can engage (the paper's Figure 13 run).
+            logical = self._engine.catalog.get_logical_by_id(self._logical.id)
+            if logical.budget_bytes == 0:
+                return
+        if self._stream.physical.codec == "raw" and self._engine.deferred.active(
+            self._logical
+        ):
+            self._engine.deferred.compress_one(self._logical)
+
+    def close(self):
+        with self._engine._locked(self._logical.name):
+            self._check_alive()
+            outcome = self._stream.close()
+            if self._is_original:
+                self._engine._default_budget(self._logical, outcome.nbytes)
+        return outcome
+
+    def __enter__(self) -> "HookedStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._stream.closed and self._stream.has_data:
+            self.close()

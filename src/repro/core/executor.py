@@ -44,6 +44,13 @@ class Executor:
         self.parallelism = parallelism
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._tasks_completed = 0
+
+    @property
+    def tasks_completed(self) -> int:
+        """Total items mapped so far (inline and pooled); a cheap counter
+        concurrency tests use to assert how much work actually ran."""
+        return self._tasks_completed
 
     def map(
         self, fn: Callable[[_T], _R], items: Iterable[_T]
@@ -57,8 +64,12 @@ class Executor:
         """
         work: Sequence[_T] = items if isinstance(items, list) else list(items)
         if self.parallelism == 1 or len(work) < 2:
-            return [fn(item) for item in work]
-        return list(self._ensure_pool().map(fn, work))
+            results = [fn(item) for item in work]
+        else:
+            results = list(self._ensure_pool().map(fn, work))
+        with self._lock:
+            self._tasks_completed += len(work)
+        return results
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         pool = self._pool

@@ -24,42 +24,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cost import CostModel, TargetFormat
-from repro.core.quality import DEFAULT_EPSILON_DB, QualityModel
+from repro.core.quality import QualityModel
 from repro.core.records import ROI, Fragment, PhysicalVideo
+from repro.core.specs import ReadSpec
 from repro.errors import OutOfRangeError, QualityError
 from repro.solver import Optimizer
-from repro.video.codec.quant import QP_DEFAULT
 
 _EPS = 1e-9
 
-
-@dataclass
-class ReadRequest:
-    """The parameters of a VSS ``read`` (Figure 1).
-
-    Temporal (T): ``start``/``end`` seconds and output ``fps``; spatial
-    (S): output ``resolution`` and ``roi`` in original coordinates;
-    physical (P): ``codec``, ``pixel_format``, output ``qp``, and the
-    quality cutoff ``quality_db`` below which cached fragments are
-    rejected.
-    """
-
-    name: str
-    start: float
-    end: float
-    codec: str = "raw"
-    pixel_format: str = "rgb"
-    resolution: tuple[int, int] | None = None
-    roi: ROI | None = None
-    fps: float | None = None
-    quality_db: float = DEFAULT_EPSILON_DB
-    qp: int = QP_DEFAULT
-
-    def __post_init__(self) -> None:
-        if self.end <= self.start:
-            raise OutOfRangeError(
-                f"empty read interval [{self.start}, {self.end})"
-            )
+#: Deprecated alias: the planner's request type is now the immutable
+#: :class:`repro.core.specs.ReadSpec` (validated at construction).
+ReadRequest = ReadSpec
 
 
 @dataclass
@@ -82,7 +57,7 @@ class IntervalChoice:
 class ReadPlan:
     """The output of planning: per-interval choices plus cost metadata."""
 
-    request: ReadRequest
+    request: ReadSpec
     target: TargetFormat
     target_fps: float
     roi: ROI
@@ -122,7 +97,7 @@ def _area(roi: ROI) -> int:
 
 
 def resolve_target(
-    request: ReadRequest, original: PhysicalVideo
+    request: ReadSpec, original: PhysicalVideo
 ) -> tuple[TargetFormat, float, ROI]:
     """Fill in request defaults from the original video."""
     full: ROI = (0, 0, original.width, original.height)
@@ -147,7 +122,7 @@ def resolve_target(
 
 
 def plan_read(
-    request: ReadRequest,
+    request: ReadSpec,
     fragments: list[Fragment],
     original: PhysicalVideo,
     cost_model: CostModel,
@@ -191,7 +166,7 @@ def plan_read(
 
 
 def _filter_candidates(
-    request: ReadRequest,
+    request: ReadSpec,
     fragments: list[Fragment],
     original: PhysicalVideo,
     quality_model: QualityModel,
@@ -217,7 +192,7 @@ def _filter_candidates(
 
 
 def _build_intervals(
-    request: ReadRequest, candidates: list[Fragment], roi: ROI
+    request: ReadSpec, candidates: list[Fragment], roi: ROI
 ) -> list[_Interval]:
     points = {request.start, request.end}
     for fragment in candidates:
@@ -269,7 +244,7 @@ def _spatial_cells(
 
 
 def _optimize(
-    request: ReadRequest,
+    request: ReadSpec,
     target: TargetFormat,
     target_fps: float,
     roi: ROI,
@@ -414,7 +389,7 @@ def _greedy_choice(
 
 
 def _plan_original(
-    request: ReadRequest,
+    request: ReadSpec,
     target: TargetFormat,
     target_fps: float,
     roi: ROI,

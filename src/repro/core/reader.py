@@ -19,6 +19,11 @@ loads/decodes across the store's shared :class:`Executor`; results are
 reassembled in plan order, keeping output pixels and stats deterministic.
 A :class:`DecodeCache` short-circuits the decode entirely when a
 sufficiently long prefix of the GOP was decoded by an earlier read.
+
+:meth:`Reader.execute_batch` executes several plans with shared decode
+work: the union of needed GOP windows is decoded once into a batch-local
+:class:`BatchDecodeCache` overlay, so N overlapping reads pay for one
+decode of each shared GOP instead of N.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.cost import CostModel
+from repro.core.decode_cache import BatchDecodeCache
 from repro.core.layout import Layout
 from repro.core.read_planner import IntervalChoice, ReadPlan
 from repro.core.records import ROI, Fragment, GopRecord
@@ -41,6 +47,9 @@ from repro.video.metrics import mse
 from repro.video.resample import resize_segment
 
 _EPS = 1e-9
+
+#: Sentinel distinguishing "use the reader's cache" from an explicit None.
+_DEFAULT_CACHE = object()
 
 
 @dataclass
@@ -59,6 +68,34 @@ class ReadStats:
     gop_ids_touched: list[int] = field(default_factory=list)
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
+
+
+@dataclass
+class BatchStats:
+    """Shared-work accounting for one ``Reader.execute_batch`` call.
+
+    ``window_requests`` counts GOP decode windows over all reads in the
+    batch; ``unique_gops`` counts them after dedup, so the difference is
+    the decode work the batch shared.  ``gops_decoded`` is the number of
+    decodes actually performed — it can be smaller than ``unique_gops``
+    when the store's decode cache already covered some windows.
+    """
+
+    num_reads: int = 0
+    window_requests: int = 0
+    unique_gops: int = 0
+    gops_decoded: int = 0
+
+    @property
+    def gops_shared(self) -> int:
+        """Decode windows served by another read's (or a prior) decode."""
+        return self.window_requests - self.unique_gops
+
+    def merge(self, other: "BatchStats") -> None:
+        self.num_reads += other.num_reads
+        self.window_requests += other.window_requests
+        self.unique_gops += other.unique_gops
+        self.gops_decoded += other.gops_decoded
 
 
 @dataclass
@@ -125,17 +162,35 @@ class Reader:
         return map_parallel(self.executor, fn, items)
 
     # ------------------------------------------------------------------
-    def execute(self, plan: ReadPlan) -> ReadResult:
+    def execute(
+        self,
+        plan: ReadPlan,
+        decode_cache=_DEFAULT_CACHE,
+        direct_records=_DEFAULT_CACHE,
+    ) -> ReadResult:
+        """Execute one plan.
+
+        ``decode_cache`` overrides the reader's store-wide cache for this
+        call (``Reader.execute_batch`` passes a batch-local overlay);
+        leave it unset to use the store cache.  ``direct_records`` is the
+        precomputed :meth:`_direct_serve_records` outcome when the caller
+        already evaluated eligibility (the batch pre-pass does); leave it
+        unset to evaluate here.
+        """
+        if decode_cache is _DEFAULT_CACHE:
+            decode_cache = self.decode_cache
+        if direct_records is _DEFAULT_CACHE:
+            direct_records = self._direct_serve_records(plan)
         start_wall = time.perf_counter()
         stats = ReadStats(planned_cost=plan.estimated_cost)
         stats.fragments_used = plan.num_fragments_used
 
-        direct = self._try_direct_serve(plan, stats)
+        direct = self._serve_direct(plan, direct_records, stats)
         if direct is not None:
             stats.wall_seconds = time.perf_counter() - start_wall
             return ReadResult(plan, None, direct, stats)
 
-        segment = self._assemble(plan, stats)
+        segment = self._assemble(plan, stats, decode_cache)
         gops: list[EncodedGOP] | None = None
         if plan.request.codec != "raw":
             codec = codec_for(plan.request.codec)
@@ -158,11 +213,10 @@ class Reader:
     # ------------------------------------------------------------------
     # direct byte serving (no transcode)
     # ------------------------------------------------------------------
-    def _try_direct_serve(
-        self, plan: ReadPlan, stats: ReadStats
-    ) -> list[EncodedGOP] | None:
-        """Serve stored GOP bytes untouched when formats match exactly and
-        the request aligns with GOP boundaries."""
+    def _direct_serve_records(self, plan: ReadPlan) -> list[GopRecord] | None:
+        """The GOP records a byte-for-byte serve would ship, or None when
+        the plan is ineligible (format/fps/ROI mismatch, unaligned
+        boundaries, or joint GOPs needing reconstruction)."""
         if plan.request.codec == "raw":
             return None
         if len({id(c.fragment) for c in plan.choices}) != 1:
@@ -189,6 +243,19 @@ class Reader:
             return None  # boundaries unaligned; fall back to transcode path
         if any(record.joint_pair_id is not None for record in gops):
             return None  # joint GOPs need reconstruction
+        return gops
+
+    def _serve_direct(
+        self,
+        plan: ReadPlan,
+        gops: list[GopRecord] | None,
+        stats: ReadStats,
+    ) -> list[EncodedGOP] | None:
+        """Serve stored GOP bytes untouched when formats match exactly and
+        the request aligns with GOP boundaries (``gops`` is the
+        :meth:`_direct_serve_records` outcome)."""
+        if gops is None:
+            return None
         served = self._map(
             lambda record: self._read_gop_file(record).with_start_time(
                 record.start_time
@@ -201,9 +268,69 @@ class Reader:
         return served
 
     # ------------------------------------------------------------------
+    # batched execution (shared decode work)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, plans: list[ReadPlan]
+    ) -> tuple[list[ReadResult], BatchStats]:
+        """Execute several plans, decoding each shared GOP window once.
+
+        The union of GOP decode windows over all plans is computed first
+        (per GOP: the deepest stop frame any plan needs), each window is
+        decoded once — fanned across the executor — into a
+        :class:`BatchDecodeCache` overlay, and the plans then execute
+        against the overlay, so N overlapping reads pay for one decode of
+        each shared GOP instead of N.
+        """
+        batch = BatchStats(num_reads=len(plans))
+        overlay = BatchDecodeCache(self.decode_cache)
+        direct_by_plan = [self._direct_serve_records(plan) for plan in plans]
+        # gop_id -> (record, fragment, deepest stop frame needed)
+        needed: dict[int, tuple[GopRecord, Fragment, int]] = {}
+        for plan, direct in zip(plans, direct_by_plan):
+            if direct is not None:
+                continue  # byte-served: no decode work to share
+            for choice in plan.choices:
+                fps = choice.fragment.physical.fps
+                for record in choice.fragment.gops_overlapping(
+                    choice.start, choice.end
+                ):
+                    if record.joint_pair_id is not None:
+                        continue  # rebuilt from pair pieces; never cached
+                    _, stop = self._window_bounds(
+                        record, fps, choice.start, choice.end
+                    )
+                    batch.window_requests += 1
+                    current = needed.get(record.id)
+                    if current is None or stop > current[2]:
+                        needed[record.id] = (record, choice.fragment, stop)
+        batch.unique_gops = len(needed)
+
+        def warm(entry: tuple[GopRecord, Fragment, int]) -> int:
+            record, fragment, stop = entry
+            if overlay.peek(record.id, stop):
+                return 0  # an earlier read already decoded this deep
+            encoded = self._load_gop(record, fragment)
+            codec = codec_for(encoded.codec)
+            if codec.is_compressed:
+                overlay.put(record.id, stop, codec.decode_gop_frames(encoded, stop))
+            else:
+                overlay.put(record.id, record.num_frames, codec.decode_gop(encoded))
+            return 1
+
+        batch.gops_decoded = sum(self._map(warm, list(needed.values())))
+        results = [
+            self.execute(plan, decode_cache=overlay, direct_records=direct)
+            for plan, direct in zip(plans, direct_by_plan)
+        ]
+        return results, batch
+
+    # ------------------------------------------------------------------
     # decode-and-assemble path
     # ------------------------------------------------------------------
-    def _assemble(self, plan: ReadPlan, stats: ReadStats) -> VideoSegment:
+    def _assemble(
+        self, plan: ReadPlan, stats: ReadStats, decode_cache
+    ) -> VideoSegment:
         request = plan.request
         target = plan.target
         fps = plan.target_fps
@@ -223,7 +350,7 @@ class Reader:
             out_indices = np.nonzero(mask)[0]
             if out_indices.size == 0:
                 continue
-            source = self._decode_interval(choice, stats)
+            source = self._decode_interval(choice, stats, decode_cache)
             src_indices = np.clip(
                 np.floor(
                     (frame_times[out_indices] - source.start_time) * source.fps
@@ -254,7 +381,7 @@ class Reader:
         )
 
     def _decode_interval(
-        self, choice: IntervalChoice, stats: ReadStats
+        self, choice: IntervalChoice, stats: ReadStats, decode_cache
     ) -> VideoSegment:
         """Decode a fragment's frames covering ``choice``'s interval as RGB.
 
@@ -271,7 +398,7 @@ class Reader:
             )
         windows = self._map(
             lambda record: self._decode_gop_window(
-                record, fragment, choice.start, choice.end
+                record, fragment, choice.start, choice.end, decode_cache
             ),
             records,
         )
@@ -289,21 +416,11 @@ class Reader:
         merged = pieces[0].concatenate(pieces) if len(pieces) > 1 else pieces[0]
         return convert_segment(merged, "rgb")
 
-    def _decode_gop_window(
-        self,
-        record: GopRecord,
-        fragment: Fragment,
-        start: float,
-        end: float,
-    ) -> _GopWindow:
-        """Decode the frames of one GOP that fall inside [start, end).
-
-        Frames before the window inside the GOP are decoded anyway (the
-        look-back dependency chain) and then dropped — unless the decode
-        cache already holds a prefix that covers the window, in which
-        case no bytes are read and no frames are decoded at all.
-        """
-        fps = fragment.physical.fps
+    @staticmethod
+    def _window_bounds(
+        record: GopRecord, fps: float, start: float, end: float
+    ) -> tuple[int, int]:
+        """(first needed frame, stop frame) of a GOP for ``[start, end)``."""
         first_needed = max(
             0, int(np.floor((start - record.start_time) * fps + 1e-6))
         )
@@ -313,15 +430,34 @@ class Reader:
         )
         stop = max(stop, first_needed + 1)
         stop = min(stop, record.num_frames)
+        return first_needed, stop
+
+    def _decode_gop_window(
+        self,
+        record: GopRecord,
+        fragment: Fragment,
+        start: float,
+        end: float,
+        decode_cache,
+    ) -> _GopWindow:
+        """Decode the frames of one GOP that fall inside [start, end).
+
+        Frames before the window inside the GOP are decoded anyway (the
+        look-back dependency chain) and then dropped — unless the decode
+        cache already holds a prefix that covers the window, in which
+        case no bytes are read and no frames are decoded at all.
+        """
+        fps = fragment.physical.fps
+        first_needed, stop = self._window_bounds(record, fps, start, end)
         # Joint GOPs are rebuilt from shared pair pieces rather than their
         # own page file; never cache them.
         cacheable = (
-            self.decode_cache is not None
-            and self.decode_cache.enabled
+            decode_cache is not None
+            and decode_cache.enabled
             and record.joint_pair_id is None
         )
         if cacheable:
-            prefix = self.decode_cache.get(record.id, stop)
+            prefix = decode_cache.get(record.id, stop)
             if prefix is not None:
                 if first_needed:
                     prefix = prefix.slice_frames(first_needed, stop)
@@ -331,7 +467,7 @@ class Reader:
         if codec.is_compressed:
             decoded = codec.decode_gop_frames(encoded, stop)
             if cacheable:
-                self.decode_cache.put(record.id, stop, decoded)
+                decode_cache.put(record.id, stop, decoded)
             frames_decoded = stop
             lookback = first_needed
             if first_needed:
@@ -340,7 +476,7 @@ class Reader:
             # Raw frames are independently decodable; skip the prefix.
             full = codec.decode_gop(encoded)
             if cacheable:
-                self.decode_cache.put(record.id, record.num_frames, full)
+                decode_cache.put(record.id, record.num_frames, full)
             decoded = full.slice_frames(first_needed, stop)
             frames_decoded = stop - first_needed
             lookback = 0

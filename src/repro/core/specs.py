@@ -1,0 +1,152 @@
+"""Typed request specifications: :class:`ReadSpec` and :class:`WriteSpec`.
+
+These frozen dataclasses replace the kwargs sprawl that used to be
+duplicated across the ``VSS`` facade, ``ReadRequest``, the planner, and
+the cache-admission path.  A spec is validated *at construction* — an
+invalid interval, ROI, codec, or qp fails immediately with the same error
+type the deep layers used to raise much later — and is immutable, so it
+can be shared freely across sessions and threads, stored in plans, and
+replayed.
+
+``spec.replace(start=5.0)`` derives a new spec with one field changed,
+which is the idiomatic way to sweep a parameter::
+
+    base = ReadSpec("traffic", 0.0, 1.0, codec="h264")
+    specs = [base.replace(start=t, end=t + 1.0) for t in range(8)]
+    session.read_batch(specs)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.quality import DEFAULT_EPSILON_DB
+from repro.core.records import ROI
+from repro.errors import FormatError, OutOfRangeError
+from repro.video.codec.quant import QP_DEFAULT, QP_MAX, QP_MIN
+from repro.video.codec.registry import CODEC_NAMES
+from repro.video.frame import PIXEL_FORMATS
+
+#: Planner modes accepted by :attr:`ReadSpec.mode` (None = store default).
+PLANNER_MODES = ("solver", "greedy", "original")
+
+
+def _check_name(name) -> None:
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"video name must be a non-empty string, got {name!r}")
+
+
+def _check_codec(codec: str) -> None:
+    if codec not in CODEC_NAMES:
+        raise FormatError(
+            f"unknown codec {codec!r}; expected one of {sorted(CODEC_NAMES)}"
+        )
+
+
+def _check_qp(qp: int) -> None:
+    if not QP_MIN <= qp <= QP_MAX:
+        raise ValueError(f"qp must be in [{QP_MIN}, {QP_MAX}], got {qp}")
+
+
+@dataclass(frozen=True)
+class ReadSpec:
+    """One read request (the paper's Figure 1 parameters, typed).
+
+    Temporal (T): ``start``/``end`` seconds and output ``fps``; spatial
+    (S): output ``resolution`` and ``roi`` in original coordinates;
+    physical (P): ``codec``, ``pixel_format``, output ``qp``, and the
+    quality cutoff ``quality_db`` below which cached fragments are
+    rejected.  ``cache`` overrides the store's read-caching default and
+    ``mode`` overrides its planner (both None = inherit).
+    """
+
+    name: str
+    start: float
+    end: float
+    codec: str = "raw"
+    pixel_format: str = "rgb"
+    resolution: tuple[int, int] | None = None
+    roi: ROI | None = None
+    fps: float | None = None
+    quality_db: float = DEFAULT_EPSILON_DB
+    qp: int = QP_DEFAULT
+    cache: bool | None = None
+    mode: str | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        if self.end <= self.start:
+            raise OutOfRangeError(
+                f"empty read interval [{self.start}, {self.end})"
+            )
+        _check_codec(self.codec)
+        if self.pixel_format not in PIXEL_FORMATS:
+            raise FormatError(
+                f"unknown pixel format {self.pixel_format!r}; expected one "
+                f"of {sorted(PIXEL_FORMATS)}"
+            )
+        if self.resolution is not None:
+            width, height = self.resolution
+            if width < 1 or height < 1:
+                raise ValueError(
+                    f"resolution must be positive, got {self.resolution}"
+                )
+        if self.roi is not None:
+            if len(self.roi) != 4:
+                raise ValueError(f"roi must be (x0, y0, x1, y1), got {self.roi}")
+            x0, y0, x1, y1 = self.roi
+            if x0 < 0 or y0 < 0 or x1 <= x0 or y1 <= y0:
+                raise OutOfRangeError(f"malformed roi {self.roi}")
+        if self.fps is not None and self.fps <= 0:
+            raise ValueError(f"fps must be positive, got {self.fps}")
+        _check_qp(self.qp)
+        if self.mode is not None and self.mode not in PLANNER_MODES:
+            raise ValueError(
+                f"unknown planning mode {self.mode!r}; expected one of "
+                f"{PLANNER_MODES}"
+            )
+
+    def replace(self, **changes) -> "ReadSpec":
+        """A copy of this spec with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class WriteSpec:
+    """One write request: how to encode and store incoming video.
+
+    ``gop_size`` of None uses the codec's default; pre-encoded GOP writes
+    ignore the encode knobs (the GOPs are stored as-is).
+    """
+
+    name: str
+    codec: str = "h264"
+    qp: int = QP_DEFAULT
+    gop_size: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        _check_codec(self.codec)
+        _check_qp(self.qp)
+        if self.gop_size is not None and self.gop_size < 1:
+            raise ValueError(f"gop_size must be >= 1, got {self.gop_size}")
+
+    def replace(self, **changes) -> "WriteSpec":
+        """A copy of this spec with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Field names callers may pass as session defaults / read overrides.
+READ_SPEC_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(ReadSpec)
+) - {"name", "start", "end"}
+
+#: Field names callers may pass as session defaults / write overrides.
+WRITE_SPEC_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(WriteSpec)
+) - {"name"}

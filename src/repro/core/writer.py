@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.catalog import Catalog
 from repro.core.layout import Layout
 from repro.core.records import ROI, LogicalVideo, PhysicalVideo
+from repro.core.specs import WriteSpec
 from repro.errors import WriteError
 from repro.util import LogicalClock
 from repro.video.codec.container import EncodedGOP
@@ -62,8 +63,16 @@ class Writer:
         is_original: bool = False,
         mse_estimate: float = 0.0,
         roi: ROI | None = None,
+        spec: WriteSpec | None = None,
     ) -> WriteOutcome:
-        """Encode and store a segment as a new physical video."""
+        """Encode and store a segment as a new physical video.
+
+        A :class:`WriteSpec` supplies the encode knobs (codec, qp,
+        gop_size) when given; the loose kwargs remain for internal
+        callers that derive parameters from stored GOPs.
+        """
+        if spec is not None:
+            codec, qp, gop_size = spec.codec, spec.qp, spec.gop_size
         gops = codec_for(codec).encode_segment(
             segment, qp=qp, gop_size=gop_size, executor=self.executor
         )

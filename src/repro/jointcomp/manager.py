@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.records import GopRecord
 from repro.jointcomp.algorithm import JointCompressor, JointResult
-from repro.jointcomp.selection import CandidatePair, JointCandidateSelector
+from repro.jointcomp.selection import JointCandidateSelector
 from repro.video.codec.quant import QP_DEFAULT
 from repro.video.codec.registry import codec_for, decode_gop
 from repro.video.frame import VideoSegment

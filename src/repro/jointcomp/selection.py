@@ -16,7 +16,7 @@ The prototype's constants are m = 20 and d = 400.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

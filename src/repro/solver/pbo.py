@@ -22,7 +22,7 @@ fast; a node cap guards pathological inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import InfeasibleError, SolverError
 

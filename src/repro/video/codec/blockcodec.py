@@ -27,7 +27,6 @@ from repro.video.codec import dct, entropy, motion, quant
 from repro.video.codec.container import EncodedGOP
 from repro.video.frame import (
     VideoSegment,
-    frame_planes,
     pixel_format,
     planes_to_frame,
 )

@@ -1,6 +1,5 @@
 """Tests for the baseline systems and the end-to-end monitoring app."""
 
-import numpy as np
 import pytest
 
 from repro.apps import MonitoringApp

@@ -3,11 +3,9 @@ compaction (paper sections 4, 5.2, 5.3)."""
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.api import VSS
-from repro.vbench.calibrate import Calibration
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Tests for the SQLite catalog and on-disk layout."""
 
-import numpy as np
 import pytest
 
 from repro.core.catalog import Catalog

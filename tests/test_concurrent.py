@@ -1,0 +1,468 @@
+"""Engine/session API: typed specs, concurrency, and batched reads.
+
+The contracts under test:
+
+* ``ReadSpec``/``WriteSpec`` validate at construction and are immutable.
+* ``VSSEngine`` is safe to share across threads: mixed reads, writes and
+  deletes on shared and disjoint logical videos neither corrupt pixels
+  nor deadlock, and concurrent reads are bit-identical to serial ones.
+* ``session.read_batch`` decodes each GOP window shared by overlapping
+  reads exactly once (decode-cache/batch counters prove it) and beats
+  the same reads issued sequentially.
+* The legacy ``VSS`` facade still works, with a DeprecationWarning.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro.core.api import VSS, LegacyStoreStats
+from repro.core.engine import Session, VSSEngine
+from repro.core.specs import ReadSpec, WriteSpec
+from repro.errors import (
+    FormatError,
+    OutOfRangeError,
+    ReadError,
+    VideoNotFoundError,
+    WriteError,
+)
+from repro.video.frame import blank_segment
+
+
+@pytest.fixture()
+def engine(tmp_path, calibration) -> VSSEngine:
+    eng = VSSEngine(tmp_path / "store", calibration=calibration)
+    yield eng
+    eng.close()
+
+
+@pytest.fixture()
+def loaded_engine(engine, three_second_clip) -> VSSEngine:
+    session = engine.session()
+    session.write("traffic", three_second_clip, codec="h264", qp=10, gop_size=30)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+class TestSpecs:
+    def test_read_spec_validates_at_construction(self):
+        with pytest.raises(OutOfRangeError):
+            ReadSpec("v", 1.0, 1.0)
+        with pytest.raises(FormatError):
+            ReadSpec("v", 0.0, 1.0, codec="av1")
+        with pytest.raises(FormatError):
+            ReadSpec("v", 0.0, 1.0, pixel_format="cmyk")
+        with pytest.raises(ValueError):
+            ReadSpec("v", 0.0, 1.0, qp=99)
+        with pytest.raises(ValueError):
+            ReadSpec("v", 0.0, 1.0, resolution=(0, 10))
+        with pytest.raises(OutOfRangeError):
+            ReadSpec("v", 0.0, 1.0, roi=(10, 0, 5, 5))
+        with pytest.raises(ValueError):
+            ReadSpec("v", 0.0, 1.0, mode="quantum")
+        with pytest.raises(ValueError):
+            ReadSpec("", 0.0, 1.0)
+
+    def test_write_spec_validates_at_construction(self):
+        with pytest.raises(FormatError):
+            WriteSpec("v", codec="prores")
+        with pytest.raises(ValueError):
+            WriteSpec("v", gop_size=0)
+
+    def test_specs_are_frozen_with_replace(self):
+        spec = ReadSpec("v", 0.0, 1.0, codec="h264")
+        with pytest.raises(AttributeError):
+            spec.start = 5.0
+        shifted = spec.replace(start=1.0, end=2.0)
+        assert (shifted.start, shifted.end) == (1.0, 2.0)
+        assert shifted.codec == "h264"
+        assert (spec.start, spec.end) == (0.0, 1.0)  # original untouched
+        with pytest.raises(OutOfRangeError):
+            spec.replace(end=-1.0)  # replace re-validates
+
+    def test_sweep_ergonomics(self):
+        base = ReadSpec("v", 0.0, 1.0)
+        specs = [base.replace(start=t, end=t + 1.0) for t in range(4)]
+        assert [s.start for s in specs] == [0.0, 1.0, 2.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# engine + sessions
+# ----------------------------------------------------------------------
+class TestEngineSessions:
+    def test_session_defaults_fill_specs(self, engine):
+        session = engine.session(codec="h264", qp=12, gop_size=8)
+        spec = session.read_spec("v", 0.0, 1.0)
+        assert spec.codec == "h264" and spec.qp == 12
+        wspec = session.write_spec("v")
+        assert (wspec.codec, wspec.qp, wspec.gop_size) == ("h264", 12, 8)
+        # Explicit arguments beat session defaults.
+        assert session.read_spec("v", 0.0, 1.0, codec="raw").codec == "raw"
+
+    def test_unknown_session_default_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.session(kodec="h264")
+
+    def test_session_read_write_and_stats(self, loaded_engine, three_second_clip):
+        session = loaded_engine.session()
+        result = session.read("traffic", 0.0, 1.0)
+        assert result.segment.num_frames == 30
+        assert session.stats.reads == 1
+        assert session.stats.wall_seconds > 0.0
+        session.write("other", three_second_clip, codec="h264", gop_size=30)
+        assert session.stats.writes == 1
+
+    def test_read_accepts_spec_or_kwargs(self, loaded_engine):
+        session = loaded_engine.session()
+        via_spec = session.read(ReadSpec("traffic", 0.0, 1.0, cache=False))
+        via_kwargs = session.read("traffic", 0.0, 1.0, cache=False)
+        assert np.array_equal(via_spec.segment.pixels, via_kwargs.segment.pixels)
+        with pytest.raises(TypeError):
+            session.read(ReadSpec("traffic", 0.0, 1.0), 0.0, 1.0)
+        with pytest.raises(TypeError):
+            session.read("traffic", 0.0)  # missing end
+
+    def test_engine_and_video_stats_split(self, loaded_engine):
+        session = loaded_engine.session()
+        session.read("traffic", 0.4, 1.2, cache=False)
+        video = loaded_engine.video_stats("traffic")
+        assert video.name == "traffic"
+        assert video.num_gops > 0
+        assert not hasattr(video, "decode_cache_hits")
+        store = loaded_engine.stats()
+        assert store.reads == 1
+        assert store.num_sessions >= 1
+        assert store.decode_cache_misses > 0
+        assert store.executor_tasks > 0
+
+    def test_legacy_facade_deprecated_but_working(
+        self, tmp_path, calibration, tiny_clip
+    ):
+        with pytest.warns(DeprecationWarning):
+            vss = VSS(tmp_path / "legacy", calibration=calibration)
+        with vss:
+            vss.create("v")
+            vss.write("v", tiny_clip, codec="h264", qp=10, gop_size=8)
+            result = vss.read("v", 0.0, 0.5, cache=False)
+            assert result.segment.num_frames > 0
+            legacy = vss.stats("v")
+            assert isinstance(legacy, LegacyStoreStats)
+            assert legacy.num_gops > 0
+            assert legacy.decode_cache_misses > 0  # old combined shape
+
+    def test_sessions_are_cheap_handles(self, loaded_engine):
+        before = loaded_engine.stats().num_sessions
+        sessions = [loaded_engine.session() for _ in range(100)]
+        assert all(isinstance(s, Session) for s in sessions)
+        assert loaded_engine.stats().num_sessions == before + 100
+
+
+# ----------------------------------------------------------------------
+# multi-threaded sessions
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_disjoint_videos_concurrent_read_write(self, engine):
+        """Threads on different videos run concurrently without corruption;
+        every video reads back its own fill value."""
+        fills = {f"cam{i}": 20 * (i + 1) for i in range(4)}
+        errors: list[BaseException] = []
+
+        def work(name: str, fill: int) -> None:
+            try:
+                session = engine.session()
+                clip = blank_segment(16, 36, 64, fps=30.0, fill=fill)
+                session.write(name, clip, codec="raw", gop_size=8)
+                for _ in range(3):
+                    result = session.read(name, 0.1, 0.4, cache=False)
+                    assert int(result.segment.pixels.mean()) == fill
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(name, fill))
+            for name, fill in fills.items()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sorted(engine.list_videos()) == sorted(fills)
+
+    def test_shared_video_reads_bit_identical_to_serial(self, loaded_engine):
+        reference = loaded_engine.session().read(
+            "traffic", 0.4, 1.6, cache=False
+        )
+        outputs: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def reader(slot: int) -> None:
+            try:
+                session = loaded_engine.session()
+                result = session.read("traffic", 0.4, 1.6, cache=False)
+                outputs[slot] = result.segment.pixels
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,)) for slot in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outputs) == 6
+        for pixels in outputs.values():
+            assert np.array_equal(pixels, reference.segment.pixels)
+
+    def test_mixed_reads_writes_deletes(self, engine):
+        """A hostile mix: one shared video being read, per-thread videos
+        being written/read/deleted.  No corruption, no unexpected errors."""
+        shared_clip = blank_segment(24, 36, 64, fps=30.0, fill=111)
+        engine.session().write("shared", shared_clip, codec="raw", gop_size=8)
+        errors: list[BaseException] = []
+
+        def work(slot: int) -> None:
+            try:
+                session = engine.session()
+                name = f"scratch{slot}"
+                for round_num in range(3):
+                    fill = 10 + slot * 3 + round_num
+                    clip = blank_segment(16, 36, 64, fps=30.0, fill=fill)
+                    session.write(name, clip, codec="raw", gop_size=8)
+                    mine = session.read(name, 0.0, 0.5, cache=False)
+                    assert int(mine.segment.pixels.mean()) == fill
+                    ours = session.read("shared", 0.1, 0.7, cache=False)
+                    assert int(ours.segment.pixels.mean()) == 111
+                    engine.delete(name)
+            except (VideoNotFoundError, ReadError):
+                pass  # acceptable: raced against our own delete cycle
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        survivors = engine.list_videos()
+        assert "shared" in survivors
+        final = engine.session().read("shared", 0.0, 0.8, cache=False)
+        assert int(final.segment.pixels.mean()) == 111
+
+    def test_read_async_matches_sync(self, loaded_engine):
+        session = loaded_engine.session()
+        sync = session.read("traffic", 0.3, 1.1, cache=False)
+        futures = [
+            session.read_async("traffic", 0.3, 1.1, cache=False)
+            for _ in range(4)
+        ]
+        done, pending = wait(futures, timeout=60.0)
+        assert not pending
+        for future in done:
+            assert np.array_equal(
+                future.result().segment.pixels, sync.segment.pixels
+            )
+        assert session.stats.reads == 5
+
+    def test_stream_append_after_delete_raises(self, engine):
+        """A streaming write racing engine.delete() must fail cleanly
+        instead of resurrecting the deleted video's pages."""
+        clip = blank_segment(16, 36, 64, fps=30.0, fill=50)
+        stream = engine.open_write_stream(
+            "live", "h264", "rgb", 64, 36, 30.0, qp=12, gop_size=8
+        )
+        stream.append(clip)
+        engine.delete("live")
+        with pytest.raises(WriteError):
+            stream.append(clip)
+        with pytest.raises(WriteError):
+            stream.close()
+        assert "live" not in engine.list_videos()
+
+    def test_delete_prunes_per_logical_state(self, engine):
+        """Name churn must not grow the lock registry without bound."""
+        clip = blank_segment(8, 36, 64, fps=30.0, fill=10)
+        session = engine.session()
+        for i in range(8):
+            session.write(f"tmp{i}", clip, codec="raw", gop_size=8)
+            engine.delete(f"tmp{i}")
+        assert len(engine._logical_locks) == 0
+        assert len(engine._refine_cursor) == 0
+
+    def test_delete_stops_background_compression(self, tmp_path, calibration):
+        """engine.delete() must stop/skip a background deferred-compression
+        thread targeting the deleted logical instead of crashing it or
+        resurrecting deleted pages."""
+        with VSSEngine(tmp_path / "store", calibration=calibration) as engine:
+            session = engine.session()
+            clip = blank_segment(32, 36, 64, fps=30.0, fill=77)
+            session.write("doomed", clip, codec="raw", gop_size=4)
+            logical = engine.catalog.get_logical("doomed")
+            # A tiny budget makes deferred compression active immediately.
+            engine.set_budget("doomed", 1)
+            assert engine.deferred.active(logical)
+            engine.deferred.start_background(logical)
+            assert engine.deferred.background_running
+            time.sleep(0.1)  # let the thread take a few compression ticks
+            engine.delete("doomed")
+            assert not engine.deferred.background_running
+            assert "doomed" not in engine.list_videos()
+            # No resurrected page files survive under the deleted name.
+            leftovers = list((tmp_path / "store").rglob("doomed/*"))
+            assert leftovers == []
+            # Post-delete hooks are inert, not crashing.
+            assert engine.deferred.compress_one(logical) is None
+            assert not engine.deferred.active(logical)
+            # The store remains fully usable.
+            session.write("next", clip, codec="raw", gop_size=8)
+            result = session.read("next", 0.0, 0.5, cache=False)
+            assert int(result.segment.pixels.mean()) == 77
+
+
+# ----------------------------------------------------------------------
+# batched reads: shared planning + deduplicated decode work
+# ----------------------------------------------------------------------
+class TestReadBatch:
+    @staticmethod
+    def _overlapping_specs(n: int = 8) -> list[ReadSpec]:
+        """n look-back reads over the same two GOPs (starts mid-GOP, so
+        serial execution re-decodes the look-back prefix every time)."""
+        base = ReadSpec("traffic", 0.5, 1.4, cache=False)
+        return [
+            base.replace(start=0.5 + 0.05 * i, end=1.4 + 0.05 * i)
+            for i in range(n)
+        ]
+
+    @pytest.fixture()
+    def nocache_engine(self, tmp_path, calibration, three_second_clip):
+        """Decode cache off and serial execution: every decode is real,
+        so sharing is observable in both counters and wall time."""
+        eng = VSSEngine(
+            tmp_path / "nocache",
+            calibration=calibration,
+            parallelism=1,
+            decode_cache_bytes=0,
+        )
+        eng.session().write(
+            "traffic", three_second_clip, codec="h264", qp=10, gop_size=30
+        )
+        yield eng
+        eng.close()
+
+    def test_batch_decodes_each_shared_gop_once(self, nocache_engine):
+        session = nocache_engine.session()
+        specs = self._overlapping_specs(8)
+        results = session.read_batch(specs)
+        assert len(results) == 8
+        batch = session.stats.last_batch
+        assert batch is not None and batch.num_reads == 8
+        # 8 overlapping reads over 2 GOPs: 16 windows, 2 unique decodes.
+        assert batch.window_requests > batch.unique_gops
+        assert batch.gops_decoded == batch.unique_gops == 2
+        assert batch.gops_shared == batch.window_requests - 2
+        # Every read was served from the batch overlay: zero re-decodes.
+        assert sum(r.stats.frames_decoded for r in results) == 0
+        assert all(r.stats.decode_cache_hits > 0 for r in results)
+
+    def test_batch_results_match_sequential(self, nocache_engine):
+        session = nocache_engine.session()
+        specs = self._overlapping_specs(4)
+        sequential = [session.read(s) for s in specs]
+        batched = session.read_batch(specs)
+        for serial, batch in zip(sequential, batched):
+            assert np.array_equal(
+                serial.segment.pixels, batch.segment.pixels
+            )
+
+    def test_batch_faster_than_sequential(self, nocache_engine):
+        """Acceptance bar: a read_batch of 8 overlapping look-back reads
+        beats 8 sequential read() calls at identical settings, because
+        each shared GOP decodes once instead of 8 times."""
+        session = nocache_engine.session()
+        specs = self._overlapping_specs(8)
+        # Warm both code paths once so timing excludes first-call effects.
+        session.read(specs[0])
+        session.read_batch(specs[:1])
+
+        start = time.perf_counter()
+        sequential = [session.read(s) for s in specs]
+        sequential_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = session.read_batch(specs)
+        batch_seconds = time.perf_counter() - start
+
+        assert batch_seconds < sequential_seconds
+        for serial, batch in zip(sequential, batched):
+            assert np.array_equal(serial.segment.pixels, batch.segment.pixels)
+
+    def test_batch_populates_store_decode_cache(self, loaded_engine):
+        """With the store cache enabled, batch decodes write through, so
+        later non-batch reads hit."""
+        session = loaded_engine.session()
+        session.read_batch(self._overlapping_specs(4))
+        later = session.read("traffic", 0.6, 1.2, cache=False)
+        assert later.stats.decode_cache_hits > 0
+        assert later.stats.frames_decoded == 0
+
+    def test_batch_across_videos_preserves_order(self, engine):
+        session = engine.session()
+        for name, fill in (("a", 40), ("b", 200)):
+            clip = blank_segment(16, 36, 64, fps=30.0, fill=fill)
+            session.write(name, clip, codec="raw", gop_size=8)
+        specs = [
+            ReadSpec("b", 0.0, 0.4, cache=False),
+            ReadSpec("a", 0.0, 0.4, cache=False),
+            ReadSpec("b", 0.1, 0.5, cache=False),
+        ]
+        results = session.read_batch(specs)
+        means = [int(r.segment.pixels.mean()) for r in results]
+        assert means == [200, 40, 200]
+
+    def test_batch_rejects_non_specs(self, loaded_engine):
+        with pytest.raises(TypeError):
+            loaded_engine.session().read_batch(["traffic"])
+
+    def test_empty_batch(self, loaded_engine):
+        assert loaded_engine.session().read_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# refinement rotation
+# ----------------------------------------------------------------------
+class TestRefineRotation:
+    def test_refine_rotates_through_candidates(self, loaded_engine):
+        """Periodic exact-quality refinement must eventually sample every
+        cached physical, not candidates[0] forever."""
+        session = loaded_engine.session()
+        # Admit two distinct cached physicals (different resolutions).
+        session.read("traffic", 0.0, 1.0, codec="h264", resolution=(32, 18))
+        session.read("traffic", 1.0, 2.0, codec="h264", resolution=(16, 10))
+        logical = loaded_engine.catalog.get_logical("traffic")
+        candidates = [
+            p
+            for p in loaded_engine.catalog.list_physicals(logical.id)
+            if not p.is_original and p.sealed and p.mse_estimate > 0.0
+        ]
+        assert len(candidates) >= 2
+        refined: list[int] = []
+        original_update = loaded_engine.catalog.update_mse_estimate
+        loaded_engine.catalog.update_mse_estimate = (
+            lambda pid, mse: refined.append(pid) or original_update(pid, mse)
+        )
+        try:
+            for _ in range(len(candidates)):
+                loaded_engine._refine_one(logical)
+        finally:
+            loaded_engine.catalog.update_mse_estimate = original_update
+        assert len(set(refined)) >= 2  # rotation covered multiple physicals

@@ -1,9 +1,8 @@
 """Integration tests: VSS write/read paths, planning, streaming, caching."""
 
-import numpy as np
 import pytest
 
-from repro.errors import OutOfRangeError, QualityError, ReadError, WriteError
+from repro.errors import OutOfRangeError, WriteError
 from repro.video.metrics import segment_psnr
 
 
