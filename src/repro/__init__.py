@@ -5,6 +5,11 @@ Public entry points:
 * :class:`repro.VSSEngine` — the thread-safe storage manager; hand out
   :class:`repro.Session` objects via ``engine.session()`` and read/write
   with typed :class:`repro.ReadSpec` / :class:`repro.WriteSpec`.
+  ``session.read_stream`` returns a :class:`repro.ReadStream` of
+  GOP-sized :class:`repro.ReadChunk` increments with bounded memory.
+* :class:`repro.VSSServer` / :class:`repro.VSSClient` — the HTTP service
+  pair; the client mirrors the ``Session`` surface so code runs
+  unchanged against local or remote engines.
 * :class:`repro.VSS` — the deprecated four-operation facade
   (create/write/read/delete with kwargs), kept as a shim.
 * :mod:`repro.synthetic` — Table 1 dataset equivalents.
@@ -12,29 +17,39 @@ Public entry points:
 * :mod:`repro.baselines` — Local-FS and VStore-style comparators.
 
 See README.md for a quickstart and docs/api.md for the engine/session
-migration guide.
+migration guide plus the service API and wire protocol.
 """
 
+from repro.client import RemoteReadResult, RemoteReadStream, VSSClient
 from repro.core import (
     VSS,
+    ReadChunk,
     ReadResult,
     ReadSpec,
+    ReadStream,
     Session,
     VSSEngine,
     WriteSpec,
 )
 from repro.core.read_planner import ReadRequest
+from repro.server import VSSServer
 from repro.video.frame import VideoSegment
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
+    "ReadChunk",
     "ReadRequest",
     "ReadResult",
     "ReadSpec",
+    "ReadStream",
+    "RemoteReadResult",
+    "RemoteReadStream",
     "Session",
     "VSS",
+    "VSSClient",
     "VSSEngine",
+    "VSSServer",
     "VideoSegment",
     "WriteSpec",
     "__version__",

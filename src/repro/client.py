@@ -1,0 +1,473 @@
+"""``VSSClient``: a Session-shaped client for a remote VSS server.
+
+The client mirrors :class:`repro.core.engine.Session` — ``read`` /
+``read_stream`` / ``read_batch`` / ``write`` plus the engine's
+``create`` / ``delete`` / ``exists`` / ``list_videos`` / ``video_stats``
+— so application code runs unchanged against a local engine or a
+:class:`repro.server.VSSServer` across the network::
+
+    client = VSSClient("127.0.0.1", 8720, codec="h264", qp=12)
+    client.write("traffic", segment)
+    result = client.read("traffic", 0.0, 2.0, codec="raw")
+    for chunk in client.read_stream("traffic", 0.0, 120.0, codec="raw"):
+        consume(chunk.segment)        # O(GOP window) resident, both sides
+
+Requests are serialized through :mod:`repro.core.wire`, so a spec built
+here is revalidated identically on the server, and server-side errors
+re-raise as the same :mod:`repro.errors` classes.  Each call opens its
+own connection, which keeps a single client safe to share across
+threads; a 429 rejection raises :class:`ServerBusyError` carrying the
+server's ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection, HTTPResponse
+from urllib.parse import quote
+
+from repro.core.engine import SessionStats
+from repro.core.reader import BatchStats, ReadChunk, ReadStats
+from repro.core.specs import (
+    READ_SPEC_FIELDS,
+    WRITE_SPEC_FIELDS,
+    ReadSpec,
+    WriteSpec,
+)
+from repro.core.wire import (
+    error_from_dict,
+    read_spec_to_dict,
+    read_stats_from_dict,
+    segment_from_payload,
+    segment_payload,
+    segment_to_meta,
+    write_spec_to_dict,
+)
+from repro.errors import ServerBusyError, VSSError, WireError
+from repro.video.codec.container import decode_container
+from repro.video.codec.registry import codec_for
+from repro.video.frame import VideoSegment
+
+
+@dataclass
+class RemoteReadResult:
+    """A read answer shipped over the wire: pixels or GOPs, plus stats.
+
+    The in-process :class:`ReadResult` carries the full plan; the remote
+    variant carries everything a consumer can use — the decoded segment
+    (raw reads), the encoded GOPs (compressed reads), and the server's
+    :class:`ReadStats`.
+    """
+
+    segment: VideoSegment | None
+    gops: list | None
+    stats: ReadStats
+
+    def as_segment(self) -> VideoSegment:
+        """The result as decoded video (decoding GOPs if necessary)."""
+        if self.segment is not None:
+            return self.segment
+        decoded = [codec_for(g.codec).decode_gop(g) for g in self.gops]
+        return decoded[0].concatenate(decoded)
+
+    @property
+    def nbytes(self) -> int:
+        if self.gops is not None:
+            return sum(g.nbytes for g in self.gops)
+        return self.segment.nbytes
+
+
+class RemoteReadStream:
+    """Client half of a streamed read: lazily parses chunk frames.
+
+    Iterating yields :class:`repro.core.reader.ReadChunk` objects (the
+    same type the in-process stream yields); ``stats`` holds the
+    server's final :class:`ReadStats` once the stream is exhausted.
+    Closing early drops the connection; the server abandons its side on
+    the broken pipe.
+    """
+
+    def __init__(self, conn: HTTPConnection, response: HTTPResponse):
+        self._conn = conn
+        self._response = response
+        self._done = False
+        self.stats: ReadStats | None = None
+        self.chunks_pulled = 0
+
+    def __iter__(self) -> "RemoteReadStream":
+        return self
+
+    def __next__(self) -> ReadChunk:
+        if self._done:
+            raise StopIteration
+        frame = _read_meta(self._response)
+        kind = frame.get("type")
+        if kind == "end":
+            self.stats = read_stats_from_dict(frame["stats"])
+            # Drain the terminal transfer-encoding chunk so the server's
+            # final write lands on an open socket, then hang up.
+            self._response.read()
+            self.close()
+            raise StopIteration
+        if kind == "error":
+            self.close()
+            raise error_from_dict(frame)
+        if kind == "segment":
+            payload = _read_exact(self._response, frame["nbytes"])
+            segment = segment_from_payload(frame["meta"], payload)
+            chunk = ReadChunk(
+                frame["index"], segment.start_time, segment.end_time,
+                segment, None,
+            )
+        elif kind == "gops":
+            gops = _read_gops(self._response, frame["sizes"])
+            chunk = ReadChunk(
+                frame["index"], frame["start_time"], frame["end_time"],
+                None, gops,
+            )
+        else:
+            self.close()
+            raise WireError(f"unexpected stream frame {frame!r}")
+        self.chunks_pulled += 1
+        return chunk
+
+    def collect(self) -> RemoteReadResult:
+        """Drain the remaining chunks into one :class:`RemoteReadResult`."""
+        segments: list[VideoSegment] = []
+        gops: list = []
+        for chunk in self:
+            if chunk.segment is not None:
+                segments.append(chunk.segment)
+            if chunk.gops is not None:
+                gops.extend(chunk.gops)
+        stats = self.stats if self.stats is not None else ReadStats()
+        if segments:
+            merged = (
+                segments[0]
+                if len(segments) == 1
+                else segments[0].concatenate(segments)
+            )
+            return RemoteReadResult(merged, None, stats)
+        return RemoteReadResult(None, gops, stats)
+
+    def close(self) -> None:
+        if not self._done:
+            self._done = True
+            self._conn.close()
+
+    def __enter__(self) -> "RemoteReadStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _read_exact(response: HTTPResponse, nbytes: int) -> bytes:
+    pieces = []
+    remaining = nbytes
+    while remaining > 0:
+        piece = response.read(remaining)
+        if not piece:
+            raise WireError(
+                f"stream truncated: expected {nbytes} payload bytes, got "
+                f"{nbytes - remaining}"
+            )
+        pieces.append(piece)
+        remaining -= len(piece)
+    return b"".join(pieces)
+
+
+def _read_meta(response: HTTPResponse) -> dict:
+    line = response.readline()
+    if not line:
+        raise WireError("stream truncated before its end frame")
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"malformed stream frame {line!r}: {exc}") from exc
+
+
+def _read_gops(response: HTTPResponse, sizes: list[int]) -> list:
+    return [
+        decode_container(_read_exact(response, size)) for size in sizes
+    ]
+
+
+class VSSClient:
+    """Session-shaped access to a remote VSS server (see module docs).
+
+    ``defaults`` mirror ``engine.session(**defaults)``: any non-
+    positional :class:`ReadSpec`/:class:`WriteSpec` field, filled into
+    whatever a call does not specify.  ``stats`` accumulates the same
+    :class:`SessionStats` counters a local session would.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8720,
+        timeout: float = 60.0,
+        **defaults,
+    ):
+        unknown = set(defaults) - (READ_SPEC_FIELDS | WRITE_SPEC_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"unknown client default(s) {sorted(unknown)}; expected "
+                f"fields of ReadSpec/WriteSpec"
+            )
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._defaults = dict(defaults)
+        self._stats_lock = threading.Lock()
+        self.stats = SessionStats()
+
+    @property
+    def defaults(self) -> dict:
+        return dict(self._defaults)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _raise_for_status(self, response: HTTPResponse, body: bytes) -> None:
+        if response.status < 400:
+            return
+        if response.status == 429:
+            retry_after = float(response.getheader("Retry-After", "1"))
+            raise ServerBusyError(retry_after=retry_after)
+        try:
+            rebuilt = error_from_dict(json.loads(body))
+        except (json.JSONDecodeError, WireError):
+            # Not a well-formed envelope (proxy page, truncated body):
+            # fall back to a generic error.  A WireError *named by* a
+            # well-formed envelope re-raises as WireError below.
+            raise VSSError(
+                f"HTTP {response.status}: {body[:200]!r}"
+            ) from None
+        raise rebuilt
+
+    def _request_json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict:
+        conn = self._connect()
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            self._raise_for_status(response, data)
+            return json.loads(data)
+        finally:
+            conn.close()
+
+    def _open_stream(self, path: str, payload: dict) -> RemoteReadStream:
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=json.dumps(payload).encode("utf-8"),
+                headers={
+                    "Content-Type": "application/json",
+                    "Connection": "close",
+                },
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                self._raise_for_status(response, response.read())
+        except Exception:
+            conn.close()
+            self._note_failure()
+            raise
+        return RemoteReadStream(conn, response)
+
+    # ------------------------------------------------------------------
+    # catalog operations
+    # ------------------------------------------------------------------
+    def create(self, name: str, budget_bytes: int = 0) -> dict:
+        body = json.dumps(
+            {"name": name, "budget_bytes": budget_bytes}
+        ).encode("utf-8")
+        return self._request_json("POST", "/v1/videos", body)
+
+    def delete(self, name: str) -> None:
+        self._request_json("DELETE", f"/v1/videos/{quote(name, safe='')}")
+
+    def exists(self, name: str) -> bool:
+        reply = self._request_json(
+            "GET", f"/v1/videos/{quote(name, safe='')}"
+        )
+        return bool(reply["exists"])
+
+    def list_videos(self) -> list[str]:
+        return self._request_json("GET", "/v1/videos")["videos"]
+
+    def video_stats(self, name: str) -> dict:
+        return self._request_json(
+            "GET", f"/v1/videos/{quote(name, safe='')}/stats"
+        )
+
+    def metrics(self) -> dict:
+        """The server's ``/metrics`` document (engine + server gauges)."""
+        return self._request_json("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # spec builders (mirror Session)
+    # ------------------------------------------------------------------
+    def read_spec(
+        self, name: str, start: float, end: float, **overrides
+    ) -> ReadSpec:
+        fields = {
+            k: v for k, v in self._defaults.items() if k in READ_SPEC_FIELDS
+        }
+        fields.update(overrides)
+        return ReadSpec(name=name, start=start, end=end, **fields)
+
+    def write_spec(self, name: str, **overrides) -> WriteSpec:
+        fields = {
+            k: v for k, v in self._defaults.items() if k in WRITE_SPEC_FIELDS
+        }
+        fields.update(overrides)
+        return WriteSpec(name=name, **fields)
+
+    def _coerce_read_spec(
+        self, spec_or_name, start, end, overrides
+    ) -> ReadSpec:
+        if isinstance(spec_or_name, ReadSpec):
+            if start is not None or end is not None:
+                raise TypeError(
+                    "pass either a ReadSpec or (name, start, end), not both"
+                )
+            spec = spec_or_name
+            return spec.replace(**overrides) if overrides else spec
+        if start is None or end is None:
+            raise TypeError("read(name, ...) requires start and end")
+        return self.read_spec(spec_or_name, start, end, **overrides)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        spec_or_name: ReadSpec | str,
+        start: float | None = None,
+        end: float | None = None,
+        **overrides,
+    ) -> RemoteReadResult:
+        """Read video; takes a :class:`ReadSpec` or (name, start, end)."""
+        spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
+        begin = time.perf_counter()
+        result = self.read_stream(spec).collect()
+        with_stats = result.stats
+        with self._stats_lock:
+            self.stats.reads += 1
+            self.stats.wall_seconds += time.perf_counter() - begin
+            self.stats.decode_cache_hits += with_stats.decode_cache_hits
+            self.stats.decode_cache_misses += with_stats.decode_cache_misses
+        return result
+
+    def read_stream(
+        self,
+        spec_or_name: ReadSpec | str,
+        start: float | None = None,
+        end: float | None = None,
+        **overrides,
+    ) -> RemoteReadStream:
+        """Open a streamed read; yields GOP-sized chunks lazily."""
+        spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
+        return self._open_stream(
+            "/v1/read", {"spec": read_spec_to_dict(spec)}
+        )
+
+    def read_batch(self, specs: list[ReadSpec]) -> list[RemoteReadResult]:
+        """Execute several reads server-side with shared decode work."""
+        payload = {"specs": [read_spec_to_dict(s) for s in specs]}
+        stream = self._open_stream("/v1/read_batch", payload)
+        response = stream._response
+        results: list[RemoteReadResult] = []
+        try:
+            while True:
+                frame = _read_meta(response)
+                kind = frame.get("type")
+                if kind == "end":
+                    batch = BatchStats(**frame["batch"])
+                    response.read()  # drain the terminal chunk
+                    break
+                if kind == "error":
+                    self._note_failure()
+                    raise error_from_dict(frame)
+                stats = read_stats_from_dict(frame["stats"])
+                if kind == "result-segment":
+                    payload_bytes = _read_exact(response, frame["nbytes"])
+                    segment = segment_from_payload(
+                        frame["meta"], payload_bytes
+                    )
+                    results.append(RemoteReadResult(segment, None, stats))
+                elif kind == "result-gops":
+                    gops = _read_gops(response, frame["sizes"])
+                    results.append(RemoteReadResult(None, gops, stats))
+                else:
+                    raise WireError(f"unexpected batch frame {frame!r}")
+        finally:
+            stream.close()
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.reads += len(results)
+            self.stats.last_batch = batch
+        return results
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        spec_or_name: WriteSpec | str,
+        segment: VideoSegment,
+        **overrides,
+    ) -> dict:
+        """Write a raw segment under a :class:`WriteSpec` or name."""
+        if isinstance(spec_or_name, WriteSpec):
+            spec = spec_or_name
+            if overrides:
+                spec = spec.replace(**overrides)
+        else:
+            spec = self.write_spec(spec_or_name, **overrides)
+        header = json.dumps(
+            {
+                "spec": write_spec_to_dict(spec),
+                "segment": segment_to_meta(segment),
+            }
+        ).encode("utf-8")
+        body = header + b"\n" + segment_payload(segment)
+        begin = time.perf_counter()
+        try:
+            reply = self._request_json("POST", "/v1/write", body)
+        except Exception:
+            self._note_failure()
+            raise
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.wall_seconds += time.perf_counter() - begin
+        return reply
+
+    # ------------------------------------------------------------------
+    def _note_failure(self) -> None:
+        with self._stats_lock:
+            self.stats.failures += 1
+
+    def close(self) -> None:
+        """Connections are per-request; nothing to release."""
+
+    def __enter__(self) -> "VSSClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

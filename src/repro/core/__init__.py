@@ -12,13 +12,14 @@ from repro.core.api import VSS
 from repro.core.decode_cache import DecodeCache
 from repro.core.engine import (
     EngineStats,
+    ReadStream,
     Session,
     SessionStats,
     StoreStats,
     VSSEngine,
 )
 from repro.core.executor import Executor
-from repro.core.reader import BatchStats, ReadResult
+from repro.core.reader import BatchStats, ReadChunk, ReadResult, ReadStats
 from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
 from repro.core.read_planner import ReadRequest
 from repro.core.specs import ReadSpec, WriteSpec
@@ -31,9 +32,12 @@ __all__ = [
     "GopRecord",
     "LogicalVideo",
     "PhysicalVideo",
+    "ReadChunk",
     "ReadRequest",
     "ReadResult",
     "ReadSpec",
+    "ReadStats",
+    "ReadStream",
     "Session",
     "SessionStats",
     "StoreStats",

@@ -45,7 +45,13 @@ from repro.core.executor import Executor
 from repro.core.layout import Layout
 from repro.core.quality import QualityModel
 from repro.core.read_planner import plan_read
-from repro.core.reader import BatchStats, Reader, ReadResult
+from repro.core.reader import (
+    BatchStats,
+    ReadChunk,
+    Reader,
+    ReadResult,
+    ReadStats,
+)
 from repro.core.records import LogicalVideo, PhysicalVideo
 from repro.core.specs import (
     READ_SPEC_FIELDS,
@@ -103,6 +109,7 @@ class EngineStats:
     reads: int
     writes: int
     batches: int
+    streams: int
     parallelism: int
     executor_tasks: int
     decode_cache_hits: int
@@ -120,6 +127,7 @@ class SessionStats:
     reads: int = 0
     writes: int = 0
     batches: int = 0
+    failures: int = 0
     wall_seconds: float = 0.0
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
@@ -212,6 +220,7 @@ class VSSEngine:
         self._reads = 0
         self._writes = 0
         self._batches = 0
+        self._streams = 0
         self._num_sessions = 0
         self._frontend: ThreadPoolExecutor | None = None
         self._closed = False
@@ -346,7 +355,19 @@ class VSSEngine:
                 self._refine_cursor.pop(logical.id, None)
 
     def list_videos(self) -> list[str]:
-        return [v.name for v in self.catalog.list_logical()]
+        """All logical video names, deterministically sorted."""
+        return sorted(v.name for v in self.catalog.list_logical())
+
+    def exists(self, name: str) -> bool:
+        """True when a logical video named ``name`` exists.
+
+        Lets clients probe without a ``CatalogError`` try/except.
+        """
+        try:
+            self.catalog.get_logical(name)
+            return True
+        except VideoNotFoundError:
+            return False
 
     def set_budget(self, name: str, budget_bytes: int) -> None:
         logical = self.catalog.get_logical(name)
@@ -456,6 +477,41 @@ class VSSEngine:
         with self._state_lock:
             self._reads += 1
         return result
+
+    def read_stream(self, spec: ReadSpec, on_complete=None) -> "ReadStream":
+        """Open a pull-based streaming read with bounded memory.
+
+        Planning happens now, against one catalog snapshot, under the
+        per-logical lock; each subsequent chunk pull reacquires the lock
+        only while that chunk is produced, so a long stream never starves
+        concurrent operations on its video.  Streamed reads stamp GOP LRU
+        entries and populate the decode cache *per chunk*, but do not
+        admit their result as a new cached physical video — that would
+        require materializing the whole answer the stream exists to
+        avoid.  ``on_complete`` (if given) receives the final
+        :class:`ReadStats` when the stream is exhausted.
+        """
+        if not isinstance(spec, ReadSpec):
+            raise TypeError(
+                f"read_stream takes a ReadSpec, got {type(spec).__name__}"
+            )
+        with self._locked(spec.name):
+            logical, original = self._read_preamble(
+                spec.name, any_raw=spec.codec == "raw"
+            )
+            fragments = self.catalog.fragments_of_logical(logical.id)
+            plan = plan_read(
+                spec,
+                fragments,
+                original,
+                self.cost_model,
+                self.quality_model,
+                mode=spec.mode or self.planner,
+            )
+            stats = ReadStats(planned_cost=plan.estimated_cost)
+            stats.fragments_used = plan.num_fragments_used
+            chunks = self.reader.iter_output(plan, stats=stats)
+        return ReadStream(self, spec, plan, stats, chunks, on_complete)
 
     def read_batch(self, specs: list[ReadSpec]) -> tuple[list[ReadResult], BatchStats]:
         """Execute several reads with shared planning and decode work.
@@ -728,12 +784,14 @@ class VSSEngine:
         with self._state_lock:
             reads, writes = self._reads, self._writes
             batches, sessions = self._batches, self._num_sessions
+            streams = self._streams
         return EngineStats(
             num_logical_videos=len(self.catalog.list_logical()),
             num_sessions=sessions,
             reads=reads,
             writes=writes,
             batches=batches,
+            streams=streams,
             parallelism=self.executor.parallelism,
             executor_tasks=self.executor.tasks_completed,
             decode_cache_hits=decode.hits,
@@ -757,6 +815,129 @@ class VSSEngine:
             num_fragments=len(fragments),
             num_gops=len(gops),
         )
+
+
+class ReadStream:
+    """A pull-based handle over one streamed read.
+
+    Iterating yields :class:`repro.core.reader.ReadChunk` increments —
+    decoded segments for raw requests, encoded GOP runs for compressed
+    ones — holding only O(GOP window) frames resident at a time.  The
+    per-logical lock is taken per *chunk*, so several streams over one
+    video interleave instead of serializing end-to-end, and a delete can
+    land mid-stream (the next pull then raises the read/catalog error).
+
+    ``stats`` accumulates as chunks are pulled and is final once the
+    stream is exhausted, at which point the engine's read counters and
+    periodic maintenance run exactly as for a one-shot ``read()``.
+    Closing early abandons the remainder without counting the read.
+    """
+
+    def __init__(
+        self,
+        engine: VSSEngine,
+        spec: ReadSpec,
+        plan,
+        stats: ReadStats,
+        chunks,
+        on_complete=None,
+    ):
+        self._engine = engine
+        self.spec = spec
+        self.plan = plan
+        self.stats = stats
+        self._chunks = chunks
+        self._on_complete = on_complete
+        self._done = False
+        self._wall = 0.0
+        self.chunks_pulled = 0
+
+    def __iter__(self) -> "ReadStream":
+        return self
+
+    def __next__(self) -> ReadChunk:
+        if self._done:
+            raise StopIteration
+        begin = time.perf_counter()
+        engine = self._engine
+        with engine._locked(self.spec.name):
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                self._finalize()
+                self._note_wall(begin)
+                raise
+            except BaseException:
+                # A failed stream is dead, not drained: mark it done so
+                # a later pull/collect cannot run _finalize() and count
+                # this read as successful.
+                self._done = True
+                self._chunks.close()
+                raise
+            engine.catalog.touch_gops(chunk.gop_ids, engine.clock.tick())
+        self._note_wall(begin)
+        self.chunks_pulled += 1
+        return chunk
+
+    def _note_wall(self, begin: float) -> None:
+        self._wall += time.perf_counter() - begin
+        self.stats.wall_seconds = self._wall
+
+    def _finalize(self) -> None:
+        """Called under the per-logical lock when the stream drains."""
+        self._done = True
+        engine = self._engine
+        with engine._state_lock:
+            engine._reads += 1
+            engine._streams += 1
+        try:
+            logical = engine.catalog.get_logical(self.spec.name)
+        except VideoNotFoundError:
+            logical = None
+        if logical is not None:
+            engine._periodic_maintenance(logical)
+        if self._on_complete is not None:
+            self._on_complete(self.stats)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._done
+
+    def collect(self) -> ReadResult:
+        """Drain the remaining chunks into one :class:`ReadResult`.
+
+        A convenience for callers that opened a stream but want the
+        materialized answer after all — segments are concatenated (GOP
+        runs are flattened), giving the same pixels/bytes a plain
+        ``read()`` with this spec would return (minus cache admission).
+        """
+        segments: list = []
+        gops: list = []
+        for chunk in self:
+            if chunk.segment is not None:
+                segments.append(chunk.segment)
+            if chunk.gops is not None:
+                gops.extend(chunk.gops)
+        if segments:
+            merged = (
+                segments[0]
+                if len(segments) == 1
+                else segments[0].concatenate(segments)
+            )
+            return ReadResult(self.plan, merged, None, self.stats)
+        return ReadResult(self.plan, None, gops, self.stats)
+
+    def close(self) -> None:
+        """Abandon the stream early (no read is counted)."""
+        if not self._done:
+            self._done = True
+            self._chunks.close()
+
+    def __enter__(self) -> "ReadStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class Session:
@@ -823,9 +1004,40 @@ class Session:
         """
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
         begin = time.perf_counter()
-        result = self._engine.read(spec)
+        try:
+            result = self._engine.read(spec)
+        except Exception:
+            self._note_failure()
+            raise
         self._note_read(result, time.perf_counter() - begin)
         return result
+
+    def read_stream(
+        self,
+        spec_or_name: ReadSpec | str,
+        start: float | None = None,
+        end: float | None = None,
+        **overrides,
+    ) -> ReadStream:
+        """Open a streaming read; yields GOP-sized :class:`ReadChunk`\\ s.
+
+        Memory stays O(GOP window) for the stream's whole life; session
+        counters update when the stream is exhausted.
+        """
+        spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
+
+        def note(stats: ReadStats) -> None:
+            with self._lock:
+                self.stats.reads += 1
+                self.stats.wall_seconds += stats.wall_seconds
+                self.stats.decode_cache_hits += stats.decode_cache_hits
+                self.stats.decode_cache_misses += stats.decode_cache_misses
+
+        try:
+            return self._engine.read_stream(spec, on_complete=note)
+        except Exception:
+            self._note_failure()
+            raise
 
     def read_batch(self, specs: list[ReadSpec]) -> list[ReadResult]:
         """Execute several reads, sharing planning and decode work.
@@ -834,7 +1046,11 @@ class Session:
         :attr:`SessionStats.last_batch` for the sharing counters.
         """
         begin = time.perf_counter()
-        results, batch = self._engine.read_batch(list(specs))
+        try:
+            results, batch = self._engine.read_batch(list(specs))
+        except Exception:
+            self._note_failure()
+            raise
         elapsed = time.perf_counter() - begin
         with self._lock:
             self.stats.batches += 1
@@ -865,7 +1081,14 @@ class Session:
 
         def run() -> ReadResult:
             begin = time.perf_counter()
-            result = self._engine.read(spec)
+            try:
+                result = self._engine.read(spec)
+            except Exception:
+                # The exception propagates through the Future; the
+                # failure counter keeps SessionStats consistent (reads
+                # only ever counts successful reads).
+                self._note_failure()
+                raise
             self._note_read(result, time.perf_counter() - begin)
             return result
 
@@ -892,6 +1115,10 @@ class Session:
             self.stats.decode_cache_hits += result.stats.decode_cache_hits
             self.stats.decode_cache_misses += result.stats.decode_cache_misses
 
+    def _note_failure(self) -> None:
+        with self._lock:
+            self.stats.failures += 1
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
@@ -910,7 +1137,11 @@ class Session:
         else:
             spec = self.write_spec(spec_or_name, **overrides)
         begin = time.perf_counter()
-        physical = self._engine.write(spec, segment=segment, gops=gops)
+        try:
+            physical = self._engine.write(spec, segment=segment, gops=gops)
+        except Exception:
+            self._note_failure()
+            raise
         with self._lock:
             self.stats.writes += 1
             self.stats.wall_seconds += time.perf_counter() - begin

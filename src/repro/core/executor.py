@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 _T = TypeVar("_T")
@@ -70,6 +70,31 @@ class Executor:
         with self._lock:
             self._tasks_completed += len(work)
         return results
+
+    def submit(self, fn: Callable[..., _R], *args) -> "Future[_R]":
+        """Run ``fn(*args)`` asynchronously, returning a Future.
+
+        The streaming read path uses this to keep a bounded window of
+        chunk decodes in flight.  With ``parallelism=1`` the call runs
+        inline and returns an already-completed Future, preserving the
+        serial path's strict laziness (nothing runs ahead of the pull).
+        """
+        if self.parallelism == 1:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - mirrored to Future
+                future.set_exception(exc)
+            with self._lock:
+                self._tasks_completed += 1
+            return future
+        future = self._ensure_pool().submit(fn, *args)
+        future.add_done_callback(self._count_done)
+        return future
+
+    def _count_done(self, _future: Future) -> None:
+        with self._lock:
+            self._tasks_completed += 1
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         pool = self._pool

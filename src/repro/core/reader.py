@@ -24,11 +24,21 @@ sufficiently long prefix of the GOP was decoded by an earlier read.
 work: the union of needed GOP windows is decoded once into a batch-local
 :class:`BatchDecodeCache` overlay, so N overlapping reads pay for one
 decode of each shared GOP instead of N.
+
+Assembly is *chunked*: :meth:`Reader.iter_output` streams a plan's answer
+as :class:`ReadChunk` increments whose peak resident pixels stay
+O(GOP window × prefetch depth) regardless of the read's duration, and
+:meth:`Reader.execute` is a thin collect-all over the same machinery
+(chunks paste into one preallocated canvas).  The chunk schedule is
+computed statically from the catalog (no decoding), using exactly the
+arithmetic the monolithic assembler used, so chunked output is
+bit-identical to the pre-streaming reader.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -122,6 +132,37 @@ class ReadResult:
 
 
 @dataclass
+class ReadChunk:
+    """One increment of a streamed read (:meth:`Reader.iter_output`).
+
+    Exactly one of ``segment``/``gops`` is set: decoded chunks carry a
+    segment in the request's pixel format; encoded chunks carry GOPs
+    (direct-served stored bytes, or output re-encoded on GOP boundaries).
+    ``gop_ids`` are the catalog GOPs whose pages this chunk consumed —
+    the engine stamps their LRU entries as the chunk is pulled.
+    """
+
+    index: int
+    start_time: float
+    end_time: float
+    segment: VideoSegment | None
+    gops: list[EncodedGOP] | None
+    gop_ids: list[int] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        if self.segment is not None:
+            return self.segment.num_frames
+        return sum(g.num_frames for g in self.gops)
+
+    @property
+    def nbytes(self) -> int:
+        if self.segment is not None:
+            return self.segment.nbytes
+        return sum(g.nbytes for g in self.gops)
+
+
+@dataclass
 class _GopWindow:
     """One worker's output: a decoded GOP window plus its stat deltas.
 
@@ -135,6 +176,63 @@ class _GopWindow:
     lookback_frames: int
     bytes_read: int
     cache_hit: bool | None
+
+
+@dataclass
+class _ChoiceSchedule:
+    """Static decode/paste plan for one :class:`IntervalChoice`.
+
+    Everything here is derived from catalog metadata before any pixel is
+    decoded: ``offsets`` are cumulative per-record window frame counts,
+    ``t0``/``fps_src`` anchor the choice's decoded frame run on the
+    timeline, ``out_idx`` lists the global output frames the choice
+    serves, and ``src_full`` maps each of them to a frame index in the
+    run — the same floor/clip arithmetic the monolithic assembler used,
+    so chunked pastes pick identical source frames.  ``windows`` is the
+    consumer-side carry of decoded (RGB) windows still needed by future
+    chunks.
+    """
+
+    choice: IntervalChoice
+    records: list[GopRecord]
+    offsets: np.ndarray
+    n_frames: int
+    t0: float
+    fps_src: float
+    out_idx: np.ndarray
+    src_full: np.ndarray
+    windows: dict[int, VideoSegment] = field(default_factory=dict)
+
+
+@dataclass
+class _ChunkOp:
+    """One choice's share of one chunk: which of ``ctx.out_idx`` fall in
+    the chunk (positions ``[p0, p1)``), which records to decode while
+    handling it (``decode_js`` — each record decodes in exactly one
+    chunk), which decoded windows the paste needs (``j_lo..j_hi``), and
+    which may be dropped afterwards (below ``keep_from``)."""
+
+    ctx: _ChoiceSchedule
+    p0: int
+    p1: int
+    decode_js: list[int]
+    j_lo: int
+    j_hi: int
+    keep_from: int
+
+
+@dataclass
+class _DecodedChunk:
+    """Internal chunk: a pasted RGB canvas piece plus provenance."""
+
+    lo: int
+    hi: int
+    segment: VideoSegment
+    gop_ids: list[int]
+
+
+#: Sentinel marking iterator exhaustion inside the prefetch pipeline.
+_DONE = object()
 
 
 class Reader:
@@ -190,7 +288,7 @@ class Reader:
             stats.wall_seconds = time.perf_counter() - start_wall
             return ReadResult(plan, None, direct, stats)
 
-        segment = self._assemble(plan, stats, decode_cache)
+        segment = self._collect(plan, stats, decode_cache)
         gops: list[EncodedGOP] | None = None
         if plan.request.codec != "raw":
             codec = codec_for(plan.request.codec)
@@ -326,95 +424,377 @@ class Reader:
         return results, batch
 
     # ------------------------------------------------------------------
-    # decode-and-assemble path
+    # chunked decode-and-assemble path
     # ------------------------------------------------------------------
-    def _assemble(
-        self, plan: ReadPlan, stats: ReadStats, decode_cache
-    ) -> VideoSegment:
+    @staticmethod
+    def _grid(plan: ReadPlan) -> tuple[int, np.ndarray]:
+        """The output frame grid: (total frames, per-frame sample times)."""
         request = plan.request
-        target = plan.target
         fps = plan.target_fps
-        total_frames = max(1, int(round((request.end - request.start) * fps)))
-        canvas = np.zeros(
-            (total_frames, target.height, target.width, 3), dtype=np.uint8
-        )
-        frame_times = request.start + (np.arange(total_frames) + 0.5) / fps
-        roi = plan.roi
-        roi_w = roi[2] - roi[0]
-        roi_h = roi[3] - roi[1]
+        total = max(1, int(round((request.end - request.start) * fps)))
+        return total, request.start + (np.arange(total) + 0.5) / fps
 
+    def _decode_schedule(
+        self, plan: ReadPlan
+    ) -> list[tuple[int, int, list[_ChunkOp]]]:
+        """Statically partition a plan into chunks of output frames.
+
+        Chunk boundaries fall wherever some choice activates a new source
+        GOP window, so handling one chunk decodes at most a handful of
+        windows per choice.  Every record overlapping a served choice is
+        assigned to exactly one chunk (unserved look-back/trailing
+        records included, matching the monolithic assembler's decode
+        coverage and stats), and the paste arithmetic reuses the global
+        frame grid, so concatenated chunks equal the one-shot canvas.
+        """
+        total, frame_times = self._grid(plan)
+        ctxs: list[_ChoiceSchedule] = []
+        cuts = {0, total}
         for choice in plan.choices:
             mask = (frame_times >= choice.start - _EPS) & (
                 frame_times < choice.end - _EPS
             )
-            out_indices = np.nonzero(mask)[0]
-            if out_indices.size == 0:
+            out_idx = np.nonzero(mask)[0]
+            if out_idx.size == 0:
                 continue
-            source = self._decode_interval(choice, stats, decode_cache)
-            src_indices = np.clip(
-                np.floor(
-                    (frame_times[out_indices] - source.start_time) * source.fps
-                ).astype(np.int64),
+            fragment = choice.fragment
+            records = fragment.gops_overlapping(choice.start, choice.end)
+            if not records:
+                raise ReadError(
+                    f"fragment {fragment.physical.id} has no GOPs in "
+                    f"[{choice.start}, {choice.end})"
+                )
+            fps_src = fragment.physical.fps
+            bounds = [
+                self._window_bounds(r, fps_src, choice.start, choice.end)
+                for r in records
+            ]
+            offsets = np.concatenate(
+                [[0], np.cumsum([stop - first for first, stop in bounds])]
+            ).astype(np.int64)
+            n_frames = int(offsets[-1])
+            t0 = records[0].start_time + bounds[0][0] / fps_src
+            src_full = np.clip(
+                np.floor((frame_times[out_idx] - t0) * fps_src).astype(
+                    np.int64
+                ),
                 0,
-                source.num_frames - 1,
+                n_frames - 1,
             )
-            self._paste(
-                canvas,
-                out_indices,
-                source,
-                src_indices,
-                choice,
-                plan,
-                roi,
-                roi_w,
-                roi_h,
-                stats,
+            first_pos = np.searchsorted(src_full, offsets, side="left")
+            for j in range(len(records)):
+                if first_pos[j] < first_pos[j + 1]:
+                    cuts.add(int(out_idx[first_pos[j]]))
+            ctxs.append(
+                _ChoiceSchedule(
+                    choice, records, offsets, n_frames, t0, fps_src,
+                    out_idx, src_full,
+                )
+            )
+        boundaries = sorted(cuts)
+        chunks: list[tuple[int, int, list[_ChunkOp]]] = []
+        cursors = [0] * len(ctxs)
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            ops: list[_ChunkOp] = []
+            for k, ctx in enumerate(ctxs):
+                p0, p1 = np.searchsorted(ctx.out_idx, [lo, hi])
+                if p0 == p1:
+                    continue
+                j_lo = int(
+                    np.searchsorted(ctx.offsets, ctx.src_full[p0], "right")
+                ) - 1
+                j_hi = int(
+                    np.searchsorted(ctx.offsets, ctx.src_full[p1 - 1], "right")
+                ) - 1
+                decode_js = list(range(cursors[k], j_hi + 1))
+                cursors[k] = max(cursors[k], j_hi + 1)
+                if p1 == ctx.out_idx.size:
+                    # Final chunk for this choice: also decode its
+                    # trailing records, preserving the non-chunked
+                    # path's full decode coverage and cost accounting.
+                    decode_js.extend(range(cursors[k], len(ctx.records)))
+                    cursors[k] = len(ctx.records)
+                    keep_from = len(ctx.records)
+                else:
+                    keep_from = int(
+                        np.searchsorted(ctx.offsets, ctx.src_full[p1], "right")
+                    ) - 1
+                ops.append(
+                    _ChunkOp(
+                        ctx, int(p0), int(p1), decode_js, j_lo, j_hi, keep_from
+                    )
+                )
+            chunks.append((lo, hi, ops))
+        return chunks
+
+    def _build_windows(self, ops: list[_ChunkOp], decode_cache) -> list[list]:
+        """Decode (and RGB-convert) the windows one chunk's ops call for.
+
+        Runs as one prefetch task; per-window stat deltas travel with the
+        pixels so the consumer can fold them in deterministic order.
+        """
+        built = []
+        for op in ops:
+            choice = op.ctx.choice
+            decoded = []
+            for j in op.decode_js:
+                record = op.ctx.records[j]
+                window = self._decode_gop_window(
+                    record, choice.fragment, choice.start, choice.end,
+                    decode_cache,
+                )
+                rgb = convert_segment(window.segment, "rgb")
+                decoded.append((j, record.id, rgb, window))
+            built.append(decoded)
+        return built
+
+    def _prefetched(self, chunks, build):
+        """Yield ``build(chunk)`` in order with a bounded pipeline.
+
+        With a multi-worker executor, up to ``parallelism`` chunk builds
+        run ahead of the consumer — enough to keep every worker busy
+        while holding only O(parallelism) decoded windows in memory.
+        Serial stores build strictly on demand (nothing runs ahead of
+        the pull).
+        """
+        if self.executor is None or self.executor.parallelism == 1:
+            for chunk in chunks:
+                yield build(chunk)
+            return
+        pending: deque = deque()
+        iterator = iter(chunks)
+        try:
+            while True:
+                while len(pending) < self.executor.parallelism:
+                    chunk = next(iterator, _DONE)
+                    if chunk is _DONE:
+                        break
+                    pending.append(self.executor.submit(build, chunk))
+                if not pending:
+                    return
+                yield pending.popleft().result()
+        finally:
+            while pending:
+                pending.popleft().cancel()
+
+    def _iter_decoded(
+        self, plan: ReadPlan, stats: ReadStats, decode_cache, canvas=None
+    ):
+        """Generate :class:`_DecodedChunk` pieces of the RGB answer.
+
+        When ``canvas`` (the full preallocated frame stack) is given,
+        chunks paste into views of it — the collect-all path; otherwise
+        each chunk allocates only its own frames — the streaming path.
+        """
+        total, frame_times = self._grid(plan)
+        schedule = self._decode_schedule(plan)
+        target = plan.target
+        fps_out = plan.target_fps
+        request = plan.request
+        roi = plan.roi
+        roi_w = roi[2] - roi[0]
+        roi_h = roi[3] - roi[1]
+
+        def build(chunk):
+            return chunk, self._build_windows(chunk[2], decode_cache)
+
+        for (lo, hi, ops), built in self._prefetched(schedule, build):
+            if canvas is not None:
+                chunk_pixels = canvas[lo:hi]
+            else:
+                chunk_pixels = np.zeros(
+                    (hi - lo, target.height, target.width, 3), dtype=np.uint8
+                )
+            gop_ids: list[int] = []
+            for op, decoded in zip(ops, built):
+                ctx = op.ctx
+                for j, record_id, rgb, window in decoded:
+                    ctx.windows[j] = rgb
+                    stats.gop_ids_touched.append(record_id)
+                    gop_ids.append(record_id)
+                    stats.bytes_read += window.bytes_read
+                    stats.frames_decoded += window.frames_decoded
+                    stats.lookback_frames += window.lookback_frames
+                    if window.cache_hit is True:
+                        stats.decode_cache_hits += 1
+                    elif window.cache_hit is False:
+                        stats.decode_cache_misses += 1
+                pieces = [
+                    ctx.windows[j] for j in range(op.j_lo, op.j_hi + 1)
+                ]
+                source = (
+                    pieces[0]
+                    if len(pieces) == 1
+                    else pieces[0].concatenate(pieces)
+                )
+                self._paste(
+                    chunk_pixels,
+                    ctx.out_idx[op.p0:op.p1] - lo,
+                    source,
+                    ctx.src_full[op.p0:op.p1] - int(ctx.offsets[op.j_lo]),
+                    ctx.choice,
+                    plan,
+                    roi,
+                    roi_w,
+                    roi_h,
+                    stats,
+                )
+                for j in [j for j in ctx.windows if j < op.keep_from]:
+                    del ctx.windows[j]
+            yield _DecodedChunk(
+                lo,
+                hi,
+                VideoSegment(
+                    pixels=chunk_pixels,
+                    pixel_format="rgb",
+                    height=target.height,
+                    width=target.width,
+                    fps=fps_out,
+                    start_time=request.start + lo / fps_out,
+                ),
+                gop_ids,
             )
 
+    def _collect(
+        self, plan: ReadPlan, stats: ReadStats, decode_cache
+    ) -> VideoSegment:
+        """The full decoded answer: a thin collect-all over the chunked
+        stream, pasting every chunk into one preallocated canvas."""
+        total, _ = self._grid(plan)
+        target = plan.target
+        canvas = np.zeros(
+            (total, target.height, target.width, 3), dtype=np.uint8
+        )
+        for _chunk in self._iter_decoded(
+            plan, stats, decode_cache, canvas=canvas
+        ):
+            pass
         return VideoSegment(
             pixels=canvas,
             pixel_format="rgb",
             height=target.height,
             width=target.width,
-            fps=fps,
-            start_time=request.start,
+            fps=plan.target_fps,
+            start_time=plan.request.start,
         )
 
-    def _decode_interval(
-        self, choice: IntervalChoice, stats: ReadStats, decode_cache
-    ) -> VideoSegment:
-        """Decode a fragment's frames covering ``choice``'s interval as RGB.
+    # ------------------------------------------------------------------
+    # streamed output
+    # ------------------------------------------------------------------
+    def iter_output(
+        self,
+        plan: ReadPlan,
+        stats: ReadStats | None = None,
+        decode_cache=_DEFAULT_CACHE,
+        direct_records=_DEFAULT_CACHE,
+    ):
+        """Stream one plan's output as :class:`ReadChunk` increments.
 
-        The per-GOP windows decode concurrently; stats are folded in
-        afterwards in plan order, so counters and ``gop_ids_touched`` are
-        identical to the serial execution.
+        Peak resident pixels stay O(GOP window × prefetch depth)
+        regardless of the read's duration: direct-served plans ship one
+        stored GOP per chunk without decoding; raw requests yield one
+        converted canvas piece per source-GOP activation; compressed
+        requests re-encode on GOP-size boundaries, producing bytes
+        identical to the non-streamed read's GOPs.  ``stats`` (optional,
+        caller-owned) accumulates as chunks are pulled and is complete
+        once the generator is exhausted.
         """
-        fragment = choice.fragment
-        records = fragment.gops_overlapping(choice.start, choice.end)
-        if not records:
-            raise ReadError(
-                f"fragment {fragment.physical.id} has no GOPs in "
-                f"[{choice.start}, {choice.end})"
+        if stats is None:
+            stats = ReadStats(planned_cost=plan.estimated_cost)
+            stats.fragments_used = plan.num_fragments_used
+        if decode_cache is _DEFAULT_CACHE:
+            decode_cache = self.decode_cache
+        if direct_records is _DEFAULT_CACHE:
+            direct_records = self._direct_serve_records(plan)
+        if direct_records is not None:
+            stats.direct_serve = True
+            for index, record in enumerate(direct_records):
+                encoded = self._read_gop_file(record).with_start_time(
+                    record.start_time
+                )
+                stats.bytes_read += record.nbytes
+                stats.gop_ids_touched.append(record.id)
+                yield ReadChunk(
+                    index, record.start_time, record.end_time,
+                    None, [encoded], [record.id],
+                )
+            return
+        if plan.request.codec != "raw":
+            yield from self._iter_encoded(plan, stats, decode_cache)
+            return
+        for index, chunk in enumerate(
+            self._iter_decoded(plan, stats, decode_cache)
+        ):
+            segment = convert_segment(
+                chunk.segment, plan.request.pixel_format
             )
-        windows = self._map(
-            lambda record: self._decode_gop_window(
-                record, fragment, choice.start, choice.end, decode_cache
-            ),
-            records,
-        )
-        pieces = []
-        for record, window in zip(records, windows):
-            stats.gop_ids_touched.append(record.id)
-            stats.bytes_read += window.bytes_read
-            stats.frames_decoded += window.frames_decoded
-            stats.lookback_frames += window.lookback_frames
-            if window.cache_hit is True:
-                stats.decode_cache_hits += 1
-            elif window.cache_hit is False:
-                stats.decode_cache_misses += 1
-            pieces.append(window.segment)
-        merged = pieces[0].concatenate(pieces) if len(pieces) > 1 else pieces[0]
-        return convert_segment(merged, "rgb")
+            yield ReadChunk(
+                index, segment.start_time, segment.end_time,
+                segment, None, chunk.gop_ids,
+            )
+
+    def _iter_encoded(self, plan: ReadPlan, stats: ReadStats, decode_cache):
+        """Re-encode the decoded stream on output-GOP-size boundaries.
+
+        Blocks are cut at multiples of the output GOP size with start
+        times computed exactly as ``encode_segment`` would slice the
+        full canvas, and each GOP encodes independently, so the streamed
+        bytes are bit-identical to the non-streamed read's GOPs.
+        """
+        request = plan.request
+        codec = codec_for(request.codec)
+        fps_out = plan.target_fps
+        gop_size = max(1, int(round(fps_out)))
+        target = plan.target
+        buffered: list[np.ndarray] = []
+        buffered_frames = 0
+        emitted = 0
+        index = 0
+        pending_gop_ids: list[int] = []
+        bpps: list[float] = []
+
+        def emit(frames: int) -> ReadChunk:
+            nonlocal buffered, buffered_frames, emitted, index
+            nonlocal pending_gop_ids
+            stack = (
+                buffered[0]
+                if len(buffered) == 1
+                else np.concatenate(buffered, axis=0)
+            )
+            block_pixels, rest = stack[:frames], stack[frames:]
+            buffered = [rest] if rest.size else []
+            buffered_frames -= frames
+            block = VideoSegment(
+                pixels=block_pixels,
+                pixel_format="rgb",
+                height=target.height,
+                width=target.width,
+                fps=fps_out,
+                start_time=request.start + emitted / fps_out,
+            )
+            gops = codec.encode_segment(
+                block, qp=request.qp, gop_size=gop_size
+            )
+            bpps.extend(g.bits_per_pixel for g in gops)
+            chunk = ReadChunk(
+                index, block.start_time, block.end_time,
+                None, gops, pending_gop_ids,
+            )
+            pending_gop_ids = []
+            emitted += frames
+            index += 1
+            return chunk
+
+        for chunk in self._iter_decoded(plan, stats, decode_cache):
+            buffered.append(chunk.segment.pixels)
+            buffered_frames += chunk.segment.num_frames
+            pending_gop_ids.extend(chunk.gop_ids)
+            while buffered_frames >= gop_size:
+                yield emit(gop_size)
+        if buffered_frames:
+            yield emit(buffered_frames)
+        if bpps:
+            stats.output_bpp = float(np.mean(bpps))
 
     @staticmethod
     def _window_bounds(

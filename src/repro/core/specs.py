@@ -19,6 +19,7 @@ which is the idiomatic way to sweep a parameter::
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 
 from repro.core.quality import DEFAULT_EPSILON_DB
@@ -49,6 +50,13 @@ def _check_qp(qp: int) -> None:
         raise ValueError(f"qp must be in [{QP_MIN}, {QP_MAX}], got {qp}")
 
 
+def _check_finite(field_name: str, value: float) -> None:
+    # nan slips through ordinary comparisons (nan <= x is always False),
+    # so every float field is explicitly pinned to finite values.
+    if not math.isfinite(value):
+        raise ValueError(f"{field_name} must be finite, got {value!r}")
+
+
 @dataclass(frozen=True)
 class ReadSpec:
     """One read request (the paper's Figure 1 parameters, typed).
@@ -76,6 +84,11 @@ class ReadSpec:
 
     def __post_init__(self) -> None:
         _check_name(self.name)
+        _check_finite("start", self.start)
+        _check_finite("end", self.end)
+        _check_finite("quality_db", self.quality_db)
+        if self.fps is not None:
+            _check_finite("fps", self.fps)
         if self.end <= self.start:
             raise OutOfRangeError(
                 f"empty read interval [{self.start}, {self.end})"
@@ -111,6 +124,20 @@ class ReadSpec:
         """A copy of this spec with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """A lossless, JSON-serializable dict form (the wire protocol)."""
+        from repro.core.wire import read_spec_to_dict
+
+        return read_spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (revalidated;
+        unknown keys rejected)."""
+        from repro.core.wire import read_spec_from_dict
+
+        return read_spec_from_dict(data)
+
     @property
     def duration(self) -> float:
         return self.end - self.start
@@ -139,6 +166,20 @@ class WriteSpec:
     def replace(self, **changes) -> "WriteSpec":
         """A copy of this spec with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """A lossless, JSON-serializable dict form (the wire protocol)."""
+        from repro.core.wire import write_spec_to_dict
+
+        return write_spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WriteSpec":
+        """Rebuild a spec from :meth:`to_dict` output (revalidated;
+        unknown keys rejected)."""
+        from repro.core.wire import write_spec_from_dict
+
+        return write_spec_from_dict(data)
 
 
 #: Field names callers may pass as session defaults / read overrides.

@@ -1,0 +1,213 @@
+"""Wire protocol: lossless JSON-dict forms of specs, stats, and errors.
+
+Specs *are* the wire protocol of the service layer (:mod:`repro.server`,
+:mod:`repro.client`): a client serializes a :class:`ReadSpec` with
+:func:`read_spec_to_dict`, ships it as JSON, and the server rebuilds the
+identical spec with :func:`read_spec_from_dict` — construction-time
+validation runs again on the server, so a hand-crafted payload cannot
+smuggle in a state no in-process caller could build.
+
+Conversion rules, chosen so ``from_dict(json.loads(json.dumps(to_dict(s))))
+== s`` holds for every constructible spec (property-tested in
+``tests/test_wire.py``):
+
+* every field is present in the dict, ``None`` included — absence is
+  always an error, never a default;
+* tuple fields (``resolution``, ``roi``) become JSON arrays and are
+  rebuilt as tuples of ints;
+* unknown keys are rejected with :class:`WireError` (a typo'd field must
+  not silently fall back to a default on the other side of the wire).
+
+The module also frames the non-spec halves of a service conversation:
+:class:`ReadStats` dicts, raw :class:`VideoSegment` header/payload pairs,
+and error envelopes that rebuild the *same* exception class on the
+client that the engine raised on the server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import numpy as np
+
+from repro import errors as _errors
+from repro.core.reader import ReadStats
+from repro.core.specs import ReadSpec, WriteSpec
+from repro.errors import VSSError, WireError
+from repro.video.frame import VideoSegment, pixel_format
+
+#: Tuple-valued ReadSpec fields that cross the wire as JSON arrays.
+_TUPLE_FIELDS = ("resolution", "roi")
+
+_READ_FIELDS = tuple(f.name for f in dataclasses.fields(ReadSpec))
+_WRITE_FIELDS = tuple(f.name for f in dataclasses.fields(WriteSpec))
+_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(ReadStats))
+
+
+def _check_keys(data, expected: tuple[str, ...], what: str) -> None:
+    if not isinstance(data, dict):
+        raise WireError(f"{what} payload must be a dict, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(expected))
+    if unknown:
+        raise WireError(f"unknown {what} key(s) {unknown}")
+    missing = sorted(set(expected) - set(data))
+    if missing:
+        raise WireError(f"missing {what} key(s) {missing}")
+
+
+def _int_tuple(field_name: str, value):
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise WireError(f"{field_name} must be an array or null, got {value!r}")
+    try:
+        return tuple(int(v) for v in value)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed {field_name} {value!r}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+def read_spec_to_dict(spec: ReadSpec) -> dict:
+    """A :class:`ReadSpec` as a JSON-serializable dict (all fields, with
+    ``resolution``/``roi`` as arrays and ``None`` kept explicit)."""
+    data = dataclasses.asdict(spec)
+    for field_name in _TUPLE_FIELDS:
+        if data[field_name] is not None:
+            data[field_name] = list(data[field_name])
+    return data
+
+
+def read_spec_from_dict(data: dict) -> ReadSpec:
+    """Rebuild a :class:`ReadSpec`; unknown/missing keys raise
+    :class:`WireError`, invalid values raise the spec's own errors."""
+    _check_keys(data, _READ_FIELDS, "ReadSpec")
+    fields = dict(data)
+    for field_name in _TUPLE_FIELDS:
+        fields[field_name] = _int_tuple(field_name, fields[field_name])
+    return ReadSpec(**fields)
+
+
+def write_spec_to_dict(spec: WriteSpec) -> dict:
+    """A :class:`WriteSpec` as a JSON-serializable dict."""
+    return dataclasses.asdict(spec)
+
+
+def write_spec_from_dict(data: dict) -> WriteSpec:
+    """Rebuild a :class:`WriteSpec`; unknown/missing keys raise
+    :class:`WireError`."""
+    _check_keys(data, _WRITE_FIELDS, "WriteSpec")
+    return WriteSpec(**data)
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def read_stats_to_dict(stats: ReadStats) -> dict:
+    """A :class:`ReadStats` as a JSON-serializable dict."""
+    return dataclasses.asdict(stats)
+
+
+def read_stats_from_dict(data: dict) -> ReadStats:
+    """Rebuild a :class:`ReadStats` from :func:`read_stats_to_dict`."""
+    _check_keys(data, _STATS_FIELDS, "ReadStats")
+    return ReadStats(**data)
+
+
+# ----------------------------------------------------------------------
+# segments
+# ----------------------------------------------------------------------
+def segment_to_meta(segment: VideoSegment) -> dict:
+    """The header describing a raw segment payload on the wire."""
+    return {
+        "pixel_format": segment.pixel_format,
+        "height": segment.height,
+        "width": segment.width,
+        "fps": segment.fps,
+        "start_time": segment.start_time,
+        "num_frames": segment.num_frames,
+    }
+
+
+def segment_payload(segment: VideoSegment) -> bytes:
+    """The segment's pixels as contiguous bytes (C order)."""
+    return np.ascontiguousarray(segment.pixels).tobytes()
+
+
+def segment_from_payload(meta: dict, payload: bytes) -> VideoSegment:
+    """Rebuild a segment from a :func:`segment_to_meta` header plus its
+    raw pixel bytes; size/shape mismatches raise :class:`WireError`."""
+    _check_keys(
+        meta,
+        ("pixel_format", "height", "width", "fps", "start_time", "num_frames"),
+        "segment",
+    )
+    try:
+        spec = pixel_format(meta["pixel_format"])
+        frame_shape = spec.frame_shape(int(meta["height"]), int(meta["width"]))
+    except VSSError as exc:
+        raise WireError(f"malformed segment header: {exc}") from exc
+    num_frames = int(meta["num_frames"])
+    shape = (num_frames, *frame_shape)
+    expected = int(np.prod(shape))
+    if len(payload) != expected:
+        raise WireError(
+            f"segment payload is {len(payload)} bytes; header promises "
+            f"{expected}"
+        )
+    pixels = np.frombuffer(payload, dtype=np.uint8).reshape(shape)
+    return VideoSegment(
+        pixels=pixels,
+        pixel_format=meta["pixel_format"],
+        height=int(meta["height"]),
+        width=int(meta["width"]),
+        fps=float(meta["fps"]),
+        start_time=float(meta["start_time"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# error envelopes
+# ----------------------------------------------------------------------
+#: Exception classes a wire envelope may name, keyed by class name.
+ERROR_CLASSES: dict[str, type] = {
+    name: cls
+    for name, cls in inspect.getmembers(_errors, inspect.isclass)
+    if issubclass(cls, VSSError)
+}
+
+
+def error_to_dict(exc: BaseException) -> dict:
+    """An exception as a wire envelope: class name plus message.
+
+    Library errors keep their class so the client re-raises the same
+    type; anything else degrades to a plain :class:`VSSError` envelope.
+    """
+    name = type(exc).__name__
+    if name not in ERROR_CLASSES:
+        name = "VSSError"
+    envelope = {"error": name, "message": str(exc)}
+    video = getattr(exc, "name", None)
+    if isinstance(video, str):
+        envelope["name"] = video
+    return envelope
+
+
+def error_from_dict(data: dict) -> VSSError:
+    """Rebuild the exception an :func:`error_to_dict` envelope describes."""
+    if not isinstance(data, dict) or "error" not in data:
+        raise WireError(f"malformed error envelope {data!r}")
+    cls = ERROR_CLASSES.get(data["error"], VSSError)
+    message = data.get("message", "")
+    video = data.get("name")
+    if video is not None:
+        try:
+            return cls(video)
+        except TypeError:
+            pass
+    try:
+        return cls(message)
+    except TypeError:
+        return VSSError(message)

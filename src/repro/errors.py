@@ -83,3 +83,18 @@ class BudgetExceededError(VSSError):
 
 class CalibrationError(VSSError):
     """The vbench-style calibration data is missing or malformed."""
+
+
+class WireError(VSSError):
+    """A wire-protocol payload is malformed (unknown keys, bad framing)."""
+
+
+class ServerBusyError(VSSError):
+    """The server's admission control rejected the request (HTTP 429).
+
+    ``retry_after`` echoes the server's ``Retry-After`` hint in seconds.
+    """
+
+    def __init__(self, message: str = "server busy", retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -1,0 +1,33 @@
+"""The VSS network service: HTTP endpoints over a :class:`VSSEngine`.
+
+Start one in-process (tests, notebooks)::
+
+    from repro.server import VSSServer
+
+    with VSSServer(root="/data/store", port=0) as server:
+        host, port = server.address
+        ...
+
+or from a shell::
+
+    python -m repro.server /data/store --port 8720
+
+Clients talk to it with :class:`repro.client.VSSClient`, whose surface
+mirrors :class:`repro.core.engine.Session` so code runs unchanged
+against local or remote engines.  See ``docs/api.md`` for the endpoint
+table, wire schema, and backpressure semantics.
+"""
+
+from repro.server.http import (
+    DEFAULT_MAX_INFLIGHT,
+    ServiceGauges,
+    VSSRequestHandler,
+    VSSServer,
+)
+
+__all__ = [
+    "DEFAULT_MAX_INFLIGHT",
+    "ServiceGauges",
+    "VSSRequestHandler",
+    "VSSServer",
+]

@@ -1,0 +1,53 @@
+"""CLI entry point: ``python -m repro.server /path/to/store``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.server.http import DEFAULT_MAX_INFLIGHT, VSSServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a VSS store over HTTP.",
+    )
+    parser.add_argument("root", help="store directory (created if missing)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8720)
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        help="concurrent heavy requests before 429 (default %(default)s)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="engine worker threads (default: core count)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    server = VSSServer(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        verbose=not args.quiet,
+        parallelism=args.parallelism,
+    )
+    host, port = server.address
+    print(f"serving VSS store {args.root!r} on http://{host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,516 @@
+"""The VSS HTTP service: engine endpoints over stdlib ``http.server``.
+
+One :class:`VSSServer` wraps one :class:`repro.core.engine.VSSEngine`
+behind a ``ThreadingHTTPServer`` (one thread per in-flight request —
+the engine is already safe to share across threads, so the handler just
+forwards).  Everything on the wire is JSON (specs, stats, errors — see
+:mod:`repro.core.wire`) plus raw pixel/container payloads framed by a
+JSON header line.
+
+Endpoints::
+
+    GET    /metrics                   engine EngineStats + server gauges
+    GET    /v1/videos                 {"videos": [...]} (sorted)
+    GET    /v1/videos/<name>          {"exists": bool}
+    GET    /v1/videos/<name>/stats    per-video StoreStats
+    POST   /v1/videos                 create  {"name", "budget_bytes"}
+    DELETE /v1/videos/<name>          delete
+    POST   /v1/write                  JSON header line + raw pixel bytes
+    POST   /v1/read                   {"spec": {...}} -> chunked stream
+    POST   /v1/read_batch             {"specs": [...]} -> chunked stream
+
+Streamed responses use HTTP chunked transfer encoding and are built on
+:meth:`Session.read_stream`, so the server's resident frame buffer for a
+read stays O(GOP window) no matter how long the request interval is.
+Inside the de-chunked byte stream, each frame is a JSON line —
+``{"type": "segment"|"gops"|"result-segment"|"result-gops"|"end"|"error",
+...}`` — optionally followed by exactly the payload bytes the line
+promises.
+
+Admission control: at most ``max_inflight`` heavy requests (read, write,
+batch) run concurrently; excess requests are rejected immediately with
+HTTP 429 and a ``Retry-After`` hint rather than queueing unboundedly,
+and the rejection/in-flight gauges are visible at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import unquote
+
+from repro.core.engine import VSSEngine
+from repro.core.wire import (
+    error_to_dict,
+    read_spec_from_dict,
+    read_stats_to_dict,
+    segment_from_payload,
+    segment_payload,
+    segment_to_meta,
+    write_spec_from_dict,
+)
+from repro.errors import (
+    VideoExistsError,
+    VideoNotFoundError,
+    VSSError,
+    WireError,
+)
+from repro.video.codec.container import encode_container
+
+#: Default cap on concurrently executing heavy requests.
+DEFAULT_MAX_INFLIGHT = 8
+
+#: Retry hint (seconds) sent with 429 responses.
+RETRY_AFTER_SECONDS = 1.0
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status an exception maps to."""
+    if isinstance(exc, VideoNotFoundError):
+        return 404
+    if isinstance(exc, VideoExistsError):
+        return 409
+    if isinstance(exc, (VSSError, WireError, ValueError, TypeError, KeyError)):
+        return 400
+    return 500
+
+
+class ServiceGauges:
+    """Admission bookkeeping surfaced at ``/metrics``.
+
+    ``inflight`` is the queue-depth gauge: how many heavy requests hold
+    an admission slot right now.  ``peak_inflight``/``served``/
+    ``rejected`` summarize the server's life so far.
+    """
+
+    def __init__(self, max_inflight: int):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.served = 0
+        self.rejected = 0
+
+    def try_enter(self) -> bool:
+        with self._lock:
+            if self.inflight >= self.max_inflight:
+                self.rejected += 1
+                return False
+            self.inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+            self.served += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self.inflight,
+                "peak_inflight": self.peak_inflight,
+                "served": self.served,
+                "rejected": self.rejected,
+            }
+
+
+class _EngineHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine/session/gauge context."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    engine: VSSEngine
+    session = None
+    gauges: ServiceGauges
+    verbose = False
+
+    def handle_error(self, request, client_address) -> None:
+        # Clients hanging up mid-conversation (closed streams, timeouts)
+        # are routine for a video server, not stack-trace material.
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, BrokenPipeError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+
+class VSSRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request onto the engine (see the module docs)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "VSSServer/1.0"
+    server: _EngineHTTPServer
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200, headers=None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_exception(self, exc: BaseException) -> None:
+        self._send_json(error_to_dict(exc), status=status_for(exc))
+
+    def _reject_busy(self) -> None:
+        # Drain the request body first: closing with unread data makes
+        # the kernel RST the connection, which can discard the in-flight
+        # 429 before the client reads it (losing the Retry-After hint).
+        self._read_body()
+        self.close_connection = True
+        self._send_json(
+            {
+                "error": "ServerBusyError",
+                "message": "too many in-flight requests",
+            },
+            status=429,
+            headers={
+                "Retry-After": str(RETRY_AFTER_SECONDS),
+                "Connection": "close",
+            },
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _write_frame(self, data: bytes) -> None:
+        """Write one HTTP chunk (chunked transfer encoding framing)."""
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
+    def _write_meta(self, frame: dict) -> None:
+        self._write_frame(json.dumps(frame).encode("utf-8") + b"\n")
+
+    def _end_stream(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self) -> list[str]:
+        """The request path as decoded segments.
+
+        Splitting happens on the *quoted* path, so a video name
+        containing ``/`` (sent percent-encoded) stays one segment and
+        can never collide with a route suffix like ``/stats``.
+        """
+        return [
+            unquote(part)
+            for part in self.path.split("/")
+            if part
+        ]
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            parts = self._route()
+            engine = self.server.engine
+            if parts == ["metrics"]:
+                self._send_json(
+                    {
+                        "engine": dataclasses.asdict(engine.stats()),
+                        "server": self.server.gauges.snapshot(),
+                    }
+                )
+            elif parts == ["v1", "videos"]:
+                self._send_json({"videos": engine.list_videos()})
+            elif len(parts) == 4 and parts[:2] == ["v1", "videos"] and (
+                parts[3] == "stats"
+            ):
+                self._send_json(
+                    dataclasses.asdict(engine.video_stats(parts[2]))
+                )
+            elif len(parts) == 3 and parts[:2] == ["v1", "videos"]:
+                name = parts[2]
+                self._send_json({"name": name, "exists": engine.exists(name)})
+            else:
+                self._send_json(
+                    {
+                        "error": "VSSError",
+                        "message": f"no route {self.path!r}",
+                    },
+                    status=404,
+                )
+        except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+            self._send_exception(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            parts = self._route()
+            if len(parts) != 3 or parts[:2] != ["v1", "videos"]:
+                self._send_json(
+                    {
+                        "error": "VSSError",
+                        "message": f"no route {self.path!r}",
+                    },
+                    status=404,
+                )
+                return
+            self.server.engine.delete(parts[2])
+            self._send_json({"deleted": parts[2]})
+        except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+            self._send_exception(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path
+        if path == "/v1/videos":
+            self._handle_create()
+        elif path == "/v1/write":
+            self._admitted(self._handle_write)
+        elif path == "/v1/read":
+            self._admitted(self._handle_read)
+        elif path == "/v1/read_batch":
+            self._admitted(self._handle_read_batch)
+        else:
+            self._read_body()
+            self._send_json(
+                {"error": "VSSError", "message": f"no route {path!r}"},
+                status=404,
+            )
+
+    def _admitted(self, handler) -> None:
+        """Run a heavy handler under admission control (429 when full)."""
+        gauges = self.server.gauges
+        if not gauges.try_enter():
+            self._reject_busy()
+            return
+        try:
+            handler()
+        except ConnectionError:
+            # The client hung up mid-response; nothing left to tell it.
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+            self._send_exception(exc)
+        finally:
+            gauges.leave()
+
+    # ------------------------------------------------------------------
+    # endpoint bodies
+    # ------------------------------------------------------------------
+    def _handle_create(self) -> None:
+        try:
+            payload = json.loads(self._read_body())
+            name = payload["name"]
+            logical = self.server.engine.create(
+                name, budget_bytes=int(payload.get("budget_bytes", 0))
+            )
+            self._send_json(
+                {
+                    "name": logical.name,
+                    "id": logical.id,
+                    "budget_bytes": logical.budget_bytes,
+                }
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+            self._send_exception(exc)
+
+    def _handle_write(self) -> None:
+        body = self._read_body()
+        newline = body.find(b"\n")
+        if newline < 0:
+            raise WireError("write payload is missing its JSON header line")
+        header = json.loads(body[:newline])
+        spec = write_spec_from_dict(header["spec"])
+        segment = segment_from_payload(header["segment"], body[newline + 1:])
+        physical = self.server.engine.write(spec, segment=segment)
+        self._send_json(
+            {
+                "physical_id": physical.id,
+                "codec": physical.codec,
+                "width": physical.width,
+                "height": physical.height,
+                "fps": physical.fps,
+                "start_time": physical.start_time,
+                "end_time": physical.end_time,
+            }
+        )
+
+    def _handle_read(self) -> None:
+        payload = json.loads(self._read_body())
+        spec = read_spec_from_dict(payload["spec"])
+        # Errors raised before any chunk exists (missing video, empty
+        # logical) surface as a plain HTTP error; once streaming starts,
+        # failures travel as an in-band error frame.
+        stream = self.server.session.read_stream(spec)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-vss-stream")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for chunk in stream:
+                if chunk.segment is not None:
+                    data = segment_payload(chunk.segment)
+                    self._write_meta(
+                        {
+                            "type": "segment",
+                            "index": chunk.index,
+                            "meta": segment_to_meta(chunk.segment),
+                            "nbytes": len(data),
+                        }
+                    )
+                    self._write_frame(data)
+                else:
+                    blobs = [encode_container(g) for g in chunk.gops]
+                    self._write_meta(
+                        {
+                            "type": "gops",
+                            "index": chunk.index,
+                            "start_time": chunk.start_time,
+                            "end_time": chunk.end_time,
+                            "sizes": [len(b) for b in blobs],
+                        }
+                    )
+                    self._write_frame(b"".join(blobs))
+            self._write_meta(
+                {"type": "end", "stats": read_stats_to_dict(stream.stats)}
+            )
+        except ConnectionError:
+            stream.close()
+            self.close_connection = True
+            return
+        except Exception as exc:  # noqa: BLE001 - in-band error frame
+            stream.close()
+            self._write_meta({"type": "error", **error_to_dict(exc)})
+        self._end_stream()
+
+    def _handle_read_batch(self) -> None:
+        payload = json.loads(self._read_body())
+        specs = [read_spec_from_dict(d) for d in payload["specs"]]
+        results, batch = self.server.engine.read_batch(specs)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-vss-stream")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for index, result in enumerate(results):
+                stats = read_stats_to_dict(result.stats)
+                if result.segment is not None:
+                    data = segment_payload(result.segment)
+                    self._write_meta(
+                        {
+                            "type": "result-segment",
+                            "index": index,
+                            "meta": segment_to_meta(result.segment),
+                            "nbytes": len(data),
+                            "stats": stats,
+                        }
+                    )
+                    self._write_frame(data)
+                else:
+                    blobs = [encode_container(g) for g in result.gops]
+                    self._write_meta(
+                        {
+                            "type": "result-gops",
+                            "index": index,
+                            "sizes": [len(b) for b in blobs],
+                            "stats": stats,
+                        }
+                    )
+                    self._write_frame(b"".join(blobs))
+            self._write_meta(
+                {"type": "end", "batch": dataclasses.asdict(batch)}
+            )
+        except ConnectionError:
+            self.close_connection = True
+            return
+        except Exception as exc:  # noqa: BLE001 - in-band error frame
+            self._write_meta({"type": "error", **error_to_dict(exc)})
+        self._end_stream()
+
+
+class VSSServer:
+    """One engine behind an HTTP endpoint.
+
+    Construct over an existing engine (``VSSServer(engine=engine)``) or
+    let the server own a fresh one (``VSSServer(root=path, **knobs)``).
+    ``port=0`` binds an ephemeral port — read :attr:`address` after
+    construction.  :meth:`start` serves from a daemon thread (the usual
+    embedded/test mode); :meth:`serve_forever` blocks (the CLI mode).
+    """
+
+    def __init__(
+        self,
+        engine: VSSEngine | None = None,
+        root: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        verbose: bool = False,
+        **engine_kwargs,
+    ):
+        if (engine is None) == (root is None):
+            raise ValueError("provide exactly one of engine= or root=")
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else VSSEngine(
+            root, **engine_kwargs
+        )
+        self.session = self.engine.session()
+        self.gauges = ServiceGauges(max_inflight)
+        self._httpd = _EngineHTTPServer((host, port), VSSRequestHandler)
+        self._httpd.engine = self.engine
+        self._httpd.session = self.session
+        self._httpd.gauges = self.gauges
+        self._httpd.verbose = verbose
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "VSSServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="vss-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "VSSServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

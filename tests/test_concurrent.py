@@ -466,3 +466,92 @@ class TestRefineRotation:
         finally:
             loaded_engine.catalog.update_mse_estimate = original_update
         assert len(set(refined)) >= 2  # rotation covered multiple physicals
+
+
+# ----------------------------------------------------------------------
+# read_async failure paths (exceptions travel through the Future;
+# SessionStats stays consistent under concurrent failing reads)
+# ----------------------------------------------------------------------
+class TestReadAsyncFailures:
+    def test_exception_propagates_through_future(self, loaded_engine):
+        session = loaded_engine.session()
+        future = session.read_async("missing", 0.0, 1.0)
+        with pytest.raises(VideoNotFoundError):
+            future.result(timeout=30)
+
+    def test_out_of_range_read_fails_in_future(self, loaded_engine):
+        session = loaded_engine.session()
+        future = session.read_async(
+            ReadSpec("traffic", 100.0, 101.0, cache=False)
+        )
+        with pytest.raises(ReadError):
+            future.result(timeout=30)
+
+    def test_failed_read_counts_failure_not_read(self, loaded_engine):
+        session = loaded_engine.session()
+        future = session.read_async("missing", 0.0, 1.0)
+        with pytest.raises(VideoNotFoundError):
+            future.result(timeout=30)
+        assert session.stats.reads == 0
+        assert session.stats.failures == 1
+
+    def test_concurrent_mixed_success_and_failure(self, loaded_engine):
+        """N failing + M succeeding async reads: counters add up exactly
+        and successful results stay intact."""
+        session = loaded_engine.session()
+        good_spec = ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        futures = []
+        for i in range(12):
+            if i % 3 == 0:
+                futures.append(session.read_async("missing", 0.0, 1.0))
+            else:
+                futures.append(session.read_async(good_spec))
+        done, not_done = wait(futures, timeout=60)
+        assert not not_done
+        failures = 0
+        successes = 0
+        reference = None
+        for future in futures:
+            exc = future.exception()
+            if exc is not None:
+                assert isinstance(exc, VideoNotFoundError)
+                failures += 1
+            else:
+                successes += 1
+                segment = future.result().segment
+                if reference is None:
+                    reference = segment.pixels
+                else:
+                    assert np.array_equal(segment.pixels, reference)
+        assert failures == 4
+        assert successes == 8
+        assert session.stats.reads == successes
+        assert session.stats.failures == failures
+        assert session.stats.wall_seconds > 0
+
+    def test_sync_read_failure_also_counted(self, loaded_engine):
+        session = loaded_engine.session()
+        with pytest.raises(VideoNotFoundError):
+            session.read("missing", 0.0, 1.0)
+        with pytest.raises(WriteError):
+            session.write("traffic")  # neither segment nor gops
+        assert session.stats.failures == 2
+        assert session.stats.reads == 0
+        assert session.stats.writes == 0
+
+
+# ----------------------------------------------------------------------
+# engine probing satellites
+# ----------------------------------------------------------------------
+class TestEngineProbes:
+    def test_exists_without_exception_probe(self, loaded_engine):
+        assert loaded_engine.exists("traffic")
+        assert not loaded_engine.exists("missing")
+        # probing must not leak per-logical lock registry entries
+        assert "missing" not in loaded_engine._logical_locks
+
+    def test_list_videos_sorted(self, engine, tiny_clip):
+        session = engine.session()
+        for name in ["zebra", "alpha", "mid"]:
+            session.write(name, tiny_clip, codec="raw")
+        assert engine.list_videos() == ["alpha", "mid", "zebra"]

@@ -1,0 +1,282 @@
+"""Wire protocol: lossless spec round trips, envelopes, validation.
+
+The central contract (property-tested below):
+``from_dict(json.loads(json.dumps(to_dict(spec)))) == spec`` for every
+constructible spec, with unknown and missing keys rejected loudly.  The
+satellite fix for non-finite floats also lives here: ``nan`` slips
+through ordinary comparisons (``nan <= 0`` is False), so specs must pin
+every float field to finite values at construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reader import ReadStats
+from repro.core.specs import ReadSpec, WriteSpec
+from repro.core.wire import (
+    error_from_dict,
+    error_to_dict,
+    read_spec_from_dict,
+    read_stats_from_dict,
+    read_stats_to_dict,
+    segment_from_payload,
+    segment_payload,
+    segment_to_meta,
+    write_spec_from_dict,
+)
+from repro.errors import (
+    BudgetExceededError,
+    OutOfRangeError,
+    QualityError,
+    ServerBusyError,
+    VideoExistsError,
+    VideoNotFoundError,
+    VSSError,
+    WireError,
+)
+from repro.video.codec.quant import QP_MAX, QP_MIN
+from repro.video.frame import blank_segment
+
+# ----------------------------------------------------------------------
+# hypothesis strategies over constructible specs
+# ----------------------------------------------------------------------
+_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N"), whitelist_characters="_-. "
+    ),
+    min_size=1,
+    max_size=24,
+)
+_finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def read_specs(draw) -> ReadSpec:
+    start = draw(_finite)
+    end = start + draw(
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+    )
+    resolution = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(1, 4096), st.integers(1, 4096)
+            ),
+        )
+    )
+    roi = None
+    if draw(st.booleans()):
+        x0 = draw(st.integers(0, 100))
+        y0 = draw(st.integers(0, 100))
+        roi = (
+            x0,
+            y0,
+            x0 + draw(st.integers(1, 100)),
+            y0 + draw(st.integers(1, 100)),
+        )
+    return ReadSpec(
+        name=draw(_names),
+        start=start,
+        end=end,
+        codec=draw(st.sampled_from(["raw", "h264", "hevc"])),
+        pixel_format=draw(
+            st.sampled_from(["rgb", "gray", "yuv420", "yuv422"])
+        ),
+        resolution=resolution,
+        roi=roi,
+        fps=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=1e-2, max_value=240.0, allow_nan=False),
+            )
+        ),
+        quality_db=draw(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+        ),
+        qp=draw(st.integers(QP_MIN, QP_MAX)),
+        cache=draw(st.one_of(st.none(), st.booleans())),
+        mode=draw(
+            st.one_of(st.none(), st.sampled_from(["solver", "greedy", "original"]))
+        ),
+    )
+
+
+@st.composite
+def write_specs(draw) -> WriteSpec:
+    return WriteSpec(
+        name=draw(_names),
+        codec=draw(st.sampled_from(["raw", "h264", "hevc"])),
+        qp=draw(st.integers(QP_MIN, QP_MAX)),
+        gop_size=draw(st.one_of(st.none(), st.integers(1, 600))),
+    )
+
+
+class TestSpecRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(read_specs())
+    def test_read_spec_json_round_trip(self, spec: ReadSpec):
+        wired = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = ReadSpec.from_dict(wired)
+        assert rebuilt == spec
+        # tuples must come back as tuples, not lists
+        assert rebuilt.resolution == spec.resolution
+        assert rebuilt.roi == spec.roi
+        assert type(rebuilt.resolution) is type(spec.resolution)
+
+    @settings(max_examples=100, deadline=None)
+    @given(write_specs())
+    def test_write_spec_json_round_trip(self, spec: WriteSpec):
+        wired = json.loads(json.dumps(spec.to_dict()))
+        assert WriteSpec.from_dict(wired) == spec
+
+    def test_every_field_is_explicit(self):
+        spec = ReadSpec("v", 0.0, 1.0)
+        data = spec.to_dict()
+        assert set(data) == {
+            f.name for f in dataclasses.fields(ReadSpec)
+        }
+        assert data["resolution"] is None  # None stays explicit
+
+    def test_unknown_keys_rejected(self):
+        data = ReadSpec("v", 0.0, 1.0).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(WireError, match="surprise"):
+            ReadSpec.from_dict(data)
+        wdata = WriteSpec("v").to_dict()
+        wdata["oops"] = True
+        with pytest.raises(WireError, match="oops"):
+            WriteSpec.from_dict(wdata)
+
+    def test_missing_keys_rejected(self):
+        data = ReadSpec("v", 0.0, 1.0).to_dict()
+        del data["end"]
+        with pytest.raises(WireError, match="end"):
+            ReadSpec.from_dict(data)
+
+    def test_values_revalidated_on_arrival(self):
+        data = ReadSpec("v", 0.0, 1.0).to_dict()
+        data["end"] = -5.0
+        with pytest.raises(OutOfRangeError):
+            read_spec_from_dict(data)
+        data = WriteSpec("v").to_dict()
+        data["qp"] = QP_MAX + 10
+        with pytest.raises(ValueError):
+            write_spec_from_dict(data)
+
+    def test_malformed_tuple_fields(self):
+        data = ReadSpec("v", 0.0, 1.0).to_dict()
+        data["roi"] = "not-a-roi"
+        with pytest.raises(WireError):
+            ReadSpec.from_dict(data)
+
+    def test_non_dict_payload(self):
+        with pytest.raises(WireError):
+            read_spec_from_dict([1, 2, 3])
+
+
+class TestNonFiniteValidation:
+    """Satellite: nan/inf must fail spec validation at construction."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_interval_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            ReadSpec("v", 0.0, bad)
+        with pytest.raises(ValueError):
+            ReadSpec("v", bad, 1.0)
+
+    def test_nan_end_regression(self):
+        # nan <= 0.0 is False, so this used to pass the interval check.
+        with pytest.raises(ValueError, match="finite"):
+            ReadSpec("v", 0.0, float("nan"))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_fps_and_quality_reject_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            ReadSpec("v", 0.0, 1.0, fps=bad)
+        with pytest.raises(ValueError):
+            ReadSpec("v", 0.0, 1.0, quality_db=bad)
+
+    def test_finite_values_still_pass(self):
+        spec = ReadSpec("v", 0.0, 1.0, fps=30.0, quality_db=35.5)
+        assert math.isfinite(spec.fps)
+
+
+class TestStatsAndSegments:
+    def test_read_stats_round_trip(self):
+        stats = ReadStats(
+            planned_cost=1.5,
+            frames_decoded=42,
+            gop_ids_touched=[3, 1, 2],
+            decode_cache_hits=2,
+            direct_serve=True,
+        )
+        wired = json.loads(json.dumps(read_stats_to_dict(stats)))
+        assert read_stats_from_dict(wired) == stats
+
+    @pytest.mark.parametrize("fmt", ["rgb", "gray", "yuv420"])
+    def test_segment_round_trip(self, fmt):
+        segment = blank_segment(12, 36, 64, fps=30.0, fmt=fmt)
+        rng = np.random.default_rng(3)
+        segment.pixels[:] = rng.integers(
+            0, 256, segment.pixels.shape, dtype="uint8"
+        )
+        meta = json.loads(json.dumps(segment_to_meta(segment)))
+        rebuilt = segment_from_payload(meta, segment_payload(segment))
+        assert rebuilt.pixel_format == fmt
+        assert rebuilt.fps == segment.fps
+        assert (rebuilt.pixels == segment.pixels).all()
+
+    def test_segment_payload_size_mismatch(self):
+        segment = blank_segment(4, 36, 64, fps=30.0)
+        meta = segment_to_meta(segment)
+        with pytest.raises(WireError, match="bytes"):
+            segment_from_payload(meta, segment_payload(segment)[:-1])
+
+
+class TestErrorEnvelopes:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            VideoNotFoundError("cam0"),
+            VideoExistsError("cam0"),
+            OutOfRangeError("interval [3, 2)"),
+            QualityError("no fragments above 30 dB"),
+            BudgetExceededError("over budget"),
+            ServerBusyError(),
+            VSSError("generic"),
+        ],
+    )
+    def test_same_class_comes_back(self, exc):
+        wired = json.loads(json.dumps(error_to_dict(exc)))
+        rebuilt = error_from_dict(wired)
+        assert type(rebuilt) is type(exc)
+        assert str(rebuilt)
+
+    def test_not_found_keeps_video_name(self):
+        rebuilt = error_from_dict(error_to_dict(VideoNotFoundError("cam7")))
+        assert rebuilt.name == "cam7"
+
+    def test_unknown_class_degrades_to_vss_error(self):
+        rebuilt = error_from_dict(
+            {"error": "TotallyMadeUp", "message": "hm"}
+        )
+        assert type(rebuilt) is VSSError
+
+    def test_foreign_exception_wrapped(self):
+        wired = error_to_dict(RuntimeError("kaboom"))
+        assert wired["error"] == "VSSError"
+        assert "kaboom" in wired["message"]
+
+    def test_malformed_envelope(self):
+        with pytest.raises(WireError):
+            error_from_dict({"message": "no class"})
