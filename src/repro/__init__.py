@@ -7,6 +7,9 @@ Public entry points:
   with typed :class:`repro.ReadSpec` / :class:`repro.WriteSpec`.
   ``session.read_stream`` returns a :class:`repro.ReadStream` of
   GOP-sized :class:`repro.ReadChunk` increments with bounded memory.
+  ``engine.create_view(name, ViewSpec(over=base, ...))`` registers a
+  named *derived view* — a virtual video (window/crop/format defaults
+  over a base) that resolves everywhere a video name is accepted.
 * :class:`repro.VSSServer` / :class:`repro.VSSClient` — the HTTP service
   pair; the client mirrors the ``Session`` surface so code runs
   unchanged against local or remote engines.
@@ -28,6 +31,8 @@ from repro.core import (
     ReadSpec,
     ReadStream,
     Session,
+    ViewRecord,
+    ViewSpec,
     VSSEngine,
     WriteSpec,
 )
@@ -35,7 +40,7 @@ from repro.core.read_planner import ReadRequest
 from repro.server import VSSServer
 from repro.video.frame import VideoSegment
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "ReadChunk",
@@ -51,6 +56,8 @@ __all__ = [
     "VSSEngine",
     "VSSServer",
     "VideoSegment",
+    "ViewRecord",
+    "ViewSpec",
     "WriteSpec",
     "__version__",
 ]

@@ -1,10 +1,12 @@
 """``VSSClient``: a Session-shaped client for a remote VSS server.
 
 The client mirrors :class:`repro.core.engine.Session` — ``read`` /
-``read_stream`` / ``read_batch`` / ``write`` plus the engine's
-``create`` / ``delete`` / ``exists`` / ``list_videos`` / ``video_stats``
-— so application code runs unchanged against a local engine or a
-:class:`repro.server.VSSServer` across the network::
+``read_stream`` / ``read_batch`` / ``read_async`` / ``write`` plus the
+catalog surface (``create`` / ``delete`` / ``exists`` / ``list_videos``
+/ ``video_stats`` / ``create_view`` / ``get_view`` / ``list_views``) —
+so application code runs unchanged against a local engine or a
+:class:`repro.server.VSSServer` across the network (the parity is
+asserted by introspection in ``tests/test_views.py``)::
 
     client = VSSClient("127.0.0.1", 8720, codec="h264", qp=12)
     client.write("traffic", segment)
@@ -25,6 +27,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from http.client import HTTPConnection, HTTPResponse
 from urllib.parse import quote
@@ -35,6 +38,7 @@ from repro.core.specs import (
     READ_SPEC_FIELDS,
     WRITE_SPEC_FIELDS,
     ReadSpec,
+    ViewSpec,
     WriteSpec,
 )
 from repro.core.wire import (
@@ -44,6 +48,7 @@ from repro.core.wire import (
     segment_from_payload,
     segment_payload,
     segment_to_meta,
+    view_spec_to_dict,
     write_spec_to_dict,
 )
 from repro.errors import ServerBusyError, VSSError, WireError
@@ -223,6 +228,8 @@ class VSSClient:
         self.timeout = timeout
         self._defaults = dict(defaults)
         self._stats_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
         self.stats = SessionStats()
 
     @property
@@ -298,17 +305,44 @@ class VSSClient:
         ).encode("utf-8")
         return self._request_json("POST", "/v1/videos", body)
 
-    def delete(self, name: str) -> None:
-        self._request_json("DELETE", f"/v1/videos/{quote(name, safe='')}")
+    def delete(self, name: str, force: bool = False) -> None:
+        """Delete a video or view; ``force`` cascades dependent views."""
+        suffix = "?force=1" if force else ""
+        self._request_json(
+            "DELETE", f"/v1/videos/{quote(name, safe='')}{suffix}"
+        )
 
     def exists(self, name: str) -> bool:
+        """True when ``name`` is a logical video or a derived view."""
         reply = self._request_json(
             "GET", f"/v1/videos/{quote(name, safe='')}"
         )
         return bool(reply["exists"])
 
-    def list_videos(self) -> list[str]:
-        return self._request_json("GET", "/v1/videos")["videos"]
+    def list_videos(self, kind: str = "all") -> list[str]:
+        """Sorted names from one server-side catalog snapshot."""
+        return self._request_json(
+            "GET", f"/v1/videos?kind={quote(kind, safe='')}"
+        )["videos"]
+
+    def create_view(self, name: str, spec: ViewSpec) -> dict:
+        """Register a derived view (mirrors ``Session.create_view``)."""
+        if not isinstance(spec, ViewSpec):
+            raise TypeError(
+                f"create_view takes a ViewSpec, got {type(spec).__name__}"
+            )
+        body = json.dumps(
+            {"name": name, "spec": view_spec_to_dict(spec)}
+        ).encode("utf-8")
+        return self._request_json("POST", "/v1/views", body)
+
+    def get_view(self, name: str) -> dict:
+        """One view definition (``spec`` is a ViewSpec dict)."""
+        return self._request_json("GET", f"/v1/views/{quote(name, safe='')}")
+
+    def list_views(self) -> list[dict]:
+        """All view definitions, sorted by name."""
+        return self._request_json("GET", "/v1/views")["views"]
 
     def video_stats(self, name: str) -> dict:
         return self._request_json(
@@ -387,6 +421,32 @@ class VSSClient:
             "/v1/read", {"spec": read_spec_to_dict(spec)}
         )
 
+    def read_async(
+        self,
+        spec_or_name: ReadSpec | str,
+        start: float | None = None,
+        end: float | None = None,
+        **overrides,
+    ) -> Future:
+        """Submit a read; returns a ``concurrent.futures.Future``.
+
+        Mirrors ``Session.read_async``: the request runs on a small
+        client-side pool (each request still opens its own connection,
+        so futures of different videos proceed concurrently server-side).
+        """
+        spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
+        with self._stats_lock:
+            if self._closed:
+                raise RuntimeError("client is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix="vss-client"
+                )
+            # Submit under the lock: close() swaps the pool out under
+            # the same lock before shutting it down, so a submit can
+            # never race into an already-shut-down executor.
+            return self._pool.submit(self.read, spec)
+
     def read_batch(self, specs: list[ReadSpec]) -> list[RemoteReadResult]:
         """Execute several reads server-side with shared decode work."""
         payload = {"specs": [read_spec_to_dict(s) for s in specs]}
@@ -464,7 +524,18 @@ class VSSClient:
             self.stats.failures += 1
 
     def close(self) -> None:
-        """Connections are per-request; nothing to release."""
+        """Release the ``read_async`` pool (idempotent).
+
+        Data connections are per-request, so there is nothing else to
+        tear down; a closed client rejects further ``read_async`` calls.
+        """
+        with self._stats_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "VSSClient":
         return self

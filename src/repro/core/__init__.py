@@ -16,13 +16,19 @@ from repro.core.engine import (
     Session,
     SessionStats,
     StoreStats,
+    ViewStats,
     VSSEngine,
 )
 from repro.core.executor import Executor
 from repro.core.reader import BatchStats, ReadChunk, ReadResult, ReadStats
-from repro.core.records import GopRecord, LogicalVideo, PhysicalVideo
-from repro.core.read_planner import ReadRequest
-from repro.core.specs import ReadSpec, WriteSpec
+from repro.core.records import (
+    GopRecord,
+    LogicalVideo,
+    PhysicalVideo,
+    ViewRecord,
+)
+from repro.core.read_planner import ReadRequest, fold_view
+from repro.core.specs import ReadSpec, ViewSpec, WriteSpec
 
 __all__ = [
     "BatchStats",
@@ -43,5 +49,9 @@ __all__ = [
     "StoreStats",
     "VSS",
     "VSSEngine",
+    "ViewRecord",
+    "ViewSpec",
+    "ViewStats",
     "WriteSpec",
+    "fold_view",
 ]

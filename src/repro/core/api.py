@@ -56,6 +56,7 @@ from repro.core.reader import ReadResult
 from repro.core.records import ROI, PhysicalVideo
 from repro.core.specs import ReadSpec, WriteSpec
 from repro.core.quality import DEFAULT_EPSILON_DB
+from repro.errors import CatalogError
 from repro.vbench.calibrate import Calibration
 from repro.video.codec.container import EncodedGOP
 from repro.video.codec.quant import QP_DEFAULT
@@ -150,6 +151,9 @@ class VSS:
     # lifecycle (special methods bypass __getattr__, so defined here)
     # ------------------------------------------------------------------
     def close(self) -> None:
+        # Close the default session first so its counters land in
+        # EngineStats before the engine shuts down.
+        self.default_session.close()
         self.engine.close()
 
     def __enter__(self) -> "VSS":
@@ -209,6 +213,13 @@ class VSS:
     def stats(self, name: str) -> LegacyStoreStats:
         """Deprecated combined per-video + store-wide stats shape."""
         video = self.engine.video_stats(name)
+        if not isinstance(video, StoreStats):
+            # Derived views postdate this facade; the legacy shape has
+            # no view form (a view owns no storage to report).
+            raise CatalogError(
+                f"{name!r} is a derived view; use "
+                f"engine.video_stats({name!r}) for its ViewStats"
+            )
         store = self.engine.stats()
         return LegacyStoreStats(
             name=video.name,

@@ -36,7 +36,9 @@ from repro.core.records import (
     JointPairRecord,
     LogicalVideo,
     PhysicalVideo,
+    ViewRecord,
 )
+from repro.core.specs import ViewSpec
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS logical_videos (
@@ -93,6 +95,14 @@ CREATE TABLE IF NOT EXISTS joint_pairs (
     nbytes INTEGER NOT NULL,
     duplicate INTEGER NOT NULL DEFAULT 0
 );
+CREATE TABLE IF NOT EXISTS views (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE,
+    over TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS views_by_over ON views(over);
 CREATE TABLE IF NOT EXISTS meta (
     key TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -214,6 +224,13 @@ class Catalog:
     # ------------------------------------------------------------------
     def create_logical(self, name: str, budget_bytes: int) -> LogicalVideo:
         with self._write() as conn:
+            # Logical videos and views share one namespace (a view must
+            # resolve everywhere a video name is accepted); both checks
+            # run under the single writer lock, so there is no race.
+            if conn.execute(
+                "SELECT 1 FROM views WHERE name = ?", (name,)
+            ).fetchone():
+                raise VideoExistsError(name)
             try:
                 cursor = conn.execute(
                     "INSERT INTO logical_videos (name, budget_bytes, created_at)"
@@ -258,8 +275,28 @@ class Catalog:
             )
             conn.commit()
 
-    def delete_logical(self, logical_id: int) -> None:
+    def delete_logical(
+        self, logical_id: int, guard_over: str | None = None
+    ) -> None:
+        """Delete a logical video's rows.
+
+        ``guard_over`` (the video's name) makes the delete refuse —
+        atomically, inside the writer transaction — when any view is
+        still defined over it, closing the race where a concurrent
+        ``create_view`` lands between the caller's dependency scan and
+        the delete (which would orphan the new view).
+        """
         with self._write() as conn:
+            if guard_over is not None:
+                row = conn.execute(
+                    "SELECT name FROM views WHERE over = ? LIMIT 1",
+                    (guard_over,),
+                ).fetchone()
+                if row is not None:
+                    raise CatalogError(
+                        f"view {row['name']!r} is defined over "
+                        f"{guard_over!r}"
+                    )
             conn.execute(
                 "DELETE FROM gops WHERE physical_id IN "
                 "(SELECT id FROM physical_videos WHERE logical_id = ?)",
@@ -279,6 +316,153 @@ class Catalog:
             id=row["id"],
             name=row["name"],
             budget_bytes=row["budget_bytes"],
+            created_at=row["created_at"],
+        )
+
+    # ------------------------------------------------------------------
+    # names (videos + views as one namespace)
+    # ------------------------------------------------------------------
+    def name_kind(self, name: str) -> str | None:
+        """``"video"``, ``"view"``, or None — resolved atomically.
+
+        One SQL statement over both tables, so a concurrent create or
+        delete can never make a name look like both (or neither) kinds
+        mid-probe.
+        """
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT 'video' AS kind FROM logical_videos WHERE name = ?"
+                " UNION ALL SELECT 'view' FROM views WHERE name = ?",
+                (name, name),
+            ).fetchone()
+        return None if row is None else row["kind"]
+
+    def list_names(self, kind: str = "all") -> list[str]:
+        """All names of ``kind`` ("all", "video", or "view"), sorted.
+
+        Each call is a single SQL statement, so the listing is one
+        consistent catalog snapshot: a delete or create landing
+        concurrently is either entirely visible or entirely absent,
+        never half-applied across the two tables.
+        """
+        if kind == "video":
+            query = "SELECT name FROM logical_videos ORDER BY name"
+        elif kind == "view":
+            query = "SELECT name FROM views ORDER BY name"
+        elif kind == "all":
+            query = (
+                "SELECT name FROM logical_videos"
+                " UNION SELECT name FROM views ORDER BY name"
+            )
+        else:
+            raise ValueError(
+                f"unknown kind {kind!r}; expected 'all', 'video', or 'view'"
+            )
+        with self._read() as conn:
+            rows = conn.execute(query).fetchall()
+        return [r["name"] for r in rows]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def create_view(self, name: str, spec: ViewSpec) -> ViewRecord:
+        """Persist a derived view named ``name`` defined by ``spec``.
+
+        The name must be free in the shared video/view namespace and
+        ``spec.over`` must exist (as either kind); both are checked
+        inside the writer lock, so creation cannot race another create
+        into a dangling or duplicated definition.
+        """
+        with self._write() as conn:
+            if conn.execute(
+                "SELECT 1 FROM logical_videos WHERE name = ?", (name,)
+            ).fetchone():
+                raise VideoExistsError(name)
+            if not conn.execute(
+                "SELECT 1 FROM logical_videos WHERE name = ?"
+                " UNION ALL SELECT 1 FROM views WHERE name = ?",
+                (spec.over, spec.over),
+            ).fetchone():
+                raise VideoNotFoundError(spec.over)
+            try:
+                cursor = conn.execute(
+                    "INSERT INTO views (name, over, spec, created_at)"
+                    " VALUES (?, ?, ?, ?)",
+                    (name, spec.over, json.dumps(spec.to_dict()), time.time()),
+                )
+            except sqlite3.IntegrityError:
+                raise VideoExistsError(name) from None
+            conn.commit()
+            row = conn.execute(
+                "SELECT * FROM views WHERE id = ?", (cursor.lastrowid,)
+            ).fetchone()
+        return self._view_from_row(row)
+
+    def get_view(self, name: str) -> ViewRecord:
+        view = self.find_view(name)
+        if view is None:
+            raise VideoNotFoundError(name)
+        return view
+
+    def find_view(self, name: str) -> ViewRecord | None:
+        """The view named ``name``, or None (no exception probe)."""
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT * FROM views WHERE name = ?", (name,)
+            ).fetchone()
+        return None if row is None else self._view_from_row(row)
+
+    def list_views(self) -> list[ViewRecord]:
+        with self._read() as conn:
+            rows = conn.execute("SELECT * FROM views ORDER BY name").fetchall()
+        return [self._view_from_row(r) for r in rows]
+
+    def count_views(self) -> int:
+        with self._read() as conn:
+            value = conn.execute("SELECT COUNT(*) FROM views").fetchone()[0]
+        return int(value)
+
+    def views_over(self, name: str) -> list[ViewRecord]:
+        """Views defined directly over ``name`` (one dependency level)."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT * FROM views WHERE over = ? ORDER BY name", (name,)
+            ).fetchall()
+        return [self._view_from_row(r) for r in rows]
+
+    def delete_view(self, name: str) -> None:
+        """Delete one view definition.
+
+        Refuses — atomically, inside the writer transaction — while
+        other views are still defined over ``name``, so a concurrent
+        ``create_view`` can never be orphaned by this delete (the
+        engine cascades dependents deepest-first and retries).
+        """
+        with self._write() as conn:
+            row = conn.execute(
+                "SELECT name FROM views WHERE over = ? LIMIT 1", (name,)
+            ).fetchone()
+            if row is not None:
+                raise CatalogError(
+                    f"view {row['name']!r} is defined over {name!r}"
+                )
+            cursor = conn.execute("DELETE FROM views WHERE name = ?", (name,))
+            conn.commit()
+        if cursor.rowcount == 0:
+            raise VideoNotFoundError(name)
+
+    @staticmethod
+    def _view_from_row(row: sqlite3.Row) -> ViewRecord:
+        try:
+            spec = ViewSpec.from_dict(json.loads(row["spec"]))
+        except Exception as exc:
+            raise CatalogError(
+                f"corrupt view definition for {row['name']!r}: {exc}"
+            ) from exc
+        return ViewRecord(
+            id=row["id"],
+            name=row["name"],
+            spec=spec,
             created_at=row["created_at"],
         )
 

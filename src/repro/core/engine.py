@@ -22,6 +22,14 @@ each GOP window needed by several reads exactly once (via
 :meth:`repro.core.reader.Reader.execute_batch`), then touches LRU stamps
 and enforces the budget once per batch instead of once per read.
 
+Names accepted by the read/stat entry points may also be *derived
+views* (``engine.create_view(name, ViewSpec(over=base, ...))``): named
+virtual videos persisted in the catalog and folded per-request into a
+single effective :class:`ReadSpec` against the base logical video, so
+planning, decoding, and caching are reused unchanged and cached
+fragments produced through a view belong to the base (shared across all
+views over it).  Views are read-only and own no storage.
+
 The paper's four-operation facade lives on as the deprecated
 :class:`repro.core.api.VSS` shim over an engine plus a default session.
 """
@@ -44,7 +52,12 @@ from repro.core.deferred import DeferredCompressionManager
 from repro.core.executor import Executor
 from repro.core.layout import Layout
 from repro.core.quality import QualityModel
-from repro.core.read_planner import plan_read
+from repro.core.read_planner import (
+    MAX_VIEW_DEPTH,
+    fold_view,
+    merge_views,
+    plan_read,
+)
 from repro.core.reader import (
     BatchStats,
     ReadChunk,
@@ -52,17 +65,19 @@ from repro.core.reader import (
     ReadResult,
     ReadStats,
 )
-from repro.core.records import LogicalVideo, PhysicalVideo
+from repro.core.records import LogicalVideo, PhysicalVideo, ViewRecord
 from repro.core.specs import (
     READ_SPEC_FIELDS,
     WRITE_SPEC_FIELDS,
     ReadSpec,
+    ViewSpec,
     WriteSpec,
 )
 from repro.core.writer import StreamWriter, Writer
 from repro.errors import (
     CatalogError,
     ReadError,
+    VideoExistsError,
     VideoNotFoundError,
     WriteError,
 )
@@ -101,15 +116,47 @@ class StoreStats:
 
 
 @dataclass
+class ViewStats:
+    """Per-view summary (``engine.video_stats(name)`` for a view name).
+
+    A view owns no storage, so its stats describe the definition and the
+    traffic routed through it: ``over`` is the immediate parent,
+    ``base`` the logical video the chain bottoms out at, ``depth`` the
+    chain length, and ``reads`` the reads resolved through this view
+    since the engine started.  ``base_stats`` is the base's
+    :class:`StoreStats` — the storage every view over it shares.
+    """
+
+    name: str
+    over: str
+    base: str
+    depth: int
+    reads: int
+    spec: ViewSpec
+    base_stats: StoreStats
+
+
+@dataclass
 class EngineStats:
-    """Store-wide statistics (``engine.stats()``)."""
+    """Store-wide statistics (``engine.stats()``).
+
+    ``view_reads`` counts reads that resolved through at least one
+    derived view (monotonic — deleting a view does not erase its
+    traffic).  ``failures`` and ``session_seconds`` accumulate from
+    *closed* sessions (``Session.close`` flushes its counters into the
+    engine); sessions still open contribute nothing yet.
+    """
 
     num_logical_videos: int
+    num_views: int
     num_sessions: int
     reads: int
     writes: int
     batches: int
     streams: int
+    view_reads: int
+    failures: int
+    session_seconds: float
     parallelism: int
     executor_tasks: int
     decode_cache_hits: int
@@ -222,6 +269,17 @@ class VSSEngine:
         self._batches = 0
         self._streams = 0
         self._num_sessions = 0
+        self._view_reads: dict[str, int] = {}
+        self._view_reads_total = 0
+        # Known view names, kept in sync by create_view/delete: lets the
+        # hot read/write paths skip the catalog probe entirely in stores
+        # with no (matching) view — like the per-logical locks, this
+        # assumes one engine per store.
+        self._view_names: set[str] = {
+            v.name for v in self.catalog.list_views()
+        }
+        self._failures = 0
+        self._session_seconds = 0.0
         self._frontend: ThreadPoolExecutor | None = None
         self._closed = False
 
@@ -332,7 +390,35 @@ class VSSEngine:
         """
         return self.catalog.create_logical(name, budget_bytes)
 
-    def delete(self, name: str) -> None:
+    #: Retry budget for delete-vs-create_view races (each retry re-scans
+    #: and cascades views created concurrently over the dying name).
+    _DELETE_RETRIES = 8
+
+    def delete(self, name: str, force: bool = False) -> None:
+        """Delete a logical video or a derived view.
+
+        Deleting a *view* removes only its definition — the base video
+        and any fragments cached through the view stay.  Deleting a name
+        (view or video) that other views are defined over raises
+        :class:`CatalogError` unless ``force=True``, which cascades the
+        delete through every transitively dependent view first.  The
+        final catalog deletion is guarded inside the writer transaction,
+        so a ``create_view`` racing this delete can never be orphaned:
+        a view created over a name mid-delete is cascaded as well.
+        """
+        dependents = self._dependent_views(name)
+        if dependents and not force:
+            raise CatalogError(
+                f"cannot delete {name!r}: view(s) "
+                f"{[v.name for v in dependents]} are defined over it; "
+                f"delete them first or pass force=True to cascade"
+            )
+        kind = self.catalog.name_kind(name)
+        if kind is None:
+            raise VideoNotFoundError(name)
+        if kind == "view":
+            self.delete_view(name, force=force)
+            return
         with self._locked(name):
             logical = self.catalog.get_logical(name)
             # A background deferred-compression thread still targeting
@@ -345,8 +431,19 @@ class VSSEngine:
             self.decode_cache.invalidate_many(
                 g.id for g in self.catalog.gops_of_logical(logical.id)
             )
+            # Catalog rows go before the page files: the guarded delete
+            # can refuse (a view landed concurrently), and refusing must
+            # leave the video fully intact — files vanish only once the
+            # catalog no longer references them (the per-logical lock
+            # keeps a same-name re-create from racing the file removal).
+            self._delete_with_view_guard(
+                name,
+                force,
+                lambda: self.catalog.delete_logical(
+                    logical.id, guard_over=name
+                ),
+            )
             self.layout.delete_logical_files(name)
-            self.catalog.delete_logical(logical.id)
             # Retire the per-logical bookkeeping so name/id churn cannot
             # grow the engine without bound; _locked re-validates, so a
             # waiter on the retired lock re-acquires the fresh one.
@@ -354,24 +451,267 @@ class VSSEngine:
                 self._logical_locks.pop(name, None)
                 self._refine_cursor.pop(logical.id, None)
 
-    def list_videos(self) -> list[str]:
-        """All logical video names, deterministically sorted."""
-        return sorted(v.name for v in self.catalog.list_logical())
+    def delete_view(self, name: str, force: bool = False) -> None:
+        """Delete a derived view's definition — never stored video data.
+
+        Unlike :meth:`delete`, a name that is (or mid-call becomes) a
+        logical video raises :class:`VideoNotFoundError`: the deletion
+        itself only ever touches view rows, so no race can reach stored
+        bytes.  ``force`` cascades dependent views, exactly as in
+        :meth:`delete`.
+        """
+        if self.catalog.name_kind(name) != "view":
+            raise VideoNotFoundError(name)
+        dependents = self._dependent_views(name)
+        if dependents and not force:
+            raise CatalogError(
+                f"cannot delete {name!r}: view(s) "
+                f"{[v.name for v in dependents]} are defined over it; "
+                f"delete them first or pass force=True to cascade"
+            )
+        self._delete_with_view_guard(
+            name, force, lambda: self.catalog.delete_view(name)
+        )
+        with self._state_lock:
+            self._view_names.discard(name)
+            self._view_reads.pop(name, None)
+
+    def _delete_with_view_guard(self, name: str, force: bool, attempt) -> None:
+        """Run a dependent-guarded catalog row deletion to completion.
+
+        ``attempt`` performs the deletion and raises :class:`CatalogError`
+        while views are still defined over ``name`` (checked inside the
+        writer transaction).  With ``force`` each retry re-scans and
+        cascades views that landed concurrently; without it the race
+        surfaces the same error a pre-existing dependent would.  A
+        target already deleted by a concurrent call counts as done.
+        """
+        for _ in range(self._DELETE_RETRIES):
+            if force:
+                self._purge_dependent_views(name)
+            try:
+                attempt()
+            except VideoNotFoundError:
+                break  # a concurrent delete won; nothing left
+            except CatalogError:
+                if not force:
+                    raise CatalogError(
+                        f"cannot delete {name!r}: view(s) were created "
+                        f"over it concurrently; pass force=True to cascade"
+                    ) from None
+                continue
+            break
+        else:
+            raise CatalogError(
+                f"could not delete {name!r}: concurrent view creation "
+                f"kept adding dependents"
+            )
+
+    def _purge_dependent_views(self, name: str) -> None:
+        """Best-effort cascade of views over ``name``, children first.
+
+        Each pass re-scans, so definitions created while the purge runs
+        are caught by the caller's retry loop; a view that regrew
+        children (or vanished) mid-pass is simply left for the next.
+        """
+        for view in reversed(self._dependent_views(name)):
+            try:
+                self.catalog.delete_view(view.name)
+            except (VideoNotFoundError, CatalogError):
+                continue
+            with self._state_lock:
+                self._view_names.discard(view.name)
+                self._view_reads.pop(view.name, None)
+
+    def list_videos(self, kind: str = "all") -> list[str]:
+        """Names in the store, deterministically sorted.
+
+        ``kind`` selects ``"video"`` (logical videos), ``"view"``
+        (derived views), or ``"all"`` (both; they share one namespace).
+        Each call reads **one catalog snapshot** — a single SQL
+        statement — so a create or delete landing concurrently is either
+        entirely visible or entirely absent; the listing never shows a
+        half-applied state or re-queries per name.
+        """
+        return self.catalog.list_names(kind)
 
     def exists(self, name: str) -> bool:
-        """True when a logical video named ``name`` exists.
+        """True when ``name`` is a logical video *or* a derived view.
 
-        Lets clients probe without a ``CatalogError`` try/except.
+        Lets clients probe without a ``CatalogError`` try/except.  Like
+        :meth:`list_videos`, the probe is one atomic catalog snapshot.
         """
-        try:
-            self.catalog.get_logical(name)
-            return True
-        except VideoNotFoundError:
-            return False
+        return self.catalog.name_kind(name) is not None
 
     def set_budget(self, name: str, budget_bytes: int) -> None:
+        self._require_storage(name, "set_budget")
         logical = self.catalog.get_logical(name)
         self.catalog.set_budget(logical.id, budget_bytes)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def create_view(self, name: str, spec: ViewSpec) -> ViewRecord:
+        """Register ``name`` as a derived view defined by ``spec``.
+
+        The view is persisted in the catalog and from then on resolves
+        everywhere a video name is accepted (reads, streams, batches,
+        stats, ``exists``, the HTTP service).  ``spec.over`` may be a
+        logical video or another view; the chain is validated here for
+        depth, cycles, and statically checkable geometry (window
+        overlap, ROI containment), so a nonsensical view fails at
+        creation rather than on first read.  Views are read-only.
+        """
+        if not isinstance(spec, ViewSpec):
+            raise TypeError(
+                f"create_view takes a ViewSpec, got {type(spec).__name__}"
+            )
+        if name == spec.over:
+            raise CatalogError(
+                f"view {name!r} cannot be defined over itself"
+            )
+        # Check name availability before walking the chain so a taken
+        # name fails as VideoExistsError, not as a bogus cycle report
+        # (the catalog re-checks authoritatively under its writer lock).
+        if self.catalog.name_kind(name) is not None:
+            raise VideoExistsError(name)
+        # Walk the chain for depth/cycle violations (creation order makes
+        # true cycles impossible — a view's parent must already exist and
+        # definitions are immutable — so the cycle arm is defense in
+        # depth against catalog corruption) and *merge while walking*:
+        # folding the new spec through every ancestor validates the
+        # statically checkable geometry of the whole chain, not just the
+        # immediate parent, so e.g. a window disjoint with a grandparent
+        # fails here instead of on every future read.
+        depth, seen, cursor, merged = 0, {name}, spec, spec
+        while True:
+            over = cursor.over
+            if over in seen:
+                raise CatalogError(
+                    f"view {name!r} would create a cycle through {over!r}"
+                )
+            seen.add(over)
+            ancestor = self.catalog.find_view(over)
+            if ancestor is None:
+                if self.catalog.name_kind(over) is None:
+                    raise VideoNotFoundError(over)
+                break
+            depth += 1
+            if depth >= MAX_VIEW_DEPTH:
+                raise CatalogError(
+                    f"view {name!r} would nest deeper than "
+                    f"{MAX_VIEW_DEPTH} levels"
+                )
+            merged = merge_views(merged, ancestor.spec)
+            cursor = ancestor.spec
+        record = self.catalog.create_view(name, spec)
+        with self._state_lock:
+            self._view_names.add(name)
+        return record
+
+    def get_view(self, name: str) -> ViewRecord:
+        """The persisted definition of the view named ``name``."""
+        return self.catalog.get_view(name)
+
+    def list_views(self) -> list[ViewRecord]:
+        """All view definitions, sorted by name."""
+        return self.catalog.list_views()
+
+    def _find_view_fast(self, name: str) -> ViewRecord | None:
+        """Catalog view lookup behind the in-memory name set.
+
+        The set can only have false negatives if a view is created
+        behind the engine's back (unsupported — see the per-logical
+        locks); a name in the set still reads its authoritative record
+        from the catalog, so stale *positives* just pay the old probe.
+        """
+        with self._state_lock:
+            if name not in self._view_names:
+                return None
+        return self.catalog.find_view(name)
+
+    def _resolve_read_spec(self, spec: ReadSpec) -> tuple[ReadSpec, list[str]]:
+        """Fold a request whose name may be a view into the effective
+        read against the base logical video.
+
+        The chain's view specs merge first (:func:`merge_views`, where a
+        child's explicit pins always beat an ancestor's), then the
+        request folds once over the merged view.  Returns the folded
+        spec plus the chain of view names traversed (outermost first;
+        empty for a direct read).  Resolution reads the catalog without
+        the per-logical lock: a view definition is immutable, so the
+        only race is a concurrent delete, which simply makes this read
+        behave as if it started a moment earlier.
+        """
+        chain: list[str] = []
+        merged: ViewSpec | None = None
+        name = spec.name
+        while True:
+            view = self._find_view_fast(name)
+            if view is None:
+                break
+            if view.name in chain:
+                raise CatalogError(
+                    f"view cycle detected at {view.name!r}"
+                )
+            chain.append(view.name)
+            if len(chain) > MAX_VIEW_DEPTH:
+                raise CatalogError(
+                    f"view chain over {spec.name!r} exceeds depth "
+                    f"{MAX_VIEW_DEPTH}"
+                )
+            merged = (
+                view.spec
+                if merged is None
+                else merge_views(merged, view.spec)
+            )
+            name = view.spec.over
+        if merged is None:
+            return spec, chain
+        return fold_view(spec, merged), chain
+
+    def _dependent_views(self, name: str) -> list[ViewRecord]:
+        """Views transitively defined over ``name``, in discovery order
+        (every view appears after the parent it was discovered through,
+        so reversing the list yields children before their parents)."""
+        out: list[ViewRecord] = []
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            for view in self.catalog.views_over(frontier.pop()):
+                if view.name in seen:
+                    continue
+                seen.add(view.name)
+                out.append(view)
+                frontier.append(view.name)
+        return out
+
+    def _count_view_reads(self, chain: list[str]) -> None:
+        """Bump the per-view traffic counters (call under no locks)."""
+        if not chain:
+            return
+        with self._state_lock:
+            self._view_reads_total += 1
+            for view_name in chain:
+                self._view_reads[view_name] = (
+                    self._view_reads.get(view_name, 0) + 1
+                )
+
+    def _require_storage(self, name: str, operation: str) -> None:
+        """Reject storage-management operations aimed at a view."""
+        if self._find_view_fast(name) is not None:
+            raise CatalogError(
+                f"{name!r} is a view and owns no storage; {operation} "
+                f"applies to logical videos (its base shares storage "
+                f"with every view over it)"
+            )
+
+    def _reject_view_write(self, name: str) -> None:
+        if self._find_view_fast(name) is not None:
+            raise WriteError(
+                f"cannot write to {name!r}: views are virtual and "
+                f"read-only — write to the base video instead"
+            )
 
     # ------------------------------------------------------------------
     # write
@@ -389,6 +729,7 @@ class VSSEngine:
         """
         if (segment is None) == (gops is None):
             raise WriteError("provide exactly one of segment= or gops=")
+        self._reject_view_write(spec.name)
         with self._locked(spec.name):
             logical = self._get_or_create(spec.name)
             is_original = self.catalog.original_physical(logical.id) is None
@@ -418,6 +759,7 @@ class VSSEngine:
         gop_size: int | None = None,
     ) -> "HookedStream":
         """Begin a non-blocking streaming write (prefix reads allowed)."""
+        self._reject_view_write(name)
         with self._locked(name):
             logical = self._get_or_create(name)
             is_original = self.catalog.original_physical(logical.id) is None
@@ -453,7 +795,14 @@ class VSSEngine:
     # read
     # ------------------------------------------------------------------
     def read(self, spec: ReadSpec) -> ReadResult:
-        """Execute one read; see :meth:`Session.read` for the usual path."""
+        """Execute one read; see :meth:`Session.read` for the usual path.
+
+        ``spec.name`` may be a derived view: the request is folded into
+        an effective read against the base logical video first, so all
+        locking, planning, and cache admission below operate on (and
+        attribute to) the base.
+        """
+        spec, view_chain = self._resolve_read_spec(spec)
         with self._locked(spec.name):
             logical, original = self._read_preamble(
                 spec.name, any_raw=spec.codec == "raw"
@@ -474,6 +823,8 @@ class VSSEngine:
             if self._should_cache(spec) and not result.stats.direct_serve:
                 self._admit(logical, plan, result)
             self._periodic_maintenance(logical)
+        result.stats.view_chain = list(view_chain)
+        self._count_view_reads(view_chain)
         with self._state_lock:
             self._reads += 1
         return result
@@ -495,6 +846,7 @@ class VSSEngine:
             raise TypeError(
                 f"read_stream takes a ReadSpec, got {type(spec).__name__}"
             )
+        spec, view_chain = self._resolve_read_spec(spec)
         with self._locked(spec.name):
             logical, original = self._read_preamble(
                 spec.name, any_raw=spec.codec == "raw"
@@ -510,6 +862,7 @@ class VSSEngine:
             )
             stats = ReadStats(planned_cost=plan.estimated_cost)
             stats.fragments_used = plan.num_fragments_used
+            stats.view_chain = list(view_chain)
             chunks = self.reader.iter_output(plan, stats=stats)
         return ReadStream(self, spec, plan, stats, chunks, on_complete)
 
@@ -526,6 +879,12 @@ class VSSEngine:
                 raise TypeError(
                     f"read_batch takes ReadSpec objects, got {type(spec).__name__}"
                 )
+        # Resolve views first: specs addressing different views over one
+        # base fold into the same logical video, so they join one group
+        # and share its planning snapshot and decode windows.
+        resolved = [self._resolve_read_spec(spec) for spec in specs]
+        specs = [effective for effective, _ in resolved]
+        chains = [chain for _, chain in resolved]
         results: list[ReadResult | None] = [None] * len(specs)
         total = BatchStats()
         groups: dict[str, list[int]] = {}
@@ -577,11 +936,14 @@ class VSSEngine:
                     ):
                         self._admit(logical, result.plan, result, enforce=False)
                         admitted = True
+                    result.stats.view_chain = list(chains[i])
                     results[i] = result
                 if admitted:
                     self.cache.enforce_budget(logical)
                 self._periodic_maintenance(logical)
                 total.merge(batch)
+        for chain in chains:
+            self._count_view_reads(chain)
         with self._state_lock:
             self._reads += len(specs)
             self._batches += 1
@@ -667,6 +1029,7 @@ class VSSEngine:
         return tuple(frag_roi) == tuple(plan.roi)
 
     def enforce_budget(self, name: str) -> EvictionReport:
+        self._require_storage(name, "enforce_budget")
         with self._locked(name):
             logical = self.catalog.get_logical(name)
             return self.cache.enforce_budget(logical)
@@ -694,6 +1057,7 @@ class VSSEngine:
             self.deferred.notify_idle()
 
     def compact(self, name: str) -> int:
+        self._require_storage(name, "compact")
         with self._locked(name):
             logical = self.catalog.get_logical(name)
             return self.compactor.compact(logical)
@@ -778,6 +1142,13 @@ class VSSEngine:
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
+    def _absorb_session(self, stats: SessionStats) -> None:
+        """Fold a closing session's counters into the engine
+        (:meth:`Session.close`)."""
+        with self._state_lock:
+            self._failures += stats.failures
+            self._session_seconds += stats.wall_seconds
+
     def stats(self) -> EngineStats:
         """Store-wide counters: traffic, decode cache, executor."""
         decode = self.decode_cache.stats
@@ -785,13 +1156,20 @@ class VSSEngine:
             reads, writes = self._reads, self._writes
             batches, sessions = self._batches, self._num_sessions
             streams = self._streams
+            view_reads = self._view_reads_total
+            failures = self._failures
+            session_seconds = self._session_seconds
         return EngineStats(
             num_logical_videos=len(self.catalog.list_logical()),
+            num_views=self.catalog.count_views(),
             num_sessions=sessions,
             reads=reads,
             writes=writes,
             batches=batches,
             streams=streams,
+            view_reads=view_reads,
+            failures=failures,
+            session_seconds=session_seconds,
             parallelism=self.executor.parallelism,
             executor_tasks=self.executor.tasks_completed,
             decode_cache_hits=decode.hits,
@@ -802,8 +1180,16 @@ class VSSEngine:
             decode_cache_bytes=self.decode_cache.current_bytes,
         )
 
-    def video_stats(self, name: str) -> StoreStats:
-        """Per-video summary (see :meth:`stats` for store-wide counters)."""
+    def video_stats(self, name: str) -> StoreStats | ViewStats:
+        """Per-name summary (see :meth:`stats` for store-wide counters).
+
+        For a logical video: its :class:`StoreStats`.  For a derived
+        view: a :class:`ViewStats` describing the definition, the chain,
+        the traffic routed through it, and the base's storage.
+        """
+        view = self._find_view_fast(name)
+        if view is not None:
+            return self._view_stats(view)
         logical = self.catalog.get_logical(name)
         fragments = self.catalog.fragments_of_logical(logical.id)
         gops = self.catalog.gops_of_logical(logical.id)
@@ -814,6 +1200,33 @@ class VSSEngine:
             num_physicals=len(self.catalog.list_physicals(logical.id)),
             num_fragments=len(fragments),
             num_gops=len(gops),
+        )
+
+    def _view_stats(self, view: ViewRecord) -> ViewStats:
+        depth, seen, base = 1, {view.name}, view.spec.over
+        while True:
+            parent = self.catalog.find_view(base)
+            if parent is None:
+                break
+            if parent.name in seen or depth >= MAX_VIEW_DEPTH:
+                raise CatalogError(
+                    f"view chain over {view.name!r} is cyclic or too deep"
+                )
+            seen.add(parent.name)
+            depth += 1
+            base = parent.spec.over
+        with self._state_lock:
+            reads = self._view_reads.get(view.name, 0)
+        base_stats = self.video_stats(base)
+        assert isinstance(base_stats, StoreStats)  # chains end at storage
+        return ViewStats(
+            name=view.name,
+            over=view.spec.over,
+            base=base,
+            depth=depth,
+            reads=reads,
+            spec=view.spec,
+            base_stats=base_stats,
         )
 
 
@@ -890,6 +1303,7 @@ class ReadStream:
         with engine._state_lock:
             engine._reads += 1
             engine._streams += 1
+        engine._count_view_reads(self.stats.view_chain)
         try:
             logical = engine.catalog.get_logical(self.spec.name)
         except VideoNotFoundError:
@@ -956,6 +1370,7 @@ class Session:
         self._engine = engine
         self._defaults = dict(defaults)
         self._lock = threading.Lock()
+        self._closed = False
         self.stats = SessionStats()
 
     @property
@@ -965,6 +1380,81 @@ class Session:
     @property
     def defaults(self) -> dict:
         return dict(self._defaults)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the session, flushing its counters into the engine.
+
+        Idempotent: the first close folds :attr:`stats` (failures, wall
+        seconds) into :class:`EngineStats`; later calls do nothing.  A
+        closed session rejects further requests with ``RuntimeError``.
+        The engine itself is untouched — sessions are cheap handles.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._engine._absorb_session(self.stats)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # ------------------------------------------------------------------
+    # catalog operations (mirrored by VSSClient; see tests/test_views.py
+    # for the introspection audit keeping the two surfaces in sync)
+    # ------------------------------------------------------------------
+    def create(self, name: str, budget_bytes: int = 0) -> LogicalVideo:
+        """Create a logical video (see :meth:`VSSEngine.create`)."""
+        self._check_open()
+        return self._engine.create(name, budget_bytes=budget_bytes)
+
+    def delete(self, name: str, force: bool = False) -> None:
+        """Delete a video or view (see :meth:`VSSEngine.delete`)."""
+        self._check_open()
+        self._engine.delete(name, force=force)
+
+    def exists(self, name: str) -> bool:
+        """True when ``name`` is a logical video or a derived view."""
+        self._check_open()
+        return self._engine.exists(name)
+
+    def list_videos(self, kind: str = "all") -> list[str]:
+        """Sorted names from one catalog snapshot (see the engine)."""
+        self._check_open()
+        return self._engine.list_videos(kind)
+
+    def video_stats(self, name: str) -> "StoreStats | ViewStats":
+        """Per-video :class:`StoreStats` or per-view :class:`ViewStats`."""
+        self._check_open()
+        return self._engine.video_stats(name)
+
+    def create_view(self, name: str, spec: ViewSpec) -> ViewRecord:
+        """Register a derived view (see :meth:`VSSEngine.create_view`)."""
+        self._check_open()
+        return self._engine.create_view(name, spec)
+
+    def get_view(self, name: str) -> ViewRecord:
+        """The persisted definition of the view named ``name``."""
+        self._check_open()
+        return self._engine.get_view(name)
+
+    def list_views(self) -> list[ViewRecord]:
+        """All view definitions, sorted by name."""
+        self._check_open()
+        return self._engine.list_views()
 
     # ------------------------------------------------------------------
     # spec builders
@@ -1002,6 +1492,7 @@ class Session:
         With a spec, ``overrides`` are applied via :meth:`ReadSpec.replace`;
         with a name, the spec is built from session defaults.
         """
+        self._check_open()
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
         begin = time.perf_counter()
         try:
@@ -1024,6 +1515,7 @@ class Session:
         Memory stays O(GOP window) for the stream's whole life; session
         counters update when the stream is exhausted.
         """
+        self._check_open()
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
 
         def note(stats: ReadStats) -> None:
@@ -1045,6 +1537,7 @@ class Session:
         Overlapping reads decode each shared GOP once; see
         :attr:`SessionStats.last_batch` for the sharing counters.
         """
+        self._check_open()
         begin = time.perf_counter()
         try:
             results, batch = self._engine.read_batch(list(specs))
@@ -1076,6 +1569,7 @@ class Session:
         The read runs on the engine's session pool; reads of different
         videos proceed concurrently, reads of one video are linearized.
         """
+        self._check_open()
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
         pool = self._engine._frontend_pool()
 
@@ -1130,6 +1624,7 @@ class Session:
         **overrides,
     ) -> PhysicalVideo:
         """Write video; takes a :class:`WriteSpec` or a name."""
+        self._check_open()
         if isinstance(spec_or_name, WriteSpec):
             spec = spec_or_name
             if overrides:

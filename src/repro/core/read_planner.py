@@ -21,13 +21,14 @@ Implements paper section 3.1:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.cost import CostModel, TargetFormat
 from repro.core.quality import QualityModel
 from repro.core.records import ROI, Fragment, PhysicalVideo
-from repro.core.specs import ReadSpec
-from repro.errors import OutOfRangeError, QualityError
+from repro.core.specs import ReadSpec, ViewSpec
+from repro.errors import OutOfRangeError, QualityError, ReadError
 from repro.solver import Optimizer
 
 _EPS = 1e-9
@@ -35,6 +36,190 @@ _EPS = 1e-9
 #: Deprecated alias: the planner's request type is now the immutable
 #: :class:`repro.core.specs.ReadSpec` (validated at construction).
 ReadRequest = ReadSpec
+
+#: Maximum length of a view-over-view chain (cycle/runaway guard).
+MAX_VIEW_DEPTH = 16
+
+#: ReadSpec construction defaults, used to decide override precedence
+#: when folding a view: a request field left at its default defers to
+#: the view's value (the view acts like a named set of defaults).
+_READ_DEFAULTS = {f.name: f.default for f in dataclasses.fields(ReadSpec)}
+
+
+def intersect_window(
+    request_start: float,
+    request_end: float,
+    view_start: float | None,
+    view_end: float | None,
+) -> tuple[float, float]:
+    """The request window clamped to the view window (base timeline).
+
+    Views keep the base video's time coordinates, so composition is a
+    plain interval intersection; an empty intersection raises
+    :class:`OutOfRangeError` (the read asks for time the view excludes).
+    """
+    start = request_start if view_start is None else max(request_start, view_start)
+    end = request_end if view_end is None else min(request_end, view_end)
+    if end <= start + _EPS:
+        raise OutOfRangeError(
+            f"read window [{request_start}, {request_end}) does not "
+            f"intersect view window [{view_start}, {view_end})"
+        )
+    return start, end
+
+
+def rebase_roi(
+    request_roi: ROI | None,
+    view_roi: ROI | None,
+    view_resolution: tuple[int, int] | None,
+) -> ROI | None:
+    """Re-base a request ROI (view output coordinates) into the parent's
+    coordinates.
+
+    A request ROI against a cropping view addresses pixels of the
+    *cropped* frame; folding shifts it by the view's crop origin and
+    requires it to stay inside the crop.  A view that *rescales* (its
+    ``resolution`` differs from its crop size, or is set without a crop
+    so the scale factor is unknowable here) has no pixel-exact inverse
+    mapping, so combining it with a request ROI raises
+    :class:`ReadError` rather than guessing at rounding.
+    """
+    if request_roi is None:
+        return view_roi
+    if view_roi is None and view_resolution is None:
+        return request_roi
+    if view_resolution is not None:
+        crop = (
+            None
+            if view_roi is None
+            else (view_roi[2] - view_roi[0], view_roi[3] - view_roi[1])
+        )
+        if crop != tuple(view_resolution):
+            raise ReadError(
+                f"roi {request_roi} is ambiguous on a rescaling view "
+                f"(crop {crop} -> resolution {view_resolution}); read the "
+                f"whole view or define an unscaled sub-view instead"
+            )
+    vx0, vy0, vx1, vy1 = view_roi
+    rx0, ry0, rx1, ry1 = request_roi
+    if rx1 > vx1 - vx0 or ry1 > vy1 - vy0:
+        raise OutOfRangeError(
+            f"roi {request_roi} outside the view's {vx1 - vx0}x{vy1 - vy0} crop"
+        )
+    return (vx0 + rx0, vy0 + ry0, vx0 + rx1, vy0 + ry1)
+
+
+def fold_view(request: ReadSpec, view: ViewSpec) -> ReadSpec:
+    """Fold one view level into a request: the effective :class:`ReadSpec`
+    against ``view.over`` that answers ``request`` against the view.
+
+    Composition rules (property-tested in ``tests/test_views.py``):
+
+    * **window** — intersection of the request and view windows (both in
+      the base timeline); empty raises :class:`OutOfRangeError`.
+    * **roi** — the request ROI is re-based from view coordinates into
+      the parent's via :func:`rebase_roi`; with no request ROI the
+      view's crop applies as-is.
+    * **resolution/fps/codec/qp/quality_db** — the view supplies
+      *defaults*: an explicit request value wins (for ``codec``/``qp``/
+      ``quality_db``, "explicit" means differing from the ReadSpec
+      construction default, exactly like session defaults), otherwise
+      the view's value, otherwise the usual default.
+    * everything else (``pixel_format``, ``cache``, ``mode``) passes
+      through untouched.
+    """
+    start, end = intersect_window(
+        request.start, request.end, view.start, view.end
+    )
+    roi = rebase_roi(request.roi, view.roi, view.resolution)
+    if request.resolution is not None:
+        resolution = request.resolution
+    elif request.roi is not None:
+        # A sub-crop of the view defaults to the crop's own size, the
+        # same default a direct ROI read gets from resolve_target.
+        resolution = None
+    else:
+        resolution = view.resolution
+    codec = request.codec
+    if view.codec is not None and request.codec == _READ_DEFAULTS["codec"]:
+        codec = view.codec
+    qp = request.qp
+    if view.qp is not None and request.qp == _READ_DEFAULTS["qp"]:
+        qp = view.qp
+    quality_db = request.quality_db
+    if (
+        view.quality_db is not None
+        and request.quality_db == _READ_DEFAULTS["quality_db"]
+    ):
+        quality_db = view.quality_db
+    return ReadSpec(
+        name=view.over,
+        start=start,
+        end=end,
+        codec=codec,
+        pixel_format=request.pixel_format,
+        resolution=resolution,
+        roi=roi,
+        fps=request.fps if request.fps is not None else view.fps,
+        quality_db=quality_db,
+        qp=qp,
+        cache=request.cache,
+        mode=request.mode,
+    )
+
+
+def merge_views(child: ViewSpec, parent: ViewSpec) -> ViewSpec:
+    """Compose two view levels: one :class:`ViewSpec` over ``parent.over``
+    equivalent to ``child`` defined over ``parent``.
+
+    Chains are folded view-to-view *before* the request is folded in.
+    Unlike a request (whose construction defaults are indistinguishable
+    from explicit choices), a view's pins are explicit — ``None`` means
+    unset — so a child view that pins ``codec="raw"`` keeps raw output
+    even under an h264-pinned ancestor.
+    """
+    if child.start is None:
+        start = parent.start
+    elif parent.start is None:
+        start = child.start
+    else:
+        start = max(child.start, parent.start)
+    if child.end is None:
+        end = parent.end
+    elif parent.end is None:
+        end = child.end
+    else:
+        end = min(child.end, parent.end)
+    if start is not None and end is not None and end <= start + _EPS:
+        raise OutOfRangeError(
+            f"view windows [{child.start}, {child.end}) and "
+            f"[{parent.start}, {parent.end}) do not intersect"
+        )
+    roi = rebase_roi(child.roi, parent.roi, parent.resolution)
+    if child.resolution is not None:
+        resolution = child.resolution
+    elif child.roi is not None:
+        # A sub-crop defaults to its own size, not the parent's output.
+        resolution = None
+    else:
+        resolution = parent.resolution
+    return ViewSpec(
+        over=parent.over,
+        start=start,
+        end=end,
+        roi=roi,
+        resolution=resolution,
+        fps=child.fps if child.fps is not None else parent.fps,
+        codec=child.codec if child.codec is not None else parent.codec,
+        qp=child.qp if child.qp is not None else parent.qp,
+        quality_db=(
+            child.quality_db
+            if child.quality_db is not None
+            else parent.quality_db
+        ),
+    )
+
+
 
 
 @dataclass

@@ -10,6 +10,10 @@ GOP with a temporal index.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # records must not import specs (specs imports ROI).
+    from repro.core.specs import ViewSpec
 
 #: Region of interest in original-frame coordinates: (x0, y0, x1, y1).
 ROI = tuple[int, int, int, int]
@@ -23,6 +27,26 @@ class LogicalVideo:
     name: str
     budget_bytes: int
     created_at: float
+
+
+@dataclass(frozen=True)
+class ViewRecord:
+    """A named derived view persisted in the catalog.
+
+    A view is *virtual*: it owns no physical videos or GOPs, only a
+    :class:`repro.core.specs.ViewSpec` describing a transformation over
+    ``spec.over`` (a logical video or another view).  View names share
+    one namespace with logical video names.
+    """
+
+    id: int
+    name: str
+    spec: "ViewSpec"
+    created_at: float
+
+    @property
+    def over(self) -> str:
+        return self.spec.over
 
 
 @dataclass(frozen=True)

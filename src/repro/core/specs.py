@@ -182,6 +182,91 @@ class WriteSpec:
         return write_spec_from_dict(data)
 
 
+@dataclass(frozen=True)
+class ViewSpec:
+    """The definition of a *derived view*: a named virtual video.
+
+    A view is a transformation over a base video (or over another view):
+    ``over`` names the parent, ``start``/``end`` restrict the window (in
+    the base timeline), ``roi`` crops (in the parent's output
+    coordinates), and ``resolution``/``fps``/``codec``/``qp``/
+    ``quality_db`` set the view's materialization defaults.  Every field
+    except ``over`` is optional — ``None`` means "inherit from the
+    parent / the read".
+
+    Views own no storage: a read against a view is folded into a single
+    effective :class:`ReadSpec` against the base video (see
+    :func:`repro.core.read_planner.fold_view`), so the planner, reader,
+    and caches are reused unchanged and cached fragments are attributed
+    to the base logical video.
+    """
+
+    over: str
+    start: float | None = None
+    end: float | None = None
+    roi: ROI | None = None
+    resolution: tuple[int, int] | None = None
+    fps: float | None = None
+    codec: str | None = None
+    qp: int | None = None
+    quality_db: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.over)
+        if self.quality_db is not None:
+            _check_finite("quality_db", self.quality_db)
+        if self.start is not None:
+            _check_finite("start", self.start)
+        if self.end is not None:
+            _check_finite("end", self.end)
+        if (
+            self.start is not None
+            and self.end is not None
+            and self.end <= self.start
+        ):
+            raise OutOfRangeError(
+                f"empty view window [{self.start}, {self.end})"
+            )
+        if self.roi is not None:
+            if len(self.roi) != 4:
+                raise ValueError(f"roi must be (x0, y0, x1, y1), got {self.roi}")
+            x0, y0, x1, y1 = self.roi
+            if x0 < 0 or y0 < 0 or x1 <= x0 or y1 <= y0:
+                raise OutOfRangeError(f"malformed roi {self.roi}")
+        if self.resolution is not None:
+            width, height = self.resolution
+            if width < 1 or height < 1:
+                raise ValueError(
+                    f"resolution must be positive, got {self.resolution}"
+                )
+        if self.fps is not None:
+            _check_finite("fps", self.fps)
+            if self.fps <= 0:
+                raise ValueError(f"fps must be positive, got {self.fps}")
+        if self.codec is not None:
+            _check_codec(self.codec)
+        if self.qp is not None:
+            _check_qp(self.qp)
+
+    def replace(self, **changes) -> "ViewSpec":
+        """A copy of this spec with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """A lossless, JSON-serializable dict form (the wire protocol)."""
+        from repro.core.wire import view_spec_to_dict
+
+        return view_spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ViewSpec":
+        """Rebuild a spec from :meth:`to_dict` output (revalidated;
+        unknown keys rejected)."""
+        from repro.core.wire import view_spec_from_dict
+
+        return view_spec_from_dict(data)
+
+
 #: Field names callers may pass as session defaults / read overrides.
 READ_SPEC_FIELDS = frozenset(
     f.name for f in dataclasses.fields(ReadSpec)

@@ -33,15 +33,16 @@ import numpy as np
 
 from repro import errors as _errors
 from repro.core.reader import ReadStats
-from repro.core.specs import ReadSpec, WriteSpec
+from repro.core.specs import ReadSpec, ViewSpec, WriteSpec
 from repro.errors import VSSError, WireError
 from repro.video.frame import VideoSegment, pixel_format
 
-#: Tuple-valued ReadSpec fields that cross the wire as JSON arrays.
+#: Tuple-valued ReadSpec/ViewSpec fields that cross the wire as JSON arrays.
 _TUPLE_FIELDS = ("resolution", "roi")
 
 _READ_FIELDS = tuple(f.name for f in dataclasses.fields(ReadSpec))
 _WRITE_FIELDS = tuple(f.name for f in dataclasses.fields(WriteSpec))
+_VIEW_FIELDS = tuple(f.name for f in dataclasses.fields(ViewSpec))
 _STATS_FIELDS = tuple(f.name for f in dataclasses.fields(ReadStats))
 
 
@@ -88,6 +89,26 @@ def read_spec_from_dict(data: dict) -> ReadSpec:
     for field_name in _TUPLE_FIELDS:
         fields[field_name] = _int_tuple(field_name, fields[field_name])
     return ReadSpec(**fields)
+
+
+def view_spec_to_dict(spec: ViewSpec) -> dict:
+    """A :class:`ViewSpec` as a JSON-serializable dict (all fields, with
+    ``resolution``/``roi`` as arrays and ``None`` kept explicit)."""
+    data = dataclasses.asdict(spec)
+    for field_name in _TUPLE_FIELDS:
+        if data[field_name] is not None:
+            data[field_name] = list(data[field_name])
+    return data
+
+
+def view_spec_from_dict(data: dict) -> ViewSpec:
+    """Rebuild a :class:`ViewSpec`; unknown/missing keys raise
+    :class:`WireError`, invalid values raise the spec's own errors."""
+    _check_keys(data, _VIEW_FIELDS, "ViewSpec")
+    fields = dict(data)
+    for field_name in _TUPLE_FIELDS:
+        fields[field_name] = _int_tuple(field_name, fields[field_name])
+    return ViewSpec(**fields)
 
 
 def write_spec_to_dict(spec: WriteSpec) -> dict:

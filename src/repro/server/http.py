@@ -10,14 +10,23 @@ JSON header line.
 Endpoints::
 
     GET    /metrics                   engine EngineStats + server gauges
-    GET    /v1/videos                 {"videos": [...]} (sorted)
-    GET    /v1/videos/<name>          {"exists": bool}
-    GET    /v1/videos/<name>/stats    per-video StoreStats
+    GET    /v1/videos[?kind=...]      {"videos": [...]} (sorted snapshot)
+    GET    /v1/videos/<name>          {"exists": bool, "kind": ...}
+    GET    /v1/videos/<name>/stats    per-video StoreStats / per-view ViewStats
     POST   /v1/videos                 create  {"name", "budget_bytes"}
-    DELETE /v1/videos/<name>          delete
+    DELETE /v1/videos/<name>[?force=1]  delete (cascade views with force)
+    GET    /v1/views                  {"views": [...]} (definitions)
+    GET    /v1/views/<name>           one view definition
+    POST   /v1/views                  create  {"name", "spec": ViewSpec dict}
+    DELETE /v1/views/<name>[?force=1]   delete a view definition
     POST   /v1/write                  JSON header line + raw pixel bytes
     POST   /v1/read                   {"spec": {...}} -> chunked stream
     POST   /v1/read_batch             {"specs": [...]} -> chunked stream
+
+Names in read/stats routes resolve uniformly: a derived view created
+via ``POST /v1/views`` can be read, streamed, batched, listed, and
+stat'd exactly like a stored video (the engine folds it into a read
+against its base).
 
 Streamed responses use HTTP chunked transfer encoding and are built on
 :meth:`Session.read_stream`, so the server's resident frame buffer for a
@@ -40,9 +49,10 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.engine import VSSEngine
+from repro.core.records import ViewRecord
 from repro.core.wire import (
     error_to_dict,
     read_spec_from_dict,
@@ -50,6 +60,8 @@ from repro.core.wire import (
     segment_from_payload,
     segment_payload,
     segment_to_meta,
+    view_spec_from_dict,
+    view_spec_to_dict,
     write_spec_from_dict,
 )
 from repro.errors import (
@@ -208,7 +220,7 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def _route(self) -> list[str]:
-        """The request path as decoded segments.
+        """The request path as decoded segments (query string dropped).
 
         Splitting happens on the *quoted* path, so a video name
         containing ``/`` (sent percent-encoded) stays one segment and
@@ -216,9 +228,26 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
         """
         return [
             unquote(part)
-            for part in self.path.split("/")
+            for part in urlsplit(self.path).path.split("/")
             if part
         ]
+
+    def _query(self) -> dict[str, str]:
+        """Query parameters (last value wins for repeated keys)."""
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(self.path).query).items()
+        }
+
+    @staticmethod
+    def _view_payload(record: ViewRecord) -> dict:
+        return {
+            "name": record.name,
+            "id": record.id,
+            "over": record.over,
+            "created_at": record.created_at,
+            "spec": view_spec_to_dict(record.spec),
+        }
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         try:
@@ -232,7 +261,18 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
                     }
                 )
             elif parts == ["v1", "videos"]:
-                self._send_json({"videos": engine.list_videos()})
+                kind = self._query().get("kind", "all")
+                self._send_json({"videos": engine.list_videos(kind)})
+            elif parts == ["v1", "views"]:
+                self._send_json(
+                    {
+                        "views": [
+                            self._view_payload(v) for v in engine.list_views()
+                        ]
+                    }
+                )
+            elif len(parts) == 3 and parts[:2] == ["v1", "views"]:
+                self._send_json(self._view_payload(engine.get_view(parts[2])))
             elif len(parts) == 4 and parts[:2] == ["v1", "videos"] and (
                 parts[3] == "stats"
             ):
@@ -241,7 +281,12 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
                 )
             elif len(parts) == 3 and parts[:2] == ["v1", "videos"]:
                 name = parts[2]
-                self._send_json({"name": name, "exists": engine.exists(name)})
+                # One name_kind probe: existence and kind from the same
+                # catalog snapshot (see Catalog.name_kind).
+                kind = engine.catalog.name_kind(name)
+                self._send_json(
+                    {"name": name, "exists": kind is not None, "kind": kind}
+                )
             else:
                 self._send_json(
                     {
@@ -256,7 +301,9 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
         try:
             parts = self._route()
-            if len(parts) != 3 or parts[:2] != ["v1", "videos"]:
+            if len(parts) != 3 or parts[1] not in ("videos", "views") or (
+                parts[0] != "v1"
+            ):
                 self._send_json(
                     {
                         "error": "VSSError",
@@ -265,15 +312,24 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
                     status=404,
                 )
                 return
-            self.server.engine.delete(parts[2])
+            force = self._query().get("force", "") in ("1", "true")
+            if parts[1] == "views":
+                # The views route manages definitions only; delete_view
+                # can never touch stored video data, even under a
+                # concurrent delete-and-recreate of the name.
+                self.server.engine.delete_view(parts[2], force=force)
+            else:
+                self.server.engine.delete(parts[2], force=force)
             self._send_json({"deleted": parts[2]})
         except Exception as exc:  # noqa: BLE001 - mapped to an envelope
             self._send_exception(exc)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path
+        path = urlsplit(self.path).path
         if path == "/v1/videos":
             self._handle_create()
+        elif path == "/v1/views":
+            self._handle_create_view()
         elif path == "/v1/write":
             self._admitted(self._handle_write)
         elif path == "/v1/read":
@@ -320,6 +376,16 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
                     "budget_bytes": logical.budget_bytes,
                 }
             )
+        except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+            self._send_exception(exc)
+
+    def _handle_create_view(self) -> None:
+        try:
+            payload = json.loads(self._read_body())
+            record = self.server.engine.create_view(
+                payload["name"], view_spec_from_dict(payload["spec"])
+            )
+            self._send_json(self._view_payload(record))
         except Exception as exc:  # noqa: BLE001 - mapped to an envelope
             self._send_exception(exc)
 

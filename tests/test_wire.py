@@ -20,7 +20,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.reader import ReadStats
-from repro.core.specs import ReadSpec, WriteSpec
+from repro.core.specs import ReadSpec, ViewSpec, WriteSpec
 from repro.core.wire import (
     error_from_dict,
     error_to_dict,
@@ -121,6 +121,55 @@ def write_specs(draw) -> WriteSpec:
     )
 
 
+@st.composite
+def view_specs(draw) -> ViewSpec:
+    start = draw(st.one_of(st.none(), _finite))
+    end = None
+    if draw(st.booleans()):
+        base = start if start is not None else 0.0
+        end = base + draw(
+            st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+        )
+    roi = None
+    if draw(st.booleans()):
+        x0 = draw(st.integers(0, 100))
+        y0 = draw(st.integers(0, 100))
+        roi = (
+            x0,
+            y0,
+            x0 + draw(st.integers(1, 100)),
+            y0 + draw(st.integers(1, 100)),
+        )
+    return ViewSpec(
+        over=draw(_names),
+        start=start,
+        end=end,
+        roi=roi,
+        resolution=draw(
+            st.one_of(
+                st.none(),
+                st.tuples(st.integers(1, 4096), st.integers(1, 4096)),
+            )
+        ),
+        fps=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=1e-2, max_value=240.0, allow_nan=False),
+            )
+        ),
+        codec=draw(
+            st.one_of(st.none(), st.sampled_from(["raw", "h264", "hevc"]))
+        ),
+        qp=draw(st.one_of(st.none(), st.integers(QP_MIN, QP_MAX))),
+        quality_db=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            )
+        ),
+    )
+
+
 class TestSpecRoundTrip:
     @settings(max_examples=200, deadline=None)
     @given(read_specs())
@@ -138,6 +187,26 @@ class TestSpecRoundTrip:
     def test_write_spec_json_round_trip(self, spec: WriteSpec):
         wired = json.loads(json.dumps(spec.to_dict()))
         assert WriteSpec.from_dict(wired) == spec
+
+    @settings(max_examples=200, deadline=None)
+    @given(view_specs())
+    def test_view_spec_json_round_trip(self, spec: ViewSpec):
+        wired = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = ViewSpec.from_dict(wired)
+        assert rebuilt == spec
+        assert rebuilt.roi == spec.roi
+        assert type(rebuilt.roi) is type(spec.roi)
+        assert type(rebuilt.resolution) is type(spec.resolution)
+
+    def test_view_spec_unknown_and_missing_keys_rejected(self):
+        data = ViewSpec(over="base").to_dict()
+        data["surprise"] = 1
+        with pytest.raises(WireError, match="surprise"):
+            ViewSpec.from_dict(data)
+        data = ViewSpec(over="base").to_dict()
+        del data["roi"]
+        with pytest.raises(WireError, match="roi"):
+            ViewSpec.from_dict(data)
 
     def test_every_field_is_explicit(self):
         spec = ReadSpec("v", 0.0, 1.0)
