@@ -30,6 +30,7 @@ import threading
 import time
 
 from repro.bench.harness import Series, print_series
+from repro.bench.record import record_result
 from repro.client import VSSClient
 from repro.core.engine import VSSEngine
 from repro.core.specs import ReadSpec
@@ -136,6 +137,22 @@ def test_service_throughput(tmp_path, calibration, vroad_clip, benchmark):
         f"({aggregate / single_remote:.2f}x vs one client, "
         f"{aggregate / inprocess:.2f}x vs in-process), "
         f"rejected={rejected}"
+    )
+
+    record_result(
+        "service_throughput",
+        config={
+            "quick": QUICK,
+            "clients": NUM_CLIENTS,
+            "reads_per_client": READS_PER_CLIENT,
+            "cpus": os.cpu_count() or 1,
+        },
+        metrics={
+            "inprocess_reads_per_s": inprocess,
+            "single_remote_reads_per_s": single_remote,
+            "aggregate_reads_per_s": aggregate,
+            "rejected": rejected,
+        },
     )
 
     # Hardware-independent: admission never rejected this load, and

@@ -89,7 +89,42 @@ def main() -> None:
                 print(f"[{cam}] async read -> "
                       f"{future.result().segment.num_frames} frames")
 
-            # 5. Stats at each scope.
+            # 5. One HOT video, many readers.  Per-logical locks are
+            #    reader-writer locks, so these threads read "cam0"
+            #    genuinely in parallel, and the repeated spec hits the
+            #    versioned plan cache (plan_cached=True — no planner
+            #    run, no fragment query).  Cache admission and periodic
+            #    maintenance happen on a background queue *after* each
+            #    read returns; engine.drain_admissions() (also implied
+            #    by Session.close and engine.close) is the
+            #    deterministic sync point.  See docs/api.md,
+            #    "Concurrency model & read-path lifecycle".
+            hot = ReadSpec("cam0", 0.0, 2.0, codec="h264", qp=10)
+            session.read(hot)  # warm the plan cache
+
+            def hot_reader() -> None:
+                result = engine.session().read(hot)
+                assert result.stats.plan_cached
+
+            readers = [
+                threading.Thread(target=hot_reader) for _ in range(4)
+            ]
+            for t in readers:
+                t.start()
+            for t in readers:
+                t.join()
+            engine.drain_admissions()
+            stats = engine.stats()
+            print(
+                f"hot video: plan cache {stats.plan_cache_hits} hits / "
+                f"{stats.plan_cache_misses} misses, locks "
+                f"{stats.lock_shared_acquisitions} shared / "
+                f"{stats.lock_exclusive_acquisitions} exclusive, "
+                f"admissions {stats.admissions_completed} completed "
+                f"({stats.admissions_coalesced} coalesced)"
+            )
+
+            # 6. Stats at each scope.
             print("engine :", engine.stats())
             print("cam0   :", engine.video_stats("cam0"))
             print("session:", session.stats)

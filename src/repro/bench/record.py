@@ -1,0 +1,74 @@
+"""Persist benchmark results as JSON so the perf trajectory is recorded.
+
+Benchmarks call :func:`record_result` at the end of a run.  When the
+``VSS_BENCH_JSON`` environment variable names a file, the result is
+appended to it (the CI smoke sets ``VSS_BENCH_JSON=BENCH_PR5.json`` and
+uploads the file as a workflow artifact); without the variable the call
+is a no-op, so local benchmark runs stay side-effect free.
+
+The document schema is committed at ``benchmarks/BENCH_PR5.schema.json``
+and intentionally tiny::
+
+    {
+      "schema": "vss-bench/1",
+      "results": [
+        {"bench": str, "config": {str: scalar}, "metrics": {str: number}},
+        ...
+      ]
+    }
+
+``config`` captures the knobs that shaped the run (quick mode, thread
+counts, cpu count); ``metrics`` carries the measured numbers.  One file
+accumulates every benchmark of one smoke run; re-running a benchmark
+appends a fresh entry rather than overwriting, so a single document can
+also hold a before/after pair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+SCHEMA_VERSION = "vss-bench/1"
+
+#: Environment variable naming the output document (unset = disabled).
+ENV_VAR = "VSS_BENCH_JSON"
+
+
+def bench_json_path() -> Path | None:
+    """Where results go, or None when recording is disabled."""
+    value = os.environ.get(ENV_VAR, "")
+    return Path(value) if value else None
+
+
+def record_result(
+    bench: str, metrics: dict, config: dict | None = None
+) -> Path | None:
+    """Append one benchmark result; returns the path written (or None).
+
+    ``metrics`` values should be plain numbers, ``config`` values plain
+    scalars — the document must stay trivially diffable across runs.
+    """
+    path = bench_json_path()
+    if path is None:
+        return None
+    document = {"schema": SCHEMA_VERSION, "results": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if loaded.get("schema") == SCHEMA_VERSION:
+                document = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # a corrupt file starts fresh rather than failing the run
+    document["results"].append(
+        {
+            "bench": bench,
+            "config": dict(config or {}),
+            "metrics": dict(metrics),
+        }
+    )
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path

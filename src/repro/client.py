@@ -406,6 +406,8 @@ class VSSClient:
             self.stats.wall_seconds += time.perf_counter() - begin
             self.stats.decode_cache_hits += with_stats.decode_cache_hits
             self.stats.decode_cache_misses += with_stats.decode_cache_misses
+            if with_stats.plan_cached:
+                self.stats.plan_cache_hits += 1
         return result
 
     def read_stream(
@@ -482,6 +484,9 @@ class VSSClient:
             self.stats.batches += 1
             self.stats.reads += len(results)
             self.stats.last_batch = batch
+            self.stats.plan_cache_hits += sum(
+                1 for r in results if r.stats.plan_cached
+            )
         return results
 
     # ------------------------------------------------------------------

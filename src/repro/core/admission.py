@@ -1,0 +1,185 @@
+"""Background cache admission: take ``_admit`` off the read hot path.
+
+The paper's VSS caches transcoded read results *opportunistically* —
+materializing a fragment is an optimization for future reads, never part
+of the current read's answer.  The engine therefore hands admission (and
+periodic maintenance) to this worker: a read returns as soon as its
+bytes are assembled, and the new-physical write + budget enforcement run
+afterwards on a single background thread, under the video's exclusive
+lock, without blocking the readers that triggered them.
+
+Design points:
+
+* **One dedicated thread**, created lazily on the first submission.  The
+  heavy encode work inside an admission still fans out across the
+  store's shared :class:`~repro.core.executor.Executor`; running the
+  admission *driver* on that same pool could deadlock it (a pool task
+  blocking on sub-tasks of the same saturated pool), so the driver gets
+  its own thread and only delegates leaf work.
+* **Coalescing** — tasks carry a key (the engine uses
+  ``(logical id, effective ReadSpec)``); while a task with key K is
+  queued, further submissions of K are dropped and counted as coalesced.
+  Ten readers hitting one cold spec cause one admission, not ten.
+* **Bounded** — at most ``max_pending`` tasks queue, and the payloads
+  pinned by queued *and running* tasks (each admission closure holds
+  its read's full result until it finishes) may total at most
+  ``max_pending_bytes``, except that a single oversized task is
+  accepted when the worker is fully idle (so huge results still admit,
+  one at a time); beyond either bound new submissions are dropped (and
+  counted).  Admission is opportunistic, so shedding under overload is
+  correct — the read already answered.
+* **Deterministic drain** — :meth:`drain` blocks until the queue is
+  empty *and* no task is mid-flight; ``engine.close()`` /
+  ``Session.close()`` call it so tests and shutdown see a quiesced
+  store.  :meth:`close` drains the remaining queue, then stops the
+  thread.
+
+Task callables must do their own locking (the engine's tasks take the
+per-logical exclusive lock) and must not raise for expected races (video
+deleted mid-queue); unexpected exceptions are swallowed and counted so
+one bad admission cannot kill the worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+#: Default bound on queued (not yet running) admission tasks.
+DEFAULT_MAX_PENDING = 32
+
+#: Default bound on the payload bytes pinned by queued tasks (an
+#: admission closure holds its read's decoded pixels / GOP bytes until
+#: the worker runs it).
+DEFAULT_MAX_PENDING_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class AdmissionStats:
+    """Worker counters (surfaced through ``EngineStats``)."""
+
+    enqueued: int = 0
+    completed: int = 0
+    coalesced: int = 0
+    dropped: int = 0
+    failures: int = 0
+
+
+class AdmissionWorker:
+    """A bounded, coalescing, single-threaded background task queue."""
+
+    def __init__(
+        self,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_pending_bytes: int = DEFAULT_MAX_PENDING_BYTES,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.max_pending_bytes = max_pending_bytes
+        self._cond = threading.Condition()
+        # key -> (task, pinned payload bytes)
+        self._queue: OrderedDict[
+            Hashable, tuple[Callable[[], None], int]
+        ] = OrderedDict()
+        self._queued_bytes = 0
+        self._running_bytes = 0
+        self._thread: threading.Thread | None = None
+        self._running_key: Hashable | None = None
+        self._closed = False
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Queued tasks not yet started (the queue-depth gauge)."""
+        with self._cond:
+            return len(self._queue)
+
+    def submit(
+        self, key: Hashable, task: Callable[[], None], nbytes: int = 0
+    ) -> bool:
+        """Enqueue ``task`` under ``key``; False when coalesced/dropped.
+
+        A task whose key is already queued is coalesced away (the queued
+        task will do the same work); a full queue — by count or by
+        ``nbytes`` of pinned payload — sheds the submission.  A closed
+        worker drops everything — shutdown must not accept work it can
+        no longer run.
+        """
+        with self._cond:
+            if self._closed:
+                self.stats.dropped += 1
+                return False
+            if key in self._queue:
+                self.stats.coalesced += 1
+                return False
+            # The byte bound covers the running task's payload too (its
+            # closure is pinned until it finishes); a submission larger
+            # than the whole bound is only accepted when the worker is
+            # fully idle, so at most one oversized task is ever resident.
+            pinned = self._queued_bytes + self._running_bytes
+            busy = bool(self._queue) or self._running_key is not None
+            if len(self._queue) >= self.max_pending or (
+                busy and pinned + nbytes > self.max_pending_bytes
+            ):
+                self.stats.dropped += 1
+                return False
+            self._queue[key] = (task, nbytes)
+            self._queued_bytes += nbytes
+            self.stats.enqueued += 1
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="vss-admission", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+            return True
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                key, (task, nbytes) = self._queue.popitem(last=False)
+                self._queued_bytes -= nbytes
+                self._running_bytes = nbytes
+                self._running_key = key
+            try:
+                task()
+            except Exception:  # noqa: BLE001 - admission is best-effort
+                with self._cond:
+                    self.stats.failures += 1
+            finally:
+                with self._cond:
+                    self._running_key = None
+                    self._running_bytes = 0
+                    self.stats.completed += 1
+                    self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until the queue is empty and no task is running."""
+        with self._cond:
+            while self._queue or self._running_key is not None:
+                self._cond.wait()
+
+    def close(self) -> None:
+        """Drain the remaining queue deterministically, then stop.
+
+        Idempotent.  Queued tasks still run (an admission accepted
+        before close is not lost); submissions after close are dropped.
+        """
+        with self._cond:
+            if self._closed:
+                thread = self._thread
+            else:
+                self._closed = True
+                thread = self._thread
+                self._cond.notify_all()
+        if thread is not None:
+            thread.join()

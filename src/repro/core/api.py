@@ -134,6 +134,10 @@ class VSS:
             cache_reads=cache_reads,
             parallelism=parallelism,
             decode_cache_bytes=decode_cache_bytes,
+            # The paper's facade admits synchronously: every pre-engine
+            # caller (and test) observes cache admission the moment
+            # read() returns, so the shim pins the escape hatch on.
+            admit_sync=True,
         )
         self.default_session = self.engine.session()
 

@@ -225,6 +225,8 @@ class CacheManager:
             evicted.append(gid)
         remaining = total - freed
         self._prune_empty_physicals(logical)
+        if evicted:
+            self.catalog.bump_data_version(logical.id)
         return EvictionReport(
             evicted, freed, remaining, remaining <= logical.budget_bytes
         )

@@ -142,6 +142,17 @@ class Catalog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()  # guards the writer connection
         self._readers_lock = threading.Lock()
+        # Per-logical mutation counters backing the engine's versioned
+        # plan cache: every page-affecting mutation (write, evict,
+        # compact, deferred compression rewrite, refinement, delete)
+        # bumps its logical's version, so a memoized read plan is valid
+        # exactly while the version it was keyed under still holds.
+        # In-memory (one engine per store, like the per-logical locks);
+        # entries are never removed — SQLite reuses rowids, and a
+        # recreated logical resuming from the old counter (instead of 0)
+        # is what keeps stale plan-cache entries unreachable.
+        self._versions_lock = threading.Lock()
+        self._versions: dict[int, int] = {}
         self._readers: list[weakref.ref[_ReaderConn]] = []
         self._tls = threading.local()
         self._closed = False
@@ -218,6 +229,19 @@ class Catalog:
                 self._conn.close()
             except sqlite3.Error:
                 pass
+
+    # ------------------------------------------------------------------
+    # data versions (plan-cache invalidation)
+    # ------------------------------------------------------------------
+    def data_version(self, logical_id: int) -> int:
+        """The logical video's mutation counter (see ``__init__``)."""
+        with self._versions_lock:
+            return self._versions.get(logical_id, 0)
+
+    def bump_data_version(self, logical_id: int) -> None:
+        """Record a page-affecting mutation of ``logical_id``."""
+        with self._versions_lock:
+            self._versions[logical_id] = self._versions.get(logical_id, 0) + 1
 
     # ------------------------------------------------------------------
     # logical videos
@@ -309,6 +333,7 @@ class Catalog:
                 "DELETE FROM logical_videos WHERE id = ?", (logical_id,)
             )
             conn.commit()
+        self.bump_data_version(logical_id)
 
     @staticmethod
     def _logical_from_row(row: sqlite3.Row) -> LogicalVideo:

@@ -50,6 +50,8 @@ class Compactor:
         merges = 0
         while self._compact_once(logical):
             merges += 1
+        if merges:
+            self.catalog.bump_data_version(logical.id)
         return merges
 
     def _compact_once(self, logical: LogicalVideo) -> bool:

@@ -135,6 +135,10 @@ class DeferredCompressionManager:
                 return None
             if self.decode_cache is not None:
                 self.decode_cache.invalidate(target.id)
+            # The page's path/size changed; memoized plans referencing
+            # the old record must re-plan (stale ones still read via the
+            # reader's refetch-on-miss, but costs would drift).
+            self.catalog.bump_data_version(logical.id)
             return target.id
         finally:
             self._compress_lock.release()

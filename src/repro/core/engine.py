@@ -2,10 +2,28 @@
 
 :class:`VSSEngine` owns one store's machinery — catalog, layout, executor,
 decode cache, budget enforcement, and maintenance loops — and is safe to
-share across threads: every logical video has its own lock, so concurrent
-reads and writes to *different* videos never serialize on a store-wide
-lock, while operations on the *same* video are linearized (the paper's
-no-overwrite multi-version semantics make that cheap).
+share across threads: every logical video has its own *reader-writer*
+lock (:class:`repro.core.rwlock.RWLock`), so concurrent reads of the
+**same** video proceed in parallel (reads only consume immutable,
+no-overwrite pages) while mutations — writes, cache admission, eviction,
+compaction, refinement, delete — hold the exclusive side and linearize
+against everything else on that video.
+
+The read hot path does only what the answer needs: plan (memoized — see
+below), decode, assemble, stamp LRU entries.  Opportunistic cache
+admission and periodic maintenance run *after* the read returns, on a
+bounded background queue (:class:`repro.core.admission.AdmissionWorker`)
+that coalesces duplicate pending admissions per (logical, effective
+spec) and is drained deterministically by ``engine.close()`` /
+``Session.close()``.  ``VSSEngine(admit_sync=True)`` restores the old
+inline admission for callers that need the side effects to be visible
+the moment ``read`` returns.
+
+Read plans are memoized in a versioned cache keyed by ``(logical id,
+mutation version, effective ReadSpec)``: the catalog bumps a per-logical
+version on every page-affecting mutation, so warm hot-path reads skip
+the planner and the fragment query entirely and a single write/evict/
+compact invalidates exactly the affected video's entries.
 
 Callers talk to the engine through cheap :class:`Session` handles::
 
@@ -38,11 +56,13 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.admission import AdmissionWorker
 from repro.core.cache import CacheManager, EvictionReport
 from repro.core.catalog import Catalog
 from repro.core.compaction import Compactor
@@ -66,6 +86,7 @@ from repro.core.reader import (
     ReadStats,
 )
 from repro.core.records import LogicalVideo, PhysicalVideo, ViewRecord
+from repro.core.rwlock import RWLock, RWLockStats
 from repro.core.specs import (
     READ_SPEC_FIELDS,
     WRITE_SPEC_FIELDS,
@@ -79,6 +100,7 @@ from repro.errors import (
     ReadError,
     VideoExistsError,
     VideoNotFoundError,
+    VSSError,
     WriteError,
 )
 from repro.util import LogicalClock
@@ -96,6 +118,9 @@ DEFAULT_BUDGET_MULTIPLE = 10.0
 #: Run exact-quality refinement every N reads, compaction every M reads.
 REFINE_INTERVAL = 16
 COMPACT_INTERVAL = 8
+
+#: Bound on memoized read plans; stale-version entries age out via LRU.
+PLAN_CACHE_SIZE = 512
 
 
 @dataclass
@@ -145,6 +170,13 @@ class EngineStats:
     traffic).  ``failures`` and ``session_seconds`` accumulate from
     *closed* sessions (``Session.close`` flushes its counters into the
     engine); sessions still open contribute nothing yet.
+
+    The concurrency counters describe the hot read path:
+    ``lock_shared_acquisitions`` / ``lock_exclusive_acquisitions`` split
+    per-logical lock traffic by mode; ``plan_cache_hits`` / ``misses``
+    count versioned plan-cache outcomes; the ``admission*`` gauges
+    describe the background admission/maintenance queue
+    (``admission_queue_depth`` is instantaneous, the rest monotonic).
     """
 
     num_logical_videos: int
@@ -165,6 +197,15 @@ class EngineStats:
     decode_cache_evictions: int
     decode_cache_invalidations: int
     decode_cache_bytes: int
+    plan_cache_hits: int
+    plan_cache_misses: int
+    lock_shared_acquisitions: int
+    lock_exclusive_acquisitions: int
+    admission_queue_depth: int
+    admissions_enqueued: int
+    admissions_completed: int
+    admissions_coalesced: int
+    admissions_dropped: int
 
 
 @dataclass
@@ -178,6 +219,7 @@ class SessionStats:
     wall_seconds: float = 0.0
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
+    plan_cache_hits: int = 0
     last_batch: BatchStats | None = None
 
 
@@ -198,6 +240,14 @@ class VSSEngine:
       Output is bit-identical at every setting.
     * ``decode_cache_bytes`` — budget for the in-memory cache of decoded
       GOP prefixes shared by all sessions.  ``0`` disables the cache.
+    * ``admit_sync`` — run opportunistic cache admission and periodic
+      maintenance *inline* at the end of each read (the pre-queue
+      behaviour) instead of on the background admission worker.  The
+      default (False) keeps the read critical path to plan + decode +
+      assemble; ``admit_sync=True`` is the escape hatch for callers —
+      including the deprecated ``VSS`` facade and paper-exact tests —
+      that must observe admission's side effects the moment ``read``
+      returns.
     """
 
     def __init__(
@@ -212,6 +262,7 @@ class VSSEngine:
         cache_reads: bool = True,
         parallelism: int | None = None,
         decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
+        admit_sync: bool = False,
     ):
         self.layout = Layout(root)
         self.catalog = Catalog(self.layout.catalog_path)
@@ -255,12 +306,29 @@ class VSSEngine:
         self.planner = planner
         self.cache_reads = cache_reads
         self.background_compression = background_compression
+        self.admit_sync = admit_sync
+        # Background admission/maintenance queue (see repro.core.admission).
+        self._admissions = AdmissionWorker()
+        # Versioned plan cache: (logical id, data version, effective
+        # ReadSpec) -> ReadPlan.  Bounded LRU; entries for superseded
+        # versions become unreachable the moment the catalog bumps the
+        # logical's version and age out here.
+        self._plan_lock = threading.Lock()
+        self._plan_cache: OrderedDict[tuple, object] = OrderedDict()
+        self._plan_hits = 0
+        self._plan_misses = 0
         # Engine-wide mutable state: the per-logical lock registry, the
         # maintenance counters, and the traffic counters.  Per-logical
-        # locks serialize operations on one video; _state_lock guards
-        # only the tiny shared bookkeeping below.
+        # reader-writer locks order operations on one video (shared for
+        # reads, exclusive for mutations); _state_lock guards only the
+        # tiny shared bookkeeping below.
+        self._lock_stats = RWLockStats()
         self._state_lock = threading.Lock()
-        self._logical_locks: dict[str, threading.RLock] = {}
+        self._logical_locks: dict[str, RWLock] = {}
+        # logical id -> [compact due, refine due, LogicalVideo], merged
+        # across reads so coalesced (or shed-and-retried) maintenance
+        # submissions never drop a due flag.
+        self._pending_maintenance: dict[int, list] = {}
         self._reads_since_refine = 0
         self._reads_since_compact = 0
         self._refine_cursor: dict[int, int] = {}
@@ -294,10 +362,33 @@ class VSSEngine:
             frontend, self._frontend = self._frontend, None
         if frontend is not None:
             frontend.shutdown(wait=True)
+        # Drain queued admissions/maintenance deterministically while the
+        # catalog and executor are still alive; later submissions drop.
+        self._admissions.close()
+        with self._state_lock:
+            stranded = list(self._pending_maintenance.keys())
+        for logical_id in stranded:
+            self._maintenance_task(logical_id)
         self.deferred.stop_background()
         self.executor.shutdown()
         self.decode_cache.clear()
         self.catalog.close()
+
+    def drain_admissions(self) -> None:
+        """Block until queued background admissions/maintenance finish.
+
+        Deterministic synchronization point for callers that need the
+        async admission path's side effects (new cached physicals,
+        budget enforcement) to be visible — tests, benchmarks warming a
+        cache, ``Session.close``.  Maintenance flags whose submission
+        was shed by a full queue are flushed here as well, so a drained
+        engine owes no deferred work at all.
+        """
+        self._admissions.drain()
+        with self._state_lock:
+            stranded = list(self._pending_maintenance.keys())
+        for logical_id in stranded:
+            self._maintenance_task(logical_id)
 
     def __enter__(self) -> "VSSEngine":
         return self
@@ -305,19 +396,21 @@ class VSSEngine:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def _lock_for(self, name: str) -> threading.RLock:
-        """The lock serializing operations on one logical video."""
+    def _lock_for(self, name: str) -> RWLock:
+        """The reader-writer lock ordering operations on one video."""
         with self._state_lock:
             lock = self._logical_locks.get(name)
             if lock is None:
-                lock = self._logical_locks[name] = threading.RLock()
+                lock = self._logical_locks[name] = RWLock(self._lock_stats)
             return lock
 
     @contextmanager
-    def _locked(self, name: str):
+    def _locked(self, name: str, shared: bool = False):
         """Hold the per-logical lock for ``name``.
 
-        The registry must not grow without bound under name churn, so a
+        ``shared=True`` takes the read side (concurrent with other
+        readers); the default exclusive side is for mutations.  The
+        registry must not grow without bound under name churn, so a
         video's lock is retired when ``delete()`` removes it and when an
         operation finds the name does not exist; acquisition therefore
         re-checks that the acquired lock is still the registered one and
@@ -325,11 +418,17 @@ class VSSEngine:
         """
         while True:
             lock = self._lock_for(name)
-            lock.acquire()
+            if shared:
+                lock.acquire_shared()
+            else:
+                lock.acquire_exclusive()
             with self._state_lock:
                 if self._logical_locks.get(name) is lock:
                     break
-            lock.release()
+            if shared:
+                lock.release_shared()
+            else:
+                lock.release_exclusive()
         try:
             yield
         except VideoNotFoundError:
@@ -339,7 +438,10 @@ class VSSEngine:
                     del self._logical_locks[name]
             raise
         finally:
-            lock.release()
+            if shared:
+                lock.release_shared()
+            else:
+                lock.release_exclusive()
 
     def _frontend_pool(self) -> ThreadPoolExecutor:
         """Lazily created pool running ``read_async`` requests.
@@ -450,6 +552,7 @@ class VSSEngine:
             with self._state_lock:
                 self._logical_locks.pop(name, None)
                 self._refine_cursor.pop(logical.id, None)
+                self._pending_maintenance.pop(logical.id, None)
 
     def delete_view(self, name: str, force: bool = False) -> None:
         """Delete a derived view's definition — never stored video data.
@@ -801,41 +904,176 @@ class VSSEngine:
         an effective read against the base logical video first, so all
         locking, planning, and cache admission below operate on (and
         attribute to) the base.
+
+        The *shared* per-logical lock is held only for plan + decode +
+        assemble + LRU stamping, so reads of one hot video proceed
+        concurrently; cache admission and periodic maintenance happen
+        afterwards (on the background worker, or inline under the
+        exclusive lock with ``admit_sync=True``).
         """
         spec, view_chain = self._resolve_read_spec(spec)
-        with self._locked(spec.name):
+        with self._locked(spec.name, shared=True):
             logical, original = self._read_preamble(
                 spec.name, any_raw=spec.codec == "raw"
             )
-            fragments = self.catalog.fragments_of_logical(logical.id)
-            plan = plan_read(
-                spec,
-                fragments,
-                original,
-                self.cost_model,
-                self.quality_model,
-                mode=spec.mode or self.planner,
-            )
+            plan, plan_cached = self._plan_for(logical, original, spec)
             result = self.reader.execute(plan)
+            result.stats.plan_cached = plan_cached
             self.catalog.touch_gops(
                 result.stats.gop_ids_touched, self.clock.tick()
             )
-            if self._should_cache(spec) and not result.stats.direct_serve:
-                self._admit(logical, plan, result)
-            self._periodic_maintenance(logical)
+        self._after_read(logical, spec, plan, result)
         result.stats.view_chain = list(view_chain)
         self._count_view_reads(view_chain)
         with self._state_lock:
             self._reads += 1
         return result
 
+    def _plan_for(
+        self, logical: LogicalVideo, original: PhysicalVideo, spec: ReadSpec,
+        fragments_fn=None,
+    ):
+        """The read plan for ``spec``, memoized by (logical, version, spec).
+
+        Returns ``(plan, cached)``.  Must run under the logical's lock
+        (shared suffices: mutations — which bump the version — hold the
+        exclusive side, so the version/fragment snapshot cannot move
+        mid-plan).  ``fragments_fn`` lets batch groups share one
+        fragment query across several cache misses.
+        """
+        version = self.catalog.data_version(logical.id)
+        key = (logical.id, version, spec)
+        with self._plan_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                self._plan_hits += 1
+                return plan, True
+            self._plan_misses += 1
+        fragments = (
+            self.catalog.fragments_of_logical(logical.id)
+            if fragments_fn is None
+            else fragments_fn()
+        )
+        plan = plan_read(
+            spec,
+            fragments,
+            original,
+            self.cost_model,
+            self.quality_model,
+            mode=spec.mode or self.planner,
+        )
+        with self._plan_lock:
+            self._plan_cache[key] = plan
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > PLAN_CACHE_SIZE:
+                self._plan_cache.popitem(last=False)
+        return plan, False
+
+    def _after_read(
+        self, logical: LogicalVideo, spec: ReadSpec, plan, result: ReadResult
+    ) -> None:
+        """Post-answer work: opportunistic admission + maintenance.
+
+        Called after the shared lock is released — admission needs the
+        exclusive side, and upgrading in place would deadlock against
+        concurrent readers.
+        """
+        if (
+            self._should_cache(spec)
+            and not result.stats.direct_serve
+            and not self._would_duplicate(plan)
+        ):
+            if self.admit_sync:
+                try:
+                    with self._locked(logical.name):
+                        if self._current_incarnation(logical):
+                            self._admit_guarded(logical, plan, result)
+                except VideoNotFoundError:
+                    pass  # deleted since the read answered
+            else:
+                # The closure pins the result's pixels/bytes until the
+                # worker runs; the queue's byte bound caps that memory.
+                self._admissions.submit(
+                    ("admit", logical.id, plan.request),
+                    lambda: self._admission_task(logical, plan, result),
+                    nbytes=result.nbytes,
+                )
+        self._schedule_maintenance(logical)
+
+    def _current_incarnation(self, logical: LogicalVideo) -> bool:
+        """True while ``logical`` is still the live video of its name.
+
+        ``created_at`` is compared as well as the id: SQLite reuses
+        rowids after a delete, so a re-created video can come back under
+        the old id — a queued admission from the deleted incarnation
+        must not write its stale frames into the new one.  A name that
+        no longer exists at all raises :class:`VideoNotFoundError`:
+        callers run inside :meth:`_locked`, whose handler then retires
+        the per-name lock-registry entry a background task would
+        otherwise have re-created for a dead name (the registry must not
+        grow without bound under name churn).
+        """
+        fresh = self.catalog.get_logical(logical.name)
+        return (
+            fresh.id == logical.id
+            and fresh.created_at == logical.created_at
+        )
+
+    def _admission_task(
+        self, logical: LogicalVideo, plan, result: ReadResult
+    ) -> None:
+        """One queued admission: write the fragment + enforce the budget
+        under the exclusive lock (skipped if the video vanished)."""
+        try:
+            with self._locked(logical.name):
+                if not self._current_incarnation(logical):
+                    return
+                self._admit_guarded(logical, plan, result)
+        except VideoNotFoundError:
+            return  # deleted while queued; the lock entry was retired
+
+    def _admit_guarded(
+        self,
+        logical: LogicalVideo,
+        plan,
+        result: ReadResult,
+        enforce: bool = True,
+    ) -> None:
+        """Admit unless an equivalent fragment already landed.
+
+        ``plan`` was computed before this admission got its turn, so its
+        duplicate check can be stale: another reader's admission of the
+        same spec may have materialized the fragment in the meantime
+        (queue coalescing only dedups *pending* keys, and two concurrent
+        shared-lock readers of one cold spec both transcode).  Re-plan
+        against the current catalog — cheap here, off the read path, and
+        it pre-warms the plan cache for the readers that follow — and
+        skip when the fresh plan says the spec is already served by a
+        single format-matched fragment (the admission would store a
+        byte-level duplicate and churn the budget).  The *result* being
+        admitted is unchanged: outputs are bit-identical however they
+        were planned.
+        """
+        try:
+            original = self.catalog.original_physical(logical.id)
+            if original is None:
+                return
+            fresh_plan, _ = self._plan_for(logical, original, plan.request)
+        except VSSError:
+            fresh_plan = None  # planning hiccup: fall back to the old check
+        if fresh_plan is not None and self._would_duplicate(fresh_plan):
+            return
+        self._admit(logical, plan, result, enforce=enforce)
+
     def read_stream(self, spec: ReadSpec, on_complete=None) -> "ReadStream":
         """Open a pull-based streaming read with bounded memory.
 
         Planning happens now, against one catalog snapshot, under the
-        per-logical lock; each subsequent chunk pull reacquires the lock
-        only while that chunk is produced, so a long stream never starves
-        concurrent operations on its video.  Streamed reads stamp GOP LRU
+        per-logical *shared* lock (memoized like :meth:`read`); each
+        subsequent chunk pull reacquires the shared lock only while that
+        chunk is produced, so long streams interleave freely with each
+        other and never starve concurrent operations on their video.  Streamed reads stamp GOP LRU
         entries and populate the decode cache *per chunk*, but do not
         admit their result as a new cached physical video — that would
         require materializing the whole answer the stream exists to
@@ -847,21 +1085,14 @@ class VSSEngine:
                 f"read_stream takes a ReadSpec, got {type(spec).__name__}"
             )
         spec, view_chain = self._resolve_read_spec(spec)
-        with self._locked(spec.name):
+        with self._locked(spec.name, shared=True):
             logical, original = self._read_preamble(
                 spec.name, any_raw=spec.codec == "raw"
             )
-            fragments = self.catalog.fragments_of_logical(logical.id)
-            plan = plan_read(
-                spec,
-                fragments,
-                original,
-                self.cost_model,
-                self.quality_model,
-                mode=spec.mode or self.planner,
-            )
+            plan, plan_cached = self._plan_for(logical, original, spec)
             stats = ReadStats(planned_cost=plan.estimated_cost)
             stats.fragments_used = plan.num_fragments_used
+            stats.plan_cached = plan_cached
             stats.view_chain = list(view_chain)
             chunks = self.reader.iter_output(plan, stats=stats)
         return ReadStream(self, spec, plan, stats, chunks, on_complete)
@@ -901,23 +1132,31 @@ class VSSEngine:
         # locks at once), so batches cannot deadlock against each other.
         for name in sorted(groups):
             indices = groups[name]
-            with self._locked(name):
+            with self._locked(name, shared=True):
                 logical, original = self._read_preamble(
                     name,
                     any_raw=any(specs[i].codec == "raw" for i in indices),
                 )
-                fragments = self.catalog.fragments_of_logical(logical.id)
-                plans = [
-                    plan_read(
-                        specs[i],
-                        fragments,
-                        original,
-                        self.cost_model,
-                        self.quality_model,
-                        mode=specs[i].mode or self.planner,
+                # One fragment query serves every plan-cache miss in the
+                # group (and none runs when all specs hit).
+                frag_box: list = []
+
+                def group_fragments(logical=logical):
+                    if not frag_box:
+                        frag_box.append(
+                            self.catalog.fragments_of_logical(logical.id)
+                        )
+                    return frag_box[0]
+
+                plans = []
+                cached_flags = []
+                for i in indices:
+                    plan, cached = self._plan_for(
+                        logical, original, specs[i],
+                        fragments_fn=group_fragments,
                     )
-                    for i in indices
-                ]
+                    plans.append(plan)
+                    cached_flags.append(cached)
                 group_results, batch = self.reader.execute_batch(plans)
                 tick = self.clock.tick()
                 self.catalog.touch_gops(
@@ -928,20 +1167,48 @@ class VSSEngine:
                     ],
                     tick,
                 )
-                admitted = False
-                for i, result in zip(indices, group_results):
-                    if (
-                        self._should_cache(specs[i])
-                        and not result.stats.direct_serve
-                    ):
-                        self._admit(logical, result.plan, result, enforce=False)
-                        admitted = True
+                for i, result, cached in zip(
+                    indices, group_results, cached_flags
+                ):
+                    result.stats.plan_cached = cached
                     result.stats.view_chain = list(chains[i])
                     results[i] = result
-                if admitted:
-                    self.cache.enforce_budget(logical)
-                self._periodic_maintenance(logical)
-                total.merge(batch)
+            # Admission runs after the group's shared lock is released
+            # (it needs the exclusive side).  Sync mode admits the whole
+            # group under one exclusive hold with a single budget pass
+            # (the pre-queue behaviour); async mode enqueues per result,
+            # coalescing duplicates.
+            to_admit = [
+                results[i]
+                for i in indices
+                if self._should_cache(specs[i])
+                and not results[i].stats.direct_serve
+                and not self._would_duplicate(results[i].plan)
+            ]
+            if to_admit:
+                if self.admit_sync:
+                    try:
+                        with self._locked(name):
+                            if self._current_incarnation(logical):
+                                for result in to_admit:
+                                    self._admit_guarded(
+                                        logical, result.plan, result,
+                                        enforce=False,
+                                    )
+                                self.cache.enforce_budget(logical)
+                    except VideoNotFoundError:
+                        pass  # deleted since the group was read
+                else:
+                    for result in to_admit:
+                        self._admissions.submit(
+                            ("admit", logical.id, result.plan.request),
+                            lambda L=logical, r=result: (
+                                self._admission_task(L, r.plan, r)
+                            ),
+                            nbytes=result.nbytes,
+                        )
+            self._schedule_maintenance(logical)
+            total.merge(batch)
         for chain in chains:
             self._count_view_reads(chain)
         with self._state_lock:
@@ -1037,7 +1304,8 @@ class VSSEngine:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def _periodic_maintenance(self, logical: LogicalVideo) -> None:
+    def _maintenance_flags(self) -> tuple[bool, bool]:
+        """Advance the read counters; (compact due, refine due)."""
         with self._state_lock:
             self._reads_since_compact += 1
             compact_due = self._reads_since_compact >= COMPACT_INTERVAL
@@ -1047,14 +1315,72 @@ class VSSEngine:
             refine_due = self._reads_since_refine >= REFINE_INTERVAL
             if refine_due:
                 self._reads_since_refine = 0
-        if compact_due:
-            self.compactor.compact(logical)
-        if refine_due:
-            self._refine_one(logical)
+        return compact_due, refine_due
+
+    def _schedule_maintenance(self, logical: LogicalVideo) -> None:
+        """Tick the periodic compaction/refinement counters for one read.
+
+        Due work runs off the critical path on the admission worker
+        (coalesced per logical) — or inline with ``admit_sync=True``.
+        Due flags accumulate in ``_pending_maintenance`` rather than in
+        the queued closure, so a submission coalesced away can never
+        lose a freshly-due compact/refine: the queued task reads the
+        merged flags when it runs.
+        """
+        compact_due, refine_due = self._maintenance_flags()
         if self.background_compression:
             if not self.deferred.background_running:
                 self.deferred.start_background(logical)
             self.deferred.notify_idle()
+        if self.admit_sync:
+            if compact_due or refine_due:
+                self._run_maintenance(logical, compact_due, refine_due)
+            return
+        with self._state_lock:
+            pending = self._pending_maintenance.get(logical.id)
+            if compact_due or refine_due:
+                if pending is None:
+                    pending = self._pending_maintenance[logical.id] = [
+                        False, False, logical,
+                    ]
+                pending[0] |= compact_due
+                pending[1] |= refine_due
+            if pending is None:
+                return
+        # Submit whenever flags are pending, not just when one became
+        # due now: a submission shed by a full queue earlier is retried
+        # by every later read until it lands (drain flushes the rest).
+        self._admissions.submit(
+            ("maintain", logical.id),
+            lambda: self._maintenance_task(logical.id),
+        )
+
+    def _maintenance_task(self, logical_id: int) -> None:
+        """Consume (and clear) the accumulated due flags for one video.
+
+        A concurrent :meth:`_schedule_maintenance` either merged its
+        flags before this pop (they run now) or re-submits after this
+        task's key left the queue (they run next); nothing is dropped.
+        """
+        with self._state_lock:
+            pending = self._pending_maintenance.pop(logical_id, None)
+        if pending is None:
+            return
+        self._run_maintenance(pending[2], pending[0], pending[1])
+
+    def _run_maintenance(
+        self, logical: LogicalVideo, compact_due: bool, refine_due: bool
+    ) -> None:
+        try:
+            with self._locked(logical.name):
+                if not self._current_incarnation(logical):
+                    return
+                if compact_due:
+                    self.compactor.compact(logical)
+                if refine_due:
+                    self._refine_one(logical)
+        except VideoNotFoundError:
+            return  # deleted while queued; the lock entry was retired
 
     def compact(self, name: str) -> int:
         self._require_storage(name, "compact")
@@ -1103,6 +1429,8 @@ class VSSEngine:
             reference.slice_frames(0, frames), cached.slice_frames(0, frames)
         )
         self.catalog.update_mse_estimate(physical.id, measured)
+        # Quality estimates feed fragment selection; re-plan from here on.
+        self.catalog.bump_data_version(logical.id)
 
     def _decode_original_window(
         self,
@@ -1152,6 +1480,7 @@ class VSSEngine:
     def stats(self) -> EngineStats:
         """Store-wide counters: traffic, decode cache, executor."""
         decode = self.decode_cache.stats
+        admissions = self._admissions.stats
         with self._state_lock:
             reads, writes = self._reads, self._writes
             batches, sessions = self._batches, self._num_sessions
@@ -1159,6 +1488,8 @@ class VSSEngine:
             view_reads = self._view_reads_total
             failures = self._failures
             session_seconds = self._session_seconds
+        with self._plan_lock:
+            plan_hits, plan_misses = self._plan_hits, self._plan_misses
         return EngineStats(
             num_logical_videos=len(self.catalog.list_logical()),
             num_views=self.catalog.count_views(),
@@ -1178,6 +1509,17 @@ class VSSEngine:
             decode_cache_evictions=decode.evictions,
             decode_cache_invalidations=decode.invalidations,
             decode_cache_bytes=self.decode_cache.current_bytes,
+            plan_cache_hits=plan_hits,
+            plan_cache_misses=plan_misses,
+            lock_shared_acquisitions=self._lock_stats.shared_acquisitions,
+            lock_exclusive_acquisitions=(
+                self._lock_stats.exclusive_acquisitions
+            ),
+            admission_queue_depth=self._admissions.depth,
+            admissions_enqueued=admissions.enqueued,
+            admissions_completed=admissions.completed,
+            admissions_coalesced=admissions.coalesced,
+            admissions_dropped=admissions.dropped,
         )
 
     def video_stats(self, name: str) -> StoreStats | ViewStats:
@@ -1236,8 +1578,8 @@ class ReadStream:
     Iterating yields :class:`repro.core.reader.ReadChunk` increments —
     decoded segments for raw requests, encoded GOP runs for compressed
     ones — holding only O(GOP window) frames resident at a time.  The
-    per-logical lock is taken per *chunk*, so several streams over one
-    video interleave instead of serializing end-to-end, and a delete can
+    per-logical *shared* lock is taken per *chunk*, so streams and
+    one-shot reads over one video genuinely overlap, and a delete can
     land mid-stream (the next pull then raises the read/catalog error).
 
     ``stats`` accumulates as chunks are pulled and is final once the
@@ -1273,13 +1615,13 @@ class ReadStream:
             raise StopIteration
         begin = time.perf_counter()
         engine = self._engine
-        with engine._locked(self.spec.name):
+        finished = False
+        with engine._locked(self.spec.name, shared=True):
             try:
                 chunk = next(self._chunks)
             except StopIteration:
-                self._finalize()
-                self._note_wall(begin)
-                raise
+                self._done = True
+                finished = True
             except BaseException:
                 # A failed stream is dead, not drained: mark it done so
                 # a later pull/collect cannot run _finalize() and count
@@ -1287,7 +1629,14 @@ class ReadStream:
                 self._done = True
                 self._chunks.close()
                 raise
-            engine.catalog.touch_gops(chunk.gop_ids, engine.clock.tick())
+            else:
+                engine.catalog.touch_gops(chunk.gop_ids, engine.clock.tick())
+        if finished:
+            # Finalize outside the shared lock: maintenance needs the
+            # exclusive side, and an in-place upgrade would deadlock.
+            self._finalize()
+            self._note_wall(begin)
+            raise StopIteration
         self._note_wall(begin)
         self.chunks_pulled += 1
         return chunk
@@ -1297,7 +1646,7 @@ class ReadStream:
         self.stats.wall_seconds = self._wall
 
     def _finalize(self) -> None:
-        """Called under the per-logical lock when the stream drains."""
+        """Called (lock-free) once the stream's chunk source drains."""
         self._done = True
         engine = self._engine
         with engine._state_lock:
@@ -1309,7 +1658,7 @@ class ReadStream:
         except VideoNotFoundError:
             logical = None
         if logical is not None:
-            engine._periodic_maintenance(logical)
+            engine._schedule_maintenance(logical)
         if self._on_complete is not None:
             self._on_complete(self.stats)
 
@@ -1387,7 +1736,10 @@ class Session:
     def close(self) -> None:
         """Close the session, flushing its counters into the engine.
 
-        Idempotent: the first close folds :attr:`stats` (failures, wall
+        Idempotent: the first close drains the engine's background
+        admission queue (so every admission this session's reads
+        triggered is durably applied — the deterministic hand-off point
+        for request handlers) and folds :attr:`stats` (failures, wall
         seconds) into :class:`EngineStats`; later calls do nothing.  A
         closed session rejects further requests with ``RuntimeError``.
         The engine itself is untouched — sessions are cheap handles.
@@ -1396,6 +1748,7 @@ class Session:
             if self._closed:
                 return
             self._closed = True
+        self._engine.drain_admissions()
         self._engine._absorb_session(self.stats)
 
     def __enter__(self) -> "Session":
@@ -1524,6 +1877,8 @@ class Session:
                 self.stats.wall_seconds += stats.wall_seconds
                 self.stats.decode_cache_hits += stats.decode_cache_hits
                 self.stats.decode_cache_misses += stats.decode_cache_misses
+                if stats.plan_cached:
+                    self.stats.plan_cache_hits += 1
 
         try:
             return self._engine.read_stream(spec, on_complete=note)
@@ -1555,6 +1910,8 @@ class Session:
                 self.stats.decode_cache_misses += (
                     result.stats.decode_cache_misses
                 )
+                if result.stats.plan_cached:
+                    self.stats.plan_cache_hits += 1
         return results
 
     def read_async(
@@ -1608,6 +1965,8 @@ class Session:
             self.stats.wall_seconds += elapsed
             self.stats.decode_cache_hits += result.stats.decode_cache_hits
             self.stats.decode_cache_misses += result.stats.decode_cache_misses
+            if result.stats.plan_cached:
+                self.stats.plan_cache_hits += 1
 
     def _note_failure(self) -> None:
         with self._lock:

@@ -78,6 +78,9 @@ class ReadStats:
     gop_ids_touched: list[int] = field(default_factory=list)
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
+    #: True when the read's plan came from the engine's versioned plan
+    #: cache (no planner run, no fragment query).
+    plan_cached: bool = False
     #: Views the request's name resolved through (outermost first);
     #: empty for a read addressed directly at a logical video.
     view_chain: list[str] = field(default_factory=list)

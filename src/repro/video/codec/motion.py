@@ -53,14 +53,38 @@ def phase_correlate(reference: np.ndarray, target: np.ndarray) -> tuple[int, int
 
 
 def shift_plane(plane: np.ndarray, dy: int, dx: int) -> np.ndarray:
-    """Translate a 2-D plane by (dy, dx), replicating edges."""
+    """Translate a 2-D plane by (dy, dx), replicating edges.
+
+    ``out[y, x] = plane[clip(y - dy), clip(x - dx)]``, realised as one
+    sliced block copy plus edge replication.  This runs once per plane
+    per P-frame on both the encode and decode paths; the former
+    ``plane[src_y][:, src_x]`` double fancy-index materialised two full
+    copies per call, where the slice form copies each pixel once.
+    """
     if dy == 0 and dx == 0:
         return plane
     h, w = plane.shape
+    # A shift of +/-(dim-1) or beyond replicates a single edge row/col
+    # across the whole axis, exactly as index clipping did.
+    dy = min(max(dy, 1 - h), h - 1)
+    dx = min(max(dx, 1 - w), w - 1)
     out = np.empty_like(plane)
-    src_y = np.clip(np.arange(h) - dy, 0, h - 1)
-    src_x = np.clip(np.arange(w) - dx, 0, w - 1)
-    out[:] = plane[src_y][:, src_x]
+    # Rows [ty, by) and cols [lx, rx) of `out` receive the shifted core.
+    ty, by = max(dy, 0), h + min(dy, 0)
+    lx, rx = max(dx, 0), w + min(dx, 0)
+    out[ty:by, lx:rx] = plane[
+        max(-dy, 0) : h - max(dy, 0), max(-dx, 0) : w - max(dx, 0)
+    ]
+    # Replicate the core's border rows, then columns over the full
+    # height — the corner pixels come out clamped in both axes.
+    if ty:
+        out[:ty, lx:rx] = out[ty, lx:rx]
+    if by < h:
+        out[by:, lx:rx] = out[by - 1, lx:rx]
+    if lx:
+        out[:, :lx] = out[:, lx : lx + 1]
+    if rx < w:
+        out[:, rx:] = out[:, rx - 1 : rx]
     return out
 
 

@@ -153,6 +153,37 @@ class TestMotion:
         assert np.array_equal(out[0], plane[0])  # replicated top row
         assert np.array_equal(out[1], plane[0])
 
+    def test_shift_plane_matches_fancy_index_reference(self):
+        """The slice+edge-pad translation must be bit-identical to the
+        original clipped fancy-indexing (``plane[src_y][:, src_x]``) for
+        every shift, including shifts beyond the plane's extent."""
+
+        def reference(plane, dy, dx):
+            h, w = plane.shape
+            src_y = np.clip(np.arange(h) - dy, 0, h - 1)
+            src_x = np.clip(np.arange(w) - dx, 0, w - 1)
+            return plane[src_y][:, src_x]
+
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            h = int(rng.integers(1, 33))
+            w = int(rng.integers(1, 33))
+            plane = rng.integers(0, 256, size=(h, w)).astype(np.int16)
+            dy = int(rng.integers(-40, 41))
+            dx = int(rng.integers(-40, 41))
+            out = motion.shift_plane(plane, dy, dx)
+            assert np.array_equal(out, reference(plane, dy, dx)), (
+                h, w, dy, dx,
+            )
+        # The max-magnitude corners the estimators can actually emit.
+        plane = rng.integers(0, 256, size=(24, 40)).astype(np.int16)
+        for dy in (-motion.MAX_SHIFT, 0, motion.MAX_SHIFT):
+            for dx in (-motion.MAX_SHIFT, 0, motion.MAX_SHIFT):
+                assert np.array_equal(
+                    motion.shift_plane(plane, dy, dx),
+                    reference(plane, dy, dx),
+                )
+
     def test_refine_rejects_bad_vector(self):
         rng = np.random.default_rng(7)
         ref = rng.uniform(0, 255, (32, 32)).astype(np.float32)

@@ -21,8 +21,10 @@ from concurrent.futures import wait
 import numpy as np
 import pytest
 
+from repro.core.admission import AdmissionWorker
 from repro.core.api import VSS, LegacyStoreStats
 from repro.core.engine import Session, VSSEngine
+from repro.core.rwlock import RWLock, RWLockStats
 from repro.core.specs import ReadSpec, WriteSpec
 from repro.errors import (
     FormatError,
@@ -299,6 +301,20 @@ class TestConcurrency:
         assert len(engine._logical_locks) == 0
         assert len(engine._refine_cursor) == 0
 
+    def test_queued_tasks_for_deleted_names_retire_their_locks(self, engine):
+        """A background admission racing delete must not re-register (and
+        orphan) the dead name's entry in the lock registry."""
+        clip = blank_segment(16, 36, 64, fps=30.0, fill=60)
+        session = engine.session()
+        for i in range(6):
+            name = f"churn{i}"
+            session.write(name, clip, codec="raw", gop_size=8)
+            # Cacheable transcode: enqueues a background admission.
+            session.read(ReadSpec(name, 0.0, 0.4, codec="h264", qp=12))
+            engine.delete(name)
+        engine.drain_admissions()
+        assert len(engine._logical_locks) == 0
+
     def test_delete_stops_background_compression(self, tmp_path, calibration):
         """engine.delete() must stop/skip a background deferred-compression
         thread targeting the deleted logical instead of crashing it or
@@ -438,6 +454,406 @@ class TestReadBatch:
 
 
 # ----------------------------------------------------------------------
+# reader-writer lock semantics
+# ----------------------------------------------------------------------
+class TestRWLock:
+    def test_shared_holders_overlap(self):
+        """N threads must be able to hold the shared side at once."""
+        lock = RWLock(RWLockStats())
+        barrier = threading.Barrier(4)
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                with lock.shared():
+                    barrier.wait(timeout=10.0)  # breaks if reads serialize
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_exclusive_excludes_shared(self):
+        lock = RWLock()
+        entered = threading.Event()
+
+        def reader() -> None:
+            with lock.shared():
+                entered.set()
+
+        with lock.exclusive():
+            t = threading.Thread(target=reader)
+            t.start()
+            assert not entered.wait(timeout=0.1)  # blocked by the writer
+        t.join()
+        assert entered.is_set()
+
+    def test_exclusive_reentrant_and_shared_nesting(self):
+        lock = RWLock()
+        with lock.exclusive():
+            with lock.exclusive():  # reentrant exclusive
+                with lock.shared():  # writer reading its own state
+                    assert lock.write_locked
+        assert not lock.write_locked
+
+    def test_reentrant_shared_with_waiting_writer(self):
+        """Writer preference must not deadlock a reader re-entering."""
+        lock = RWLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer() -> None:
+            with lock.exclusive():
+                pass
+
+        with lock.shared():
+            t = threading.Thread(target=writer)
+            t.start()
+            time.sleep(0.05)  # let the writer start waiting
+            with lock.shared():  # reentrant despite the queued writer
+                acquired.set()
+            release.set()
+        t.join()
+        assert acquired.is_set() and release.is_set()
+
+    def test_upgrade_refused(self):
+        lock = RWLock()
+        with lock.shared():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_exclusive()
+
+    def test_stats_count_by_mode(self):
+        stats = RWLockStats()
+        lock = RWLock(stats)
+        with lock.shared():
+            pass
+        with lock.exclusive():
+            pass
+        assert stats.shared_acquisitions == 1
+        assert stats.exclusive_acquisitions == 1
+
+
+# ----------------------------------------------------------------------
+# admission worker: coalescing, bounding, deterministic drain
+# ----------------------------------------------------------------------
+class TestAdmissionWorker:
+    def test_coalesces_and_bounds(self):
+        worker = AdmissionWorker(max_pending=2)
+        gate = threading.Event()
+        started = threading.Event()
+        ran: list[str] = []
+        worker.submit("block", lambda: (started.set(), gate.wait(10.0)))
+        assert started.wait(10.0)  # worker is busy; queue is empty
+        assert worker.submit("a", lambda: ran.append("a"))
+        assert not worker.submit("a", lambda: ran.append("dup"))  # coalesced
+        assert worker.submit("b", lambda: ran.append("b"))
+        assert not worker.submit("c", lambda: ran.append("c"))  # queue full
+        assert worker.depth == 2
+        gate.set()
+        worker.drain()
+        assert ran == ["a", "b"]  # FIFO, duplicate and overflow shed
+        assert worker.stats.coalesced == 1
+        assert worker.stats.dropped == 1
+        assert worker.stats.completed == 3
+        worker.close()
+
+    def test_bounds_by_pinned_bytes(self):
+        worker = AdmissionWorker(max_pending=8, max_pending_bytes=100)
+        gate = threading.Event()
+        started = threading.Event()
+        ran: list[str] = []
+        worker.submit("block", lambda: (started.set(), gate.wait(10.0)))
+        assert started.wait(10.0)
+        assert worker.submit("a", lambda: ran.append("a"), nbytes=80)
+        assert not worker.submit("b", lambda: ran.append("b"), nbytes=30)
+        assert worker.submit("c", lambda: ran.append("c"), nbytes=20)
+        gate.set()
+        worker.drain()
+        assert ran == ["a", "c"]
+        assert worker.stats.dropped == 1
+        # Bytes are released as tasks run: a new heavy task fits again.
+        assert worker.submit("d", lambda: ran.append("d"), nbytes=80)
+        worker.close()
+        assert ran == ["a", "c", "d"]
+
+    def test_failure_does_not_kill_worker(self):
+        worker = AdmissionWorker()
+        ran: list[str] = []
+
+        def boom() -> None:
+            raise RuntimeError("admission failed")
+
+        worker.submit("bad", boom)
+        worker.submit("good", lambda: ran.append("good"))
+        worker.drain()
+        assert ran == ["good"]
+        assert worker.stats.failures == 1
+        worker.close()
+
+    def test_close_runs_pending_then_rejects(self):
+        worker = AdmissionWorker()
+        ran: list[str] = []
+        worker.submit("a", lambda: ran.append("a"))
+        worker.close()  # deterministic drain, then stop
+        assert ran == ["a"]
+        assert not worker.submit("late", lambda: ran.append("late"))
+        assert worker.stats.dropped == 1
+        worker.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# hot-video concurrency: shared-lock reads + async admission
+# ----------------------------------------------------------------------
+class TestHotVideoConcurrency:
+    def test_same_video_reads_run_concurrently(self, loaded_engine):
+        """Four reads of ONE video must be inside the reader at the same
+        time (the barrier breaks if the per-logical lock serializes)."""
+        barrier = threading.Barrier(4)
+        original_execute = loaded_engine.reader.execute
+
+        def rendezvous_execute(plan, **kwargs):
+            barrier.wait(timeout=15.0)
+            return original_execute(plan, **kwargs)
+
+        loaded_engine.reader.execute = rendezvous_execute
+        outputs: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def read(slot: int) -> None:
+            try:
+                session = loaded_engine.session()
+                result = session.read("traffic", 0.4, 1.6, cache=False)
+                outputs[slot] = result.segment.pixels
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=read, args=(slot,)) for slot in range(4)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            loaded_engine.reader.execute = original_execute
+        assert not errors
+        reference = loaded_engine.session().read(
+            "traffic", 0.4, 1.6, cache=False
+        )
+        for pixels in outputs.values():
+            assert np.array_equal(pixels, reference.segment.pixels)
+        assert loaded_engine.stats().lock_shared_acquisitions >= 4
+
+    def test_reads_race_admission_eviction_delete(self, engine):
+        """Readers on one hot video while admissions queue, the budget is
+        enforced, and the video is finally deleted: no corruption, no
+        unexpected errors, and the admission queue drains cleanly."""
+        clip = blank_segment(24, 36, 64, fps=30.0, fill=99)
+        engine.session().write("hot", clip, codec="h264", qp=10, gop_size=8)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            session = engine.session()
+            try:
+                while not stop.is_set():
+                    try:
+                        # cache=True: every read enqueues an admission.
+                        result = session.read("hot", 0.1, 0.6, codec="raw")
+                    except (VideoNotFoundError, ReadError):
+                        return  # the delete landed; a legal outcome
+                    assert int(result.segment.pixels.mean()) == 99
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def evictor() -> None:
+            try:
+                for _ in range(5):
+                    try:
+                        engine.enforce_budget("hot")
+                    except VideoNotFoundError:
+                        return
+                    time.sleep(0.02)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=evictor))
+        for t in threads:
+            t.start()
+        time.sleep(0.4)
+        engine.delete("hot")
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        engine.drain_admissions()  # queued admissions skip the dead video
+        assert "hot" not in engine.list_videos()
+        assert engine.stats().admission_queue_depth == 0
+
+    def test_racing_identical_specs_admit_one_fragment(self, loaded_engine):
+        """Concurrent cold reads of one reusable spec must cache exactly
+        one fragment: queue coalescing dedups pending submissions, and
+        the admit-time fresh-plan guard skips any that slip through."""
+        spec = ReadSpec(
+            "traffic", 0.0, 2.0, codec="h264", qp=10, roi=(8, 4, 40, 28)
+        )
+        before = loaded_engine.video_stats("traffic").num_physicals
+        errors: list[BaseException] = []
+        results: list = []
+
+        def reader() -> None:
+            try:
+                results.append(loaded_engine.session().read(spec))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        loaded_engine.drain_admissions()
+        after = loaded_engine.video_stats("traffic").num_physicals
+        assert after == before + 1  # one cached crop, however the race fell
+        warm = loaded_engine.session().read(spec)
+        assert warm.stats.direct_serve
+        reference = [g.payloads for g in results[0].gops]
+        for result in results[1:]:
+            assert [g.payloads for g in result.gops] == reference
+        assert [g.payloads for g in warm.gops] == reference
+
+    def test_session_close_drains_admissions(self, loaded_engine):
+        """Session.close is the deterministic drain point: afterwards the
+        admission triggered by the session's read is durably applied."""
+        before = loaded_engine.video_stats("traffic").num_physicals
+        session = loaded_engine.session()
+        session.read("traffic", 0.0, 1.0, codec="h264", resolution=(32, 18))
+        session.close()
+        after = loaded_engine.video_stats("traffic").num_physicals
+        assert after == before + 1
+        stats = loaded_engine.stats()
+        assert stats.admission_queue_depth == 0
+        assert stats.admissions_completed >= 1
+
+    def test_engine_close_drains_admissions(
+        self, tmp_path, calibration, three_second_clip
+    ):
+        """engine.close() drains the queue before the catalog closes, so
+        a reopened store sees the admitted fragment."""
+        eng = VSSEngine(tmp_path / "store", calibration=calibration)
+        eng.session().write(
+            "traffic", three_second_clip, codec="h264", qp=10, gop_size=30
+        )
+        eng.session().read(
+            "traffic", 0.0, 1.0, codec="h264", resolution=(32, 18)
+        )
+        eng.close()
+        with VSSEngine(tmp_path / "store", calibration=calibration) as again:
+            assert again.video_stats("traffic").num_physicals == 2
+
+    def test_admit_sync_escape_hatch(
+        self, tmp_path, calibration, three_second_clip
+    ):
+        """admit_sync=True restores inline admission: side effects are
+        visible the moment read() returns, nothing is enqueued."""
+        with VSSEngine(
+            tmp_path / "sync", calibration=calibration, admit_sync=True
+        ) as eng:
+            eng.session().write(
+                "traffic", three_second_clip, codec="h264", qp=10,
+                gop_size=30,
+            )
+            before = eng.video_stats("traffic").num_physicals
+            eng.session().read(
+                "traffic", 0.0, 1.0, codec="h264", resolution=(32, 18)
+            )
+            assert eng.video_stats("traffic").num_physicals == before + 1
+            assert eng.stats().admissions_enqueued == 0
+
+
+# ----------------------------------------------------------------------
+# versioned plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_warm_read_skips_planner_bit_identically(
+        self, loaded_engine, monkeypatch
+    ):
+        import repro.core.engine as engine_mod
+
+        session = loaded_engine.session()
+        cold = session.read("traffic", 0.4, 1.6, codec="raw", cache=False)
+        assert not cold.stats.plan_cached
+        planner_calls: list[int] = []
+        real_plan_read = engine_mod.plan_read
+        monkeypatch.setattr(
+            engine_mod,
+            "plan_read",
+            lambda *a, **k: planner_calls.append(1) or real_plan_read(*a, **k),
+        )
+        warm = session.read("traffic", 0.4, 1.6, codec="raw", cache=False)
+        assert warm.stats.plan_cached
+        assert planner_calls == []  # zero planner invocations when warm
+        assert np.array_equal(warm.segment.pixels, cold.segment.pixels)
+        stats = loaded_engine.stats()
+        assert stats.plan_cache_hits >= 1
+        assert stats.plan_cache_misses >= 1
+        assert session.stats.plan_cache_hits == 1
+
+    def test_batch_and_stream_share_the_plan_cache(self, loaded_engine):
+        session = loaded_engine.session()
+        spec = ReadSpec("traffic", 0.3, 1.1, codec="raw", cache=False)
+        first = session.read(spec)
+        assert not first.stats.plan_cached
+        [batched] = session.read_batch([spec])
+        assert batched.stats.plan_cached
+        stream = session.read_stream(spec)
+        collected = stream.collect()
+        assert stream.stats.plan_cached
+        assert np.array_equal(
+            collected.segment.pixels, first.segment.pixels
+        )
+
+    def test_write_invalidates_plan_cache(self, loaded_engine):
+        session = loaded_engine.session()
+        spec = ReadSpec("traffic", 0.4, 1.6, codec="raw", cache=False)
+        session.read(spec)
+        assert session.read(spec).stats.plan_cached
+        # A new cached fragment (admission = a write) bumps the version.
+        session.read("traffic", 0.0, 2.0, codec="h264", resolution=(32, 18))
+        loaded_engine.drain_admissions()
+        refreshed = session.read(spec)
+        assert not refreshed.stats.plan_cached
+
+    def test_recreate_never_serves_stale_plans(self, engine):
+        """Delete + same-name re-create must re-plan (mutation versions
+        are monotonic even across SQLite rowid reuse)."""
+        session = engine.session()
+        spec = ReadSpec("v", 0.0, 0.4, codec="raw", cache=False)
+        session.write(
+            "v", blank_segment(16, 36, 64, fps=30.0, fill=50),
+            codec="raw", gop_size=8,
+        )
+        warmup = session.read(spec)
+        assert int(warmup.segment.pixels.mean()) == 50
+        assert session.read(spec).stats.plan_cached
+        engine.delete("v")
+        session.write(
+            "v", blank_segment(16, 36, 64, fps=30.0, fill=200),
+            codec="raw", gop_size=8,
+        )
+        fresh = session.read(spec)
+        assert not fresh.stats.plan_cached
+        assert int(fresh.segment.pixels.mean()) == 200
+
+
+# ----------------------------------------------------------------------
 # refinement rotation
 # ----------------------------------------------------------------------
 class TestRefineRotation:
@@ -445,9 +861,11 @@ class TestRefineRotation:
         """Periodic exact-quality refinement must eventually sample every
         cached physical, not candidates[0] forever."""
         session = loaded_engine.session()
-        # Admit two distinct cached physicals (different resolutions).
+        # Admit two distinct cached physicals (different resolutions);
+        # admission is asynchronous, so drain before counting them.
         session.read("traffic", 0.0, 1.0, codec="h264", resolution=(32, 18))
         session.read("traffic", 1.0, 2.0, codec="h264", resolution=(16, 10))
+        loaded_engine.drain_admissions()
         logical = loaded_engine.catalog.get_logical("traffic")
         candidates = [
             p

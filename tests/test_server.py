@@ -459,6 +459,9 @@ class TestViewsOverHTTP:
         # admit the transcoded crop under the base logical video.
         [cold] = first.read_batch([spec])
         assert not cold.stats.direct_serve
+        # Admission is asynchronous server-side; drain so the second
+        # client's warm read deterministically sees the cached fragment.
+        server.engine.drain_admissions()
         second = VSSClient(host, port, timeout=30.0)
         warm = second.read(spec)
         assert warm.stats.direct_serve  # stored bytes, zero decode work

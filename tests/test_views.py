@@ -483,7 +483,9 @@ class TestViewReads:
         before = loaded_engine.video_stats("traffic").num_physicals
         first = loaded_engine.session()
         cold = first.read("crop", 0.0, 2.0)
-        # The transcoded crop was admitted under the *base* logical.
+        # Admission is asynchronous; drain for a deterministic check
+        # that the transcoded crop was admitted under the *base* logical.
+        loaded_engine.drain_admissions()
         after = loaded_engine.video_stats("traffic").num_physicals
         assert after == before + 1
         second = loaded_engine.session()
@@ -526,6 +528,7 @@ class TestViewLifecycle:
         )
         session = loaded_engine.session()
         session.read("crop", 0.0, 1.0, codec="raw")  # admits to base
+        loaded_engine.drain_admissions()
         physicals = loaded_engine.video_stats("traffic").num_physicals
         loaded_engine.delete("crop")
         assert not loaded_engine.exists("crop")
