@@ -27,7 +27,8 @@ Correctness assertions (always on):
   reference read.
 
 The PR acceptance bar — >= 2x aggregate warm-read throughput vs. main —
-is a cross-branch comparison recorded via ``BENCH_PR5.json``; in-repo we
+is a cross-branch comparison recorded via the ``VSS_BENCH_JSON``
+document (``BENCH_PR6.json`` in CI); in-repo we
 assert the hardware-independent floor (concurrency never *loses*
 throughput, and clearly wins when >= 4 cores are available).
 """

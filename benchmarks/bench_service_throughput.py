@@ -1,12 +1,14 @@
-"""Service throughput: concurrent ``VSSClient``\\ s through the HTTP server.
+"""Service throughput: concurrent clients through the HTTP/binary servers.
 
 Set ``VSS_BENCH_QUICK=1`` for the CI smoke configuration (shorter clips
 and fewer reads; the hardware-independent assertions keep running).
 
-The acceptance question for the service layer is whether the HTTP front
-saturates the engine rather than becoming the bottleneck.  Three
-measurements over one store holding one video per client (distinct
-videos, so per-logical locks never serialize the workload):
+The acceptance question for the service layer is whether the network
+front saturates the engine rather than becoming the bottleneck.  Two
+tests over one store holding one video per client (distinct videos, so
+per-logical locks never serialize the workload):
+
+``test_service_throughput`` measures the HTTP server three ways:
 
 * **in-process** — one session issuing the read workload sequentially:
   the engine's own sequential throughput, no network.
@@ -19,8 +21,18 @@ videos, so per-logical locks never serialize the workload):
   client (the server, not the client protocol, is doing the scaling),
   and on any machine concurrency must not *lose* throughput.
 
-Every request must be served (no 429s): the default admission window is
-wider than the client fleet, so backpressure never rejects this load.
+``test_binary_vs_http_throughput`` races the two transports head to
+head on a **direct-served** workload (reads answered from stored GOP
+bytes, no decode on either side), so nearly all of each request is
+transport cost: connection setup, request framing, response framing,
+copies.  Four concurrent streaming clients per transport against the
+same engine; the binary path's pooled persistent connections and
+zero-copy frames must deliver at least twice the HTTP path's aggregate
+read throughput (the PR 6 acceptance criterion).
+
+Every request must be served (no 429s/busy): the default admission
+window is wider than the client fleet, so backpressure never rejects
+this load.
 """
 
 from __future__ import annotations
@@ -31,10 +43,10 @@ import time
 
 from repro.bench.harness import Series, print_series
 from repro.bench.record import record_result
-from repro.client import VSSClient
+from repro.client import VSSBinaryClient, VSSClient
 from repro.core.engine import VSSEngine
 from repro.core.specs import ReadSpec
-from repro.server import VSSServer
+from repro.server import VSSBinaryServer, VSSServer
 
 QUICK = os.environ.get("VSS_BENCH_QUICK", "") not in ("", "0")
 NUM_CLIENTS = 4
@@ -164,3 +176,143 @@ def test_service_throughput(tmp_path, calibration, vroad_clip, benchmark):
         # Four cores available: concurrent clients must saturate the
         # engine well past what one client achieves through the server.
         assert aggregate >= 1.3 * single_remote
+
+
+DIRECT_READS_PER_CLIENT = 10 if QUICK else 25
+
+
+def _run_fleet(make_client, names, windows, spec_kwargs) -> float:
+    """Aggregate reads/s for one thread per name, each on its own client."""
+    errors: list[BaseException] = []
+
+    def worker(name: str) -> None:
+        try:
+            client = make_client()
+            try:
+                for start_t, end_t in windows:
+                    client.read(ReadSpec(name, start_t, end_t, **spec_kwargs))
+            finally:
+                client.close()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(name,)) for name in names
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, f"concurrent clients failed: {errors!r}"
+    return len(names) * len(windows) / elapsed
+
+
+def test_binary_vs_http_throughput(
+    tmp_path, calibration, vroad_clip, benchmark
+):
+    clip = vroad_clip.slice_frames(0, CLIP_FRAMES)
+    names = [f"cam{i}" for i in range(NUM_CLIENTS)]
+    # GOP-aligned half-second windows cycling through the clip (the
+    # store is written with 15-frame GOPs at 30 fps): reading back the
+    # stored encoding on GOP boundaries direct-serves the stored bytes
+    # — no decode anywhere, so the measurement is transport, not codec.
+    # Fine-grained requests amplify the per-request transport cost the
+    # two paths differ on: HTTP pays connection setup, thread spawn and
+    # request parsing on every read; binary pays only frame codec cost
+    # over a pooled connection.
+    half_windows = max(int(clip.duration / 0.5), 1)
+    windows = []
+    for i in range(DIRECT_READS_PER_CLIENT):
+        start = 0.5 * (i % half_windows)
+        windows.append((start, start + 0.5))
+    spec_kwargs = {"codec": "h264", "qp": 10, "cache": False}
+
+    engine = VSSEngine(
+        tmp_path / "store",
+        calibration=calibration,
+        parallelism=1,
+        decode_cache_bytes=0,
+    )
+    ingest = engine.session()
+    for name in names:
+        ingest.write(name, clip, codec="h264", qp=10, gop_size=15)
+    probe = engine.session().read(
+        ReadSpec(names[0], *windows[0], **spec_kwargs)
+    )
+    assert probe.stats.direct_serve, "workload must be transport-bound"
+
+    with VSSServer(engine=engine) as http_server, VSSBinaryServer(
+        engine=engine
+    ) as binary_server:
+        http_host, http_port = http_server.address
+        bin_host, bin_port = binary_server.address
+
+        def http_client():
+            return VSSClient(http_host, http_port, timeout=120.0)
+
+        def binary_client():
+            return VSSBinaryClient(bin_host, bin_port, timeout=120.0)
+
+        # Interleave two rounds of each to cancel warm-up effects (the
+        # first round pays page-cache and allocator warm-up for both).
+        http_aggregate = max(
+            _run_fleet(http_client, names, windows, spec_kwargs)
+            for _ in range(2)
+        )
+        binary_aggregate = max(
+            _run_fleet(binary_client, names, windows, spec_kwargs)
+            for _ in range(2)
+        )
+        benchmark.pedantic(
+            _run_fleet,
+            args=(binary_client, names, windows, spec_kwargs),
+            rounds=1,
+            iterations=1,
+        )
+        rejected_http = http_client().metrics()["server"]["rejected"]
+        with binary_client() as probe_client:
+            rejected_binary = probe_client.metrics()["server"]["rejected"]
+
+    engine.close()
+
+    speedup = binary_aggregate / http_aggregate
+    series = Series(
+        "Binary vs HTTP direct-serve throughput", "transport", "reads/s"
+    )
+    series.add(0, http_aggregate)    # 0 = HTTP
+    series.add(1, binary_aggregate)  # 1 = binary
+    print_series(series)
+    print(
+        f"binary_vs_http: HTTP {http_aggregate:.1f} reads/s, "
+        f"binary {binary_aggregate:.1f} reads/s aggregate over "
+        f"{NUM_CLIENTS} concurrent clients ({speedup:.2f}x), "
+        f"rejected http={rejected_http} binary={rejected_binary}"
+    )
+
+    record_result(
+        "binary_vs_http_throughput",
+        config={
+            "quick": QUICK,
+            "clients": NUM_CLIENTS,
+            "reads_per_client": DIRECT_READS_PER_CLIENT,
+            "cpus": os.cpu_count() or 1,
+        },
+        metrics={
+            "http_aggregate_reads_per_s": http_aggregate,
+            "binary_aggregate_reads_per_s": binary_aggregate,
+            "binary_over_http_speedup": speedup,
+            "rejected_http": rejected_http,
+            "rejected_binary": rejected_binary,
+        },
+    )
+
+    assert rejected_http == 0 and rejected_binary == 0
+    # The PR 6 acceptance criterion: with per-request work dominated by
+    # transport, persistent zero-copy binary framing must at least
+    # double the HTTP path's aggregate throughput.
+    assert speedup >= 2.0, (
+        f"binary transport only {speedup:.2f}x HTTP "
+        f"({binary_aggregate:.1f} vs {http_aggregate:.1f} reads/s)"
+    )

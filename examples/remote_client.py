@@ -1,82 +1,116 @@
-"""Remote access end to end: an HTTP server plus a Session-shaped client.
+"""Remote access end to end: a server plus a Session-shaped client.
 
 Demonstrates the service layer added on top of the engine/session API
-(see docs/api.md, "Service API & wire protocol"):
+(see docs/api.md, "Service API & wire protocol" and "Binary wire
+protocol") over **both transports**:
 
-* a ``VSSServer`` serving a store on an ephemeral local port;
-* a ``VSSClient`` whose surface mirrors ``Session`` — the same
-  write/read/read_stream/read_batch calls work against local or remote
-  engines;
+* a ``VSSServer`` (HTTP) or ``VSSBinaryServer`` (length-prefixed binary
+  frames over one asyncio loop) serving a store on an ephemeral port;
+* a ``VSSClient`` / ``VSSBinaryClient`` whose surface mirrors
+  ``Session`` — the same write/read/read_stream/read_batch calls work
+  against local or remote engines, over either wire;
 * a streamed read whose chunks arrive incrementally with bounded memory
   on both sides, bit-identical to an in-process read;
-* the ``/metrics`` endpoint with engine counters and admission gauges.
+* the metrics surface with engine counters and admission gauges.
 
 This script doubles as the CI server smoke test: it exits non-zero if
-the streamed read is not bit-identical or ``/metrics`` does not respond.
+either transport's streamed read is not bit-identical or its metrics
+call does not respond.
 
-Run:  python examples/remote_client.py
+Run:  python examples/remote_client.py            # both transports
+      python examples/remote_client.py --binary   # binary only
+      python examples/remote_client.py --http     # HTTP only
 """
 
 from __future__ import annotations
 
+import sys
 import tempfile
 
 import numpy as np
 
-from repro import ReadSpec, VSSClient, VSSEngine, VSSServer
+from repro import (
+    ReadSpec,
+    VSSBinaryClient,
+    VSSBinaryServer,
+    VSSClient,
+    VSSEngine,
+    VSSServer,
+)
 from repro.synthetic import visualroad
 
+TRANSPORTS = {
+    "http": (VSSServer, VSSClient),
+    "binary": (VSSBinaryServer, VSSBinaryClient),
+}
 
-def main() -> None:
+
+def exercise(transport: str, engine: VSSEngine, clip) -> None:
+    """Write, read, stream, and inspect metrics over one transport."""
+    server_cls, client_cls = TRANSPORTS[transport]
+    with server_cls(engine=engine) as server:
+        host, port = server.address
+        print(f"[{transport}] server on {server.url}")
+
+        # The client mirrors Session: same defaults, same calls.
+        client = client_cls(host, port, codec="h264", qp=10, gop_size=30)
+        name = f"traffic_{transport}"
+        client.write(name, clip)
+        print(f"[{transport}] wrote {clip.num_frames} frames; "
+              f"videos = {client.list_videos()}")
+
+        # One-shot remote read vs the same read in-process.
+        spec = ReadSpec(name, 0.0, 3.0, codec="raw", cache=False)
+        remote = client.read(spec)
+        local = engine.session().read(spec)
+        identical = np.array_equal(
+            remote.segment.pixels, local.segment.pixels
+        )
+        print(f"[{transport}] remote read: "
+              f"{remote.segment.num_frames} frames, "
+              f"bit-identical to local: {identical}")
+        assert identical, f"{transport} frames diverged from local read"
+
+        # Streamed read: chunks arrive as the server produces them;
+        # neither side ever holds the whole answer.
+        stream = client.read_stream(spec)
+        chunk_frames = [chunk.segment.num_frames for chunk in stream]
+        print(f"[{transport}] streamed read: {len(chunk_frames)} chunks "
+              f"of {chunk_frames} frames; server decoded "
+              f"{stream.stats.frames_decoded} frames total")
+        assert sum(chunk_frames) == local.segment.num_frames
+
+        # Metrics: engine counters plus the server's admission gauges.
+        metrics = client.metrics()
+        engine_stats = metrics["engine"]
+        gauges = metrics["server"]
+        print(f"[{transport}] metrics: reads={engine_stats['reads']} "
+              f"streams={engine_stats['streams']} "
+              f"served={gauges['served']} "
+              f"rejected={gauges['rejected']} "
+              f"inflight={gauges['inflight']}")
+        assert engine_stats["reads"] >= 2 and "inflight" in gauges
+        client.close()
+
+
+def main(argv: list[str]) -> None:
+    if "--binary" in argv:
+        transports = ["binary"]
+    elif "--http" in argv:
+        transports = ["http"]
+    else:
+        transports = ["http", "binary"]
+
     dataset = visualroad("1K", overlap=0.3, num_frames=90)
     clip = dataset.video(camera=0, start=0, stop=90)
 
     with tempfile.TemporaryDirectory() as root:
         engine = VSSEngine(root)
-        with VSSServer(engine=engine) as server:
-            host, port = server.address
-            print(f"server on http://{host}:{port}")
-
-            # The client mirrors Session: same defaults, same calls.
-            client = VSSClient(host, port, codec="h264", qp=10, gop_size=30)
-            client.write("traffic", clip)
-            print(f"wrote {clip.num_frames} frames; "
-                  f"videos = {client.list_videos()}")
-
-            # One-shot read over HTTP vs the same read in-process.
-            spec = ReadSpec("traffic", 0.0, 3.0, codec="raw", cache=False)
-            remote = client.read(spec)
-            local = engine.session().read(spec)
-            identical = np.array_equal(
-                remote.segment.pixels, local.segment.pixels
-            )
-            print(f"remote read: {remote.segment.num_frames} frames, "
-                  f"bit-identical to local: {identical}")
-            assert identical, "remote frames diverged from local read"
-
-            # Streamed read: chunks arrive as the server decodes them;
-            # neither side ever holds the whole answer.
-            stream = client.read_stream(spec)
-            chunk_frames = [chunk.segment.num_frames for chunk in stream]
-            print(f"streamed read: {len(chunk_frames)} chunks of "
-                  f"{chunk_frames} frames; server decoded "
-                  f"{stream.stats.frames_decoded} frames total")
-            assert sum(chunk_frames) == local.segment.num_frames
-
-            # Metrics: engine counters plus the server's admission gauges.
-            metrics = client.metrics()
-            engine_stats = metrics["engine"]
-            gauges = metrics["server"]
-            print(f"/metrics: reads={engine_stats['reads']} "
-                  f"streams={engine_stats['streams']} "
-                  f"served={gauges['served']} "
-                  f"rejected={gauges['rejected']} "
-                  f"inflight={gauges['inflight']}")
-            assert engine_stats["reads"] >= 2 and "inflight" in gauges
-
+        for transport in transports:
+            exercise(transport, engine, clip)
         engine.close()
-    print("remote client example OK")
+    print(f"remote client example OK ({', '.join(transports)})")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

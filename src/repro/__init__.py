@@ -13,6 +13,10 @@ Public entry points:
 * :class:`repro.VSSServer` / :class:`repro.VSSClient` — the HTTP service
   pair; the client mirrors the ``Session`` surface so code runs
   unchanged against local or remote engines.
+* :class:`repro.VSSBinaryServer` / :class:`repro.VSSBinaryClient` — the
+  same surface over the length-prefixed binary frame protocol: one
+  asyncio loop multiplexing persistent connections, zero-copy ndarray
+  payloads, bit-identical responses to the HTTP and local paths.
 * :class:`repro.VSS` — the deprecated four-operation facade
   (create/write/read/delete with kwargs), kept as a shim.
 * :mod:`repro.synthetic` — Table 1 dataset equivalents.
@@ -23,7 +27,13 @@ See README.md for a quickstart and docs/api.md for the engine/session
 migration guide plus the service API and wire protocol.
 """
 
-from repro.client import RemoteReadResult, RemoteReadStream, VSSClient
+from repro.client import (
+    BinaryReadStream,
+    RemoteReadResult,
+    RemoteReadStream,
+    VSSBinaryClient,
+    VSSClient,
+)
 from repro.core import (
     VSS,
     ReadChunk,
@@ -37,12 +47,13 @@ from repro.core import (
     WriteSpec,
 )
 from repro.core.read_planner import ReadRequest
-from repro.server import VSSServer
+from repro.server import VSSBinaryServer, VSSServer
 from repro.video.frame import VideoSegment
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
+    "BinaryReadStream",
     "ReadChunk",
     "ReadRequest",
     "ReadResult",
@@ -52,6 +63,8 @@ __all__ = [
     "RemoteReadStream",
     "Session",
     "VSS",
+    "VSSBinaryClient",
+    "VSSBinaryServer",
     "VSSClient",
     "VSSEngine",
     "VSSServer",

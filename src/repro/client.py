@@ -1,14 +1,18 @@
-"""``VSSClient``: a Session-shaped client for a remote VSS server.
+"""Session-shaped clients for a remote VSS server: HTTP and binary.
 
-The client mirrors :class:`repro.core.engine.Session` — ``read`` /
-``read_stream`` / ``read_batch`` / ``read_async`` / ``write`` plus the
-catalog surface (``create`` / ``delete`` / ``exists`` / ``list_videos``
-/ ``video_stats`` / ``create_view`` / ``get_view`` / ``list_views``) —
-so application code runs unchanged against a local engine or a
-:class:`repro.server.VSSServer` across the network (the parity is
-asserted by introspection in ``tests/test_views.py``)::
+Two transports, one surface.  :class:`VSSClient` speaks the HTTP/JSON
+service (:class:`repro.server.VSSServer`); :class:`VSSBinaryClient`
+speaks the length-prefixed binary frame protocol
+(:class:`repro.server.VSSBinaryServer`).  Both mirror
+:class:`repro.core.engine.Session` — ``read`` / ``read_stream`` /
+``read_batch`` / ``read_async`` / ``write`` plus the catalog surface
+(``create`` / ``delete`` / ``exists`` / ``list_videos`` /
+``video_stats`` / ``create_view`` / ``get_view`` / ``list_views``) — so
+application code runs unchanged against a local engine, an HTTP server,
+or a binary server (the parity is asserted by introspection in
+``tests/test_views.py``)::
 
-    client = VSSClient("127.0.0.1", 8720, codec="h264", qp=12)
+    client = VSSBinaryClient("127.0.0.1", 8721, codec="h264", qp=12)
     client.write("traffic", segment)
     result = client.read("traffic", 0.0, 2.0, codec="raw")
     for chunk in client.read_stream("traffic", 0.0, 120.0, codec="raw"):
@@ -16,15 +20,27 @@ asserted by introspection in ``tests/test_views.py``)::
 
 Requests are serialized through :mod:`repro.core.wire`, so a spec built
 here is revalidated identically on the server, and server-side errors
-re-raise as the same :mod:`repro.errors` classes.  Each call opens its
-own connection, which keeps a single client safe to share across
-threads; a 429 rejection raises :class:`ServerBusyError` carrying the
-server's ``Retry-After`` hint.
+re-raise as the same :mod:`repro.errors` classes; a busy rejection (HTTP
+429 / binary ``ServerBusyError`` envelope) raises
+:class:`ServerBusyError` carrying the server's retry hint either way.
+
+Transport differences worth knowing:
+
+* the HTTP client opens one connection per call (which keeps a single
+  client safe to share across threads) and frames metadata as JSON
+  lines inside chunked transfer encoding;
+* the binary client keeps a small pool of persistent connections —
+  the frame protocol is strictly request/response delimited, so a
+  drained response leaves the connection at a clean boundary and the
+  next call reuses it, skipping the TCP handshake and HTTP parsing on
+  the hot read path.  Pixel payloads are parsed zero-copy
+  (``np.frombuffer`` over the received frame's memoryview).
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -42,11 +58,23 @@ from repro.core.specs import (
     WriteSpec,
 )
 from repro.core.wire import (
+    FRAME_END,
+    FRAME_ERROR,
+    FRAME_GOPS,
+    FRAME_REPLY,
+    FRAME_REQUEST,
+    FRAME_RESULT_GOPS,
+    FRAME_RESULT_SEGMENT,
+    FRAME_SEGMENT,
+    check_frame_length,
+    encode_frame,
     error_from_dict,
+    parse_frame,
     read_spec_to_dict,
     read_stats_from_dict,
     segment_from_payload,
     segment_payload,
+    segment_payload_view,
     segment_to_meta,
     view_spec_to_dict,
     write_spec_to_dict,
@@ -85,8 +113,28 @@ class RemoteReadResult:
         return self.segment.nbytes
 
 
+def _collect_stream(stream) -> RemoteReadResult:
+    """Drain a remote stream's chunks into one :class:`RemoteReadResult`."""
+    segments: list[VideoSegment] = []
+    gops: list = []
+    for chunk in stream:
+        if chunk.segment is not None:
+            segments.append(chunk.segment)
+        if chunk.gops is not None:
+            gops.extend(chunk.gops)
+    stats = stream.stats if stream.stats is not None else ReadStats()
+    if segments:
+        merged = (
+            segments[0]
+            if len(segments) == 1
+            else segments[0].concatenate(segments)
+        )
+        return RemoteReadResult(merged, None, stats)
+    return RemoteReadResult(None, gops, stats)
+
+
 class RemoteReadStream:
-    """Client half of a streamed read: lazily parses chunk frames.
+    """Client half of an HTTP streamed read: lazily parses chunk frames.
 
     Iterating yields :class:`repro.core.reader.ReadChunk` objects (the
     same type the in-process stream yields); ``stats`` holds the
@@ -141,22 +189,7 @@ class RemoteReadStream:
 
     def collect(self) -> RemoteReadResult:
         """Drain the remaining chunks into one :class:`RemoteReadResult`."""
-        segments: list[VideoSegment] = []
-        gops: list = []
-        for chunk in self:
-            if chunk.segment is not None:
-                segments.append(chunk.segment)
-            if chunk.gops is not None:
-                gops.extend(chunk.gops)
-        stats = self.stats if self.stats is not None else ReadStats()
-        if segments:
-            merged = (
-                segments[0]
-                if len(segments) == 1
-                else segments[0].concatenate(segments)
-            )
-            return RemoteReadResult(merged, None, stats)
-        return RemoteReadResult(None, gops, stats)
+        return _collect_stream(self)
 
     def close(self) -> None:
         if not self._done:
@@ -201,13 +234,28 @@ def _read_gops(response: HTTPResponse, sizes: list[int]) -> list:
     ]
 
 
-class VSSClient:
-    """Session-shaped access to a remote VSS server (see module docs).
+def _slice_gops(payload: memoryview, sizes: list[int]) -> list:
+    """Split one binary frame's payload into decoded GOP containers."""
+    gops, offset = [], 0
+    for size in sizes:
+        gops.append(decode_container(bytes(payload[offset:offset + size])))
+        offset += size
+    if offset != payload.nbytes:
+        raise WireError(
+            f"GOP frame payload is {payload.nbytes} bytes; sizes sum to "
+            f"{offset}"
+        )
+    return gops
 
-    ``defaults`` mirror ``engine.session(**defaults)``: any non-
-    positional :class:`ReadSpec`/:class:`WriteSpec` field, filled into
-    whatever a call does not specify.  ``stats`` accumulates the same
-    :class:`SessionStats` counters a local session would.
+
+class _RemoteClientBase:
+    """The transport-independent half of a Session-shaped client.
+
+    Subclasses provide the wire: :meth:`_rpc` for one-shot operations,
+    :meth:`_open_read_stream` for streamed reads, :meth:`_send_write`
+    for raw-segment writes, and :meth:`read_batch`.  Everything else —
+    spec defaults and builders, :class:`SessionStats` accounting, the
+    ``read_async`` pool, the catalog surface — lives here once.
     """
 
     def __init__(
@@ -237,93 +285,39 @@ class VSSClient:
         return dict(self._defaults)
 
     # ------------------------------------------------------------------
-    # transport
+    # transport hooks (subclass responsibility)
     # ------------------------------------------------------------------
-    def _connect(self) -> HTTPConnection:
-        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+    def _rpc(self, op: str, params: dict) -> dict:
+        raise NotImplementedError
 
-    def _raise_for_status(self, response: HTTPResponse, body: bytes) -> None:
-        if response.status < 400:
-            return
-        if response.status == 429:
-            retry_after = float(response.getheader("Retry-After", "1"))
-            raise ServerBusyError(retry_after=retry_after)
-        try:
-            rebuilt = error_from_dict(json.loads(body))
-        except (json.JSONDecodeError, WireError):
-            # Not a well-formed envelope (proxy page, truncated body):
-            # fall back to a generic error.  A WireError *named by* a
-            # well-formed envelope re-raises as WireError below.
-            raise VSSError(
-                f"HTTP {response.status}: {body[:200]!r}"
-            ) from None
-        raise rebuilt
+    def _open_read_stream(self, spec: ReadSpec):
+        raise NotImplementedError
 
-    def _request_json(
-        self, method: str, path: str, body: bytes | None = None
-    ) -> dict:
-        conn = self._connect()
-        try:
-            headers = {"Connection": "close"}
-            if body is not None:
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            data = response.read()
-            self._raise_for_status(response, data)
-            return json.loads(data)
-        finally:
-            conn.close()
+    def _send_write(self, spec: WriteSpec, segment: VideoSegment) -> dict:
+        raise NotImplementedError
 
-    def _open_stream(self, path: str, payload: dict) -> RemoteReadStream:
-        conn = self._connect()
-        try:
-            conn.request(
-                "POST",
-                path,
-                body=json.dumps(payload).encode("utf-8"),
-                headers={
-                    "Content-Type": "application/json",
-                    "Connection": "close",
-                },
-            )
-            response = conn.getresponse()
-            if response.status != 200:
-                self._raise_for_status(response, response.read())
-        except Exception:
-            conn.close()
-            self._note_failure()
-            raise
-        return RemoteReadStream(conn, response)
+    def read_batch(self, specs: list[ReadSpec]) -> list[RemoteReadResult]:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # catalog operations
     # ------------------------------------------------------------------
     def create(self, name: str, budget_bytes: int = 0) -> dict:
-        body = json.dumps(
-            {"name": name, "budget_bytes": budget_bytes}
-        ).encode("utf-8")
-        return self._request_json("POST", "/v1/videos", body)
+        return self._rpc(
+            "create", {"name": name, "budget_bytes": budget_bytes}
+        )
 
     def delete(self, name: str, force: bool = False) -> None:
         """Delete a video or view; ``force`` cascades dependent views."""
-        suffix = "?force=1" if force else ""
-        self._request_json(
-            "DELETE", f"/v1/videos/{quote(name, safe='')}{suffix}"
-        )
+        self._rpc("delete", {"name": name, "force": force})
 
     def exists(self, name: str) -> bool:
         """True when ``name`` is a logical video or a derived view."""
-        reply = self._request_json(
-            "GET", f"/v1/videos/{quote(name, safe='')}"
-        )
-        return bool(reply["exists"])
+        return bool(self._rpc("exists", {"name": name})["exists"])
 
     def list_videos(self, kind: str = "all") -> list[str]:
         """Sorted names from one server-side catalog snapshot."""
-        return self._request_json(
-            "GET", f"/v1/videos?kind={quote(kind, safe='')}"
-        )["videos"]
+        return self._rpc("list_videos", {"kind": kind})["videos"]
 
     def create_view(self, name: str, spec: ViewSpec) -> dict:
         """Register a derived view (mirrors ``Session.create_view``)."""
@@ -331,27 +325,24 @@ class VSSClient:
             raise TypeError(
                 f"create_view takes a ViewSpec, got {type(spec).__name__}"
             )
-        body = json.dumps(
-            {"name": name, "spec": view_spec_to_dict(spec)}
-        ).encode("utf-8")
-        return self._request_json("POST", "/v1/views", body)
+        return self._rpc(
+            "create_view", {"name": name, "spec": view_spec_to_dict(spec)}
+        )
 
     def get_view(self, name: str) -> dict:
         """One view definition (``spec`` is a ViewSpec dict)."""
-        return self._request_json("GET", f"/v1/views/{quote(name, safe='')}")
+        return self._rpc("get_view", {"name": name})
 
     def list_views(self) -> list[dict]:
         """All view definitions, sorted by name."""
-        return self._request_json("GET", "/v1/views")["views"]
+        return self._rpc("list_views", {})["views"]
 
     def video_stats(self, name: str) -> dict:
-        return self._request_json(
-            "GET", f"/v1/videos/{quote(name, safe='')}/stats"
-        )
+        return self._rpc("video_stats", {"name": name})
 
     def metrics(self) -> dict:
-        """The server's ``/metrics`` document (engine + server gauges)."""
-        return self._request_json("GET", "/metrics")
+        """The server's metrics document (engine + admission gauges)."""
+        return self._rpc("metrics", {})
 
     # ------------------------------------------------------------------
     # spec builders (mirror Session)
@@ -399,7 +390,7 @@ class VSSClient:
         """Read video; takes a :class:`ReadSpec` or (name, start, end)."""
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
         begin = time.perf_counter()
-        result = self.read_stream(spec).collect()
+        result = self._open_read_stream(spec).collect()
         with_stats = result.stats
         with self._stats_lock:
             self.stats.reads += 1
@@ -416,12 +407,10 @@ class VSSClient:
         start: float | None = None,
         end: float | None = None,
         **overrides,
-    ) -> RemoteReadStream:
+    ):
         """Open a streamed read; yields GOP-sized chunks lazily."""
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
-        return self._open_stream(
-            "/v1/read", {"spec": read_spec_to_dict(spec)}
-        )
+        return self._open_read_stream(spec)
 
     def read_async(
         self,
@@ -433,8 +422,8 @@ class VSSClient:
         """Submit a read; returns a ``concurrent.futures.Future``.
 
         Mirrors ``Session.read_async``: the request runs on a small
-        client-side pool (each request still opens its own connection,
-        so futures of different videos proceed concurrently server-side).
+        client-side pool, so futures of different videos proceed
+        concurrently server-side.
         """
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
         with self._stats_lock:
@@ -448,6 +437,182 @@ class VSSClient:
             # the same lock before shutting it down, so a submit can
             # never race into an already-shut-down executor.
             return self._pool.submit(self.read, spec)
+
+    def _account_batch(self, results, batch: BatchStats) -> None:
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.reads += len(results)
+            self.stats.last_batch = batch
+            self.stats.plan_cache_hits += sum(
+                1 for r in results if r.stats.plan_cached
+            )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        spec_or_name: WriteSpec | str,
+        segment: VideoSegment,
+        **overrides,
+    ) -> dict:
+        """Write a raw segment under a :class:`WriteSpec` or name."""
+        if isinstance(spec_or_name, WriteSpec):
+            spec = spec_or_name
+            if overrides:
+                spec = spec.replace(**overrides)
+        else:
+            spec = self.write_spec(spec_or_name, **overrides)
+        begin = time.perf_counter()
+        try:
+            reply = self._send_write(spec, segment)
+        except Exception:
+            self._note_failure()
+            raise
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.wall_seconds += time.perf_counter() - begin
+        return reply
+
+    # ------------------------------------------------------------------
+    def _note_failure(self) -> None:
+        with self._stats_lock:
+            self.stats.failures += 1
+
+    def close(self) -> None:
+        """Release the ``read_async`` pool (idempotent).
+
+        Subclasses with persistent transport state extend this; a
+        closed client rejects further ``read_async`` calls.
+        """
+        with self._stats_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class VSSClient(_RemoteClientBase):
+    """Session-shaped access to a remote HTTP VSS server (module docs).
+
+    ``defaults`` mirror ``engine.session(**defaults)``: any non-
+    positional :class:`ReadSpec`/:class:`WriteSpec` field, filled into
+    whatever a call does not specify.  ``stats`` accumulates the same
+    :class:`SessionStats` counters a local session would.  Each call
+    opens its own connection, which keeps a single client safe to share
+    across threads.
+    """
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _raise_for_status(self, response: HTTPResponse, body: bytes) -> None:
+        if response.status < 400:
+            return
+        if response.status == 429:
+            retry_after = float(response.getheader("Retry-After", "1"))
+            raise ServerBusyError(retry_after=retry_after)
+        try:
+            rebuilt = error_from_dict(json.loads(body))
+        except (json.JSONDecodeError, WireError):
+            # Not a well-formed envelope (proxy page, truncated body):
+            # fall back to a generic error.  A WireError *named by* a
+            # well-formed envelope re-raises as WireError below.
+            raise VSSError(
+                f"HTTP {response.status}: {body[:200]!r}"
+            ) from None
+        raise rebuilt
+
+    def _request_json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict:
+        conn = self._connect()
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            self._raise_for_status(response, data)
+            return json.loads(data)
+        finally:
+            conn.close()
+
+    def _rpc(self, op: str, params: dict) -> dict:
+        """Map one logical operation onto the HTTP endpoint table."""
+        if op == "create":
+            return self._request_json(
+                "POST", "/v1/videos", json.dumps(params).encode("utf-8")
+            )
+        if op == "delete":
+            suffix = "?force=1" if params.get("force") else ""
+            return self._request_json(
+                "DELETE",
+                f"/v1/videos/{quote(params['name'], safe='')}{suffix}",
+            )
+        if op == "exists":
+            return self._request_json(
+                "GET", f"/v1/videos/{quote(params['name'], safe='')}"
+            )
+        if op == "list_videos":
+            return self._request_json(
+                "GET", f"/v1/videos?kind={quote(params['kind'], safe='')}"
+            )
+        if op == "video_stats":
+            return self._request_json(
+                "GET", f"/v1/videos/{quote(params['name'], safe='')}/stats"
+            )
+        if op == "create_view":
+            return self._request_json(
+                "POST", "/v1/views", json.dumps(params).encode("utf-8")
+            )
+        if op == "get_view":
+            return self._request_json(
+                "GET", f"/v1/views/{quote(params['name'], safe='')}"
+            )
+        if op == "list_views":
+            return self._request_json("GET", "/v1/views")
+        if op == "metrics":
+            return self._request_json("GET", "/metrics")
+        raise VSSError(f"unknown client operation {op!r}")
+
+    def _open_read_stream(self, spec: ReadSpec) -> RemoteReadStream:
+        return self._open_stream(
+            "/v1/read", {"spec": read_spec_to_dict(spec)}
+        )
+
+    def _open_stream(self, path: str, payload: dict) -> RemoteReadStream:
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=json.dumps(payload).encode("utf-8"),
+                headers={
+                    "Content-Type": "application/json",
+                    "Connection": "close",
+                },
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                self._raise_for_status(response, response.read())
+        except Exception:
+            conn.close()
+            self._note_failure()
+            raise
+        return RemoteReadStream(conn, response)
 
     def read_batch(self, specs: list[ReadSpec]) -> list[RemoteReadResult]:
         """Execute several reads server-side with shared decode work."""
@@ -480,31 +645,10 @@ class VSSClient:
                     raise WireError(f"unexpected batch frame {frame!r}")
         finally:
             stream.close()
-        with self._stats_lock:
-            self.stats.batches += 1
-            self.stats.reads += len(results)
-            self.stats.last_batch = batch
-            self.stats.plan_cache_hits += sum(
-                1 for r in results if r.stats.plan_cached
-            )
+        self._account_batch(results, batch)
         return results
 
-    # ------------------------------------------------------------------
-    # writes
-    # ------------------------------------------------------------------
-    def write(
-        self,
-        spec_or_name: WriteSpec | str,
-        segment: VideoSegment,
-        **overrides,
-    ) -> dict:
-        """Write a raw segment under a :class:`WriteSpec` or name."""
-        if isinstance(spec_or_name, WriteSpec):
-            spec = spec_or_name
-            if overrides:
-                spec = spec.replace(**overrides)
-        else:
-            spec = self.write_spec(spec_or_name, **overrides)
+    def _send_write(self, spec: WriteSpec, segment: VideoSegment) -> dict:
         header = json.dumps(
             {
                 "spec": write_spec_to_dict(spec),
@@ -512,38 +656,289 @@ class VSSClient:
             }
         ).encode("utf-8")
         body = header + b"\n" + segment_payload(segment)
-        begin = time.perf_counter()
-        try:
-            reply = self._request_json("POST", "/v1/write", body)
-        except Exception:
-            self._note_failure()
-            raise
-        with self._stats_lock:
-            self.stats.writes += 1
-            self.stats.wall_seconds += time.perf_counter() - begin
-        return reply
+        return self._request_json("POST", "/v1/write", body)
 
-    # ------------------------------------------------------------------
-    def _note_failure(self) -> None:
-        with self._stats_lock:
-            self.stats.failures += 1
+
+# ----------------------------------------------------------------------
+# binary transport
+# ----------------------------------------------------------------------
+class _BinaryConnection:
+    """One persistent socket speaking length-prefixed binary frames."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Frames are written back-to-back; never wait on Nagle for the
+        # small prelude of a large payload.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+
+    def send_frame(self, buffers) -> None:
+        for buffer in buffers:
+            self._sock.sendall(buffer)
+
+    def read_frame(self) -> tuple[int, dict, memoryview]:
+        prefix = self._read_exactly(4)
+        length = check_frame_length(int.from_bytes(prefix, "big"))
+        return parse_frame(self._read_exactly(length))
+
+    def _read_exactly(self, nbytes: int) -> bytes:
+        data = self._rfile.read(nbytes)
+        if data is None or len(data) != nbytes:
+            raise WireError(
+                f"connection truncated: wanted {nbytes} bytes, got "
+                f"{len(data or b'')}"
+            )
+        return data
 
     def close(self) -> None:
-        """Release the ``read_async`` pool (idempotent).
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
-        Data connections are per-request, so there is nothing else to
-        tear down; a closed client rejects further ``read_async`` calls.
-        """
-        with self._stats_lock:
-            if self._closed:
-                return
-            self._closed = True
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
 
-    def __enter__(self) -> "VSSClient":
+class BinaryReadStream:
+    """Client half of a binary streamed read (yields :class:`ReadChunk`).
+
+    The surface mirrors :class:`RemoteReadStream`: iterate for chunks,
+    ``stats`` after exhaustion, ``collect()`` for the one-shot answer.
+    A cleanly drained stream returns its connection to the client's
+    pool; closing early (unread frames in flight) discards it.
+    """
+
+    def __init__(self, client: "VSSBinaryClient", conn: _BinaryConnection):
+        self._client = client
+        self._conn = conn
+        self._done = False
+        self.stats: ReadStats | None = None
+        self.chunks_pulled = 0
+
+    def __iter__(self) -> "BinaryReadStream":
+        return self
+
+    def __next__(self) -> ReadChunk:
+        if self._done:
+            raise StopIteration
+        try:
+            frame_type, header, payload = self._conn.read_frame()
+        except Exception:
+            self._abort()
+            raise
+        if frame_type == FRAME_END:
+            self.stats = read_stats_from_dict(header["stats"])
+            self._finish()
+            raise StopIteration
+        if frame_type == FRAME_ERROR:
+            # The server framed the failure cleanly: the connection is
+            # still at a frame boundary and stays poolable.
+            self._finish()
+            self._client._note_failure()
+            raise _rebuild_error(header)
+        if frame_type == FRAME_SEGMENT:
+            segment = segment_from_payload(header["meta"], payload)
+            chunk = ReadChunk(
+                header["index"], segment.start_time, segment.end_time,
+                segment, None,
+            )
+        elif frame_type == FRAME_GOPS:
+            gops = _slice_gops(payload, header["sizes"])
+            chunk = ReadChunk(
+                header["index"], header["start_time"], header["end_time"],
+                None, gops,
+            )
+        else:
+            self._abort()
+            raise WireError(
+                f"unexpected stream frame type {frame_type:#04x}"
+            )
+        self.chunks_pulled += 1
+        return chunk
+
+    def collect(self) -> RemoteReadResult:
+        """Drain the remaining chunks into one :class:`RemoteReadResult`."""
+        return _collect_stream(self)
+
+    def _finish(self) -> None:
+        if not self._done:
+            self._done = True
+            self._client._release(self._conn)
+
+    def _abort(self) -> None:
+        if not self._done:
+            self._done = True
+            self._conn.close()
+
+    def close(self) -> None:
+        """Abandon the stream early (drops the connection)."""
+        self._abort()
+
+    def __enter__(self) -> "BinaryReadStream":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def _rebuild_error(envelope: dict) -> VSSError:
+    """The binary twin of :func:`error_from_dict`, honouring busy hints."""
+    if envelope.get("error") == "ServerBusyError":
+        return ServerBusyError(
+            retry_after=float(envelope.get("retry_after", 1.0))
+        )
+    return error_from_dict(envelope)
+
+
+class VSSBinaryClient(_RemoteClientBase):
+    """Session-shaped access to a :class:`repro.server.VSSBinaryServer`.
+
+    Same surface and semantics as :class:`VSSClient` (see the module
+    docs), different wire: every operation is one binary REQUEST frame,
+    answered by a REPLY frame or a stream of segment/GOP frames.  Up to
+    ``pool_connections`` drained connections are kept open and reused
+    across calls — safe because the protocol is strictly
+    request/response delimited — so the hot read path pays no TCP
+    handshake and no HTTP parsing.  A single client is safe to share
+    across threads.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8721,
+        timeout: float = 60.0,
+        pool_connections: int = 8,
+        **defaults,
+    ):
+        super().__init__(host, port, timeout, **defaults)
+        self._pool_connections = pool_connections
+        self._conn_lock = threading.Lock()
+        self._conns: list[_BinaryConnection] = []
+
+    # ------------------------------------------------------------------
+    # connection pool
+    # ------------------------------------------------------------------
+    def _acquire(self) -> _BinaryConnection:
+        with self._conn_lock:
+            if self._conns:
+                return self._conns.pop()
+        return _BinaryConnection(self.host, self.port, self.timeout)
+
+    def _release(self, conn: _BinaryConnection) -> None:
+        with self._conn_lock:
+            if not self._closed and len(self._conns) < self._pool_connections:
+                self._conns.append(conn)
+                return
+        conn.close()
+
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
+    def _rpc(self, op: str, params: dict, payload=None) -> dict:
+        conn = self._acquire()
+        clean = False
+        try:
+            conn.send_frame(
+                encode_frame(FRAME_REQUEST, {"op": op, **params}, payload)
+            )
+            frame_type, header, _ = conn.read_frame()
+            if frame_type == FRAME_ERROR:
+                clean = True  # complete frame: boundary intact
+                raise _rebuild_error(header)
+            if frame_type != FRAME_REPLY:
+                raise WireError(
+                    f"expected a reply frame, got type {frame_type:#04x}"
+                )
+            clean = True
+            return header
+        finally:
+            if clean:
+                self._release(conn)
+            else:
+                conn.close()
+
+    def ping(self) -> bool:
+        """Round-trip a no-op frame (connectivity probe)."""
+        return bool(self._rpc("ping", {}).get("pong"))
+
+    def _open_read_stream(self, spec: ReadSpec) -> BinaryReadStream:
+        conn = self._acquire()
+        try:
+            conn.send_frame(
+                encode_frame(
+                    FRAME_REQUEST,
+                    {"op": "read", "spec": read_spec_to_dict(spec)},
+                )
+            )
+        except Exception:
+            conn.close()
+            self._note_failure()
+            raise
+        return BinaryReadStream(self, conn)
+
+    def read_batch(self, specs: list[ReadSpec]) -> list[RemoteReadResult]:
+        """Execute several reads server-side with shared decode work."""
+        conn = self._acquire()
+        clean = False
+        results: list[RemoteReadResult] = []
+        try:
+            conn.send_frame(
+                encode_frame(
+                    FRAME_REQUEST,
+                    {
+                        "op": "read_batch",
+                        "specs": [read_spec_to_dict(s) for s in specs],
+                    },
+                )
+            )
+            while True:
+                frame_type, header, payload = conn.read_frame()
+                if frame_type == FRAME_END:
+                    batch = BatchStats(**header["batch"])
+                    clean = True
+                    break
+                if frame_type == FRAME_ERROR:
+                    clean = True
+                    self._note_failure()
+                    raise _rebuild_error(header)
+                stats = read_stats_from_dict(header["stats"])
+                if frame_type == FRAME_RESULT_SEGMENT:
+                    segment = segment_from_payload(header["meta"], payload)
+                    results.append(RemoteReadResult(segment, None, stats))
+                elif frame_type == FRAME_RESULT_GOPS:
+                    gops = _slice_gops(payload, header["sizes"])
+                    results.append(RemoteReadResult(None, gops, stats))
+                else:
+                    raise WireError(
+                        f"unexpected batch frame type {frame_type:#04x}"
+                    )
+        finally:
+            if clean:
+                self._release(conn)
+            else:
+                conn.close()
+        self._account_batch(results, batch)
+        return results
+
+    def _send_write(self, spec: WriteSpec, segment: VideoSegment) -> dict:
+        # The pixels go out as the frame payload, straight from the
+        # segment's buffer — no JSON header line, no body concatenation.
+        return self._rpc(
+            "write",
+            {
+                "spec": write_spec_to_dict(spec),
+                "segment": segment_to_meta(segment),
+            },
+            payload=segment_payload_view(segment),
+        )
+
+    def close(self) -> None:
+        """Release pooled connections and the ``read_async`` pool."""
+        super().close()
+        with self._conn_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()

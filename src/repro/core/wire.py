@@ -22,12 +22,33 @@ The module also frames the non-spec halves of a service conversation:
 :class:`ReadStats` dicts, raw :class:`VideoSegment` header/payload pairs,
 and error envelopes that rebuild the *same* exception class on the
 client that the engine raised on the server.
+
+Two transports share these forms.  The HTTP service ships them as JSON
+bodies and chunked streams; the binary service (:mod:`repro.server.binary`,
+:class:`repro.client.VSSBinaryClient`) ships them as length-prefixed
+**binary frames** — see :func:`encode_frame` / :func:`parse_frame` and the
+byte-for-byte layout in ``docs/api.md``.  A frame is::
+
+    u32  length        big-endian; bytes that follow (type + header + payload)
+    u8   type          one of the FRAME_* constants
+    u32  header_len    big-endian
+    ...  header        header_len bytes of compact UTF-8 JSON
+    ...  payload       (length - 5 - header_len) raw bytes
+
+The same dict forms above travel in the JSON header; bulk pixel/GOP bytes
+travel in the payload, untouched.  Encoding returns the payload buffer
+as-is (zero-copy: the caller hands the buffer list straight to the
+socket), and :func:`parse_frame` returns the payload as a
+:class:`memoryview` slice of the received buffer, so ``np.frombuffer``
+rebuilds pixels without another copy.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import inspect
+import json
+import struct
 
 import numpy as np
 
@@ -127,8 +148,17 @@ def write_spec_from_dict(data: dict) -> WriteSpec:
 # stats
 # ----------------------------------------------------------------------
 def read_stats_to_dict(stats: ReadStats) -> dict:
-    """A :class:`ReadStats` as a JSON-serializable dict."""
-    return dataclasses.asdict(stats)
+    """A :class:`ReadStats` as a JSON-serializable dict.
+
+    ``ReadStats`` is flat scalars plus two lists of scalars, so a
+    shallow copy is enough; ``dataclasses.asdict``'s recursive
+    deep-copy walk costs ~0.1 ms per call, which the servers pay on
+    every streamed read's end-of-stream frame.
+    """
+    data = dict(vars(stats))
+    data["gop_ids_touched"] = list(stats.gop_ids_touched)
+    data["view_chain"] = list(stats.view_chain)
+    return data
 
 
 def read_stats_from_dict(data: dict) -> ReadStats:
@@ -157,7 +187,19 @@ def segment_payload(segment: VideoSegment) -> bytes:
     return np.ascontiguousarray(segment.pixels).tobytes()
 
 
-def segment_from_payload(meta: dict, payload: bytes) -> VideoSegment:
+def segment_payload_view(segment: VideoSegment) -> memoryview:
+    """The segment's pixels as a flat byte view — **no copy** when the
+    array is already C-contiguous (the common case for decoded chunks).
+
+    The view aliases the segment's buffer: it is only valid while the
+    segment is alive, which the binary transport guarantees by writing
+    the frame before releasing the chunk.
+    """
+    pixels = np.ascontiguousarray(segment.pixels)
+    return memoryview(pixels).cast("B")
+
+
+def segment_from_payload(meta: dict, payload: bytes | memoryview) -> VideoSegment:
     """Rebuild a segment from a :func:`segment_to_meta` header plus its
     raw pixel bytes; size/shape mismatches raise :class:`WireError`."""
     _check_keys(
@@ -232,3 +274,134 @@ def error_from_dict(data: dict) -> VSSError:
         return cls(message)
     except TypeError:
         return VSSError(message)
+
+
+# ----------------------------------------------------------------------
+# binary frames
+# ----------------------------------------------------------------------
+#: Frame type bytes (the on-the-wire tags of the binary transport).
+FRAME_REQUEST = 0x01        #: client -> server: one operation
+FRAME_REPLY = 0x02          #: server -> client: one-shot JSON answer
+FRAME_SEGMENT = 0x03        #: stream chunk: decoded pixels
+FRAME_GOPS = 0x04           #: stream chunk: encoded GOP containers
+FRAME_RESULT_SEGMENT = 0x05  #: batch result: decoded pixels
+FRAME_RESULT_GOPS = 0x06    #: batch result: encoded GOP containers
+FRAME_END = 0x07            #: stream/batch terminator carrying stats
+FRAME_ERROR = 0x08          #: error envelope (in- or out-of-stream)
+
+FRAME_TYPES = frozenset(
+    {
+        FRAME_REQUEST,
+        FRAME_REPLY,
+        FRAME_SEGMENT,
+        FRAME_GOPS,
+        FRAME_RESULT_SEGMENT,
+        FRAME_RESULT_GOPS,
+        FRAME_END,
+        FRAME_ERROR,
+    }
+)
+
+#: Hard ceiling on one frame's body (type + header + payload).  A frame
+#: never carries more than one write segment or one GOP window, so 1 GiB
+#: is generous; a longer length prefix is treated as garbage framing
+#: rather than an instruction to buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Minimum frame body: the type byte plus the header-length word.
+_FRAME_FIXED = struct.Struct(">BI")
+MIN_FRAME_BYTES = _FRAME_FIXED.size
+
+_LENGTH = struct.Struct(">I")
+
+
+def check_frame_length(length: int) -> int:
+    """Validate a u32 length prefix before any buffering happens."""
+    if length < MIN_FRAME_BYTES or length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"bad frame length prefix {length} (must be within "
+            f"[{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}])"
+        )
+    return length
+
+
+def encode_frame(
+    frame_type: int,
+    header: dict,
+    payload: bytes | memoryview | None = None,
+    *extra_payload: bytes | memoryview,
+) -> list[bytes | memoryview]:
+    """One binary frame as a buffer list ready for vectored socket writes.
+
+    The first element is the frame prelude (length prefix + type +
+    header); the payload buffers follow **unmodified** — no
+    concatenation, so a multi-megabyte pixel array or a run of GOP blobs
+    is never copied just to be framed.
+    """
+    if frame_type not in FRAME_TYPES:
+        raise WireError(f"unknown frame type {frame_type:#04x}")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payloads = [p for p in (payload, *extra_payload) if p is not None]
+    payload_len = sum(
+        p.nbytes if isinstance(p, memoryview) else len(p) for p in payloads
+    )
+    length = MIN_FRAME_BYTES + len(header_bytes) + payload_len
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {length} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    prelude = b"".join(
+        (
+            _LENGTH.pack(length),
+            _FRAME_FIXED.pack(frame_type, len(header_bytes)),
+            header_bytes,
+        )
+    )
+    return [prelude, *payloads]
+
+
+def frame_to_bytes(
+    frame_type: int, header: dict, payload: bytes | memoryview | None = None
+) -> bytes:
+    """:func:`encode_frame` joined into one buffer (tests, tiny frames)."""
+    return b"".join(
+        bytes(part) if isinstance(part, memoryview) else part
+        for part in encode_frame(frame_type, header, payload)
+    )
+
+
+def parse_frame(body: bytes | memoryview) -> tuple[int, dict, memoryview]:
+    """Decode one frame body (everything after the length prefix).
+
+    Returns ``(frame_type, header, payload)`` where ``payload`` is a
+    zero-copy :class:`memoryview` slice of ``body``.  Unknown type
+    bytes, short bodies, over-long header lengths, and malformed header
+    JSON all raise :class:`WireError` — the caller decides whether the
+    connection's framing can still be trusted.
+    """
+    view = memoryview(body)
+    if view.nbytes < MIN_FRAME_BYTES:
+        raise WireError(
+            f"frame body of {view.nbytes} bytes is shorter than the "
+            f"fixed {MIN_FRAME_BYTES}-byte prefix"
+        )
+    frame_type, header_len = _FRAME_FIXED.unpack_from(view, 0)
+    if frame_type not in FRAME_TYPES:
+        raise WireError(f"unknown frame type {frame_type:#04x}")
+    if MIN_FRAME_BYTES + header_len > view.nbytes:
+        raise WireError(
+            f"frame header of {header_len} bytes overruns the "
+            f"{view.nbytes}-byte frame body"
+        )
+    header_end = MIN_FRAME_BYTES + header_len
+    try:
+        header = json.loads(bytes(view[MIN_FRAME_BYTES:header_end]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WireError(f"malformed frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise WireError(
+            f"frame header must be a JSON object, got "
+            f"{type(header).__name__}"
+        )
+    return frame_type, header, view[header_end:]

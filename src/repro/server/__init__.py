@@ -1,4 +1,4 @@
-"""The VSS network service: HTTP endpoints over a :class:`VSSEngine`.
+"""The VSS network service: HTTP and binary servers over a :class:`VSSEngine`.
 
 Start one in-process (tests, notebooks)::
 
@@ -11,13 +11,19 @@ Start one in-process (tests, notebooks)::
 or from a shell::
 
     python -m repro.server /data/store --port 8720
+    python -m repro.server /data/store --binary --port 8721
 
-Clients talk to it with :class:`repro.client.VSSClient`, whose surface
-mirrors :class:`repro.core.engine.Session` so code runs unchanged
-against local or remote engines.  See ``docs/api.md`` for the endpoint
-table, wire schema, and backpressure semantics.
+Clients talk to it with :class:`repro.client.VSSClient` (HTTP) or
+:class:`repro.client.VSSBinaryClient` (binary frames), whose surfaces
+mirror :class:`repro.core.engine.Session` so code runs unchanged
+against local or remote engines.  :class:`VSSBinaryServer` is the
+high-throughput peer of the HTTP server: a single asyncio event loop
+multiplexing persistent connections speaking length-prefixed frames
+with zero-copy ndarray payloads.  See ``docs/api.md`` for the endpoint
+table, wire schemas, and backpressure semantics.
 """
 
+from repro.server.binary import VSSBinaryServer
 from repro.server.http import (
     DEFAULT_MAX_INFLIGHT,
     ServiceGauges,
@@ -28,6 +34,7 @@ from repro.server.http import (
 __all__ = [
     "DEFAULT_MAX_INFLIGHT",
     "ServiceGauges",
+    "VSSBinaryServer",
     "VSSRequestHandler",
     "VSSServer",
 ]

@@ -4,22 +4,34 @@ from __future__ import annotations
 
 import argparse
 
+from repro.server.binary import VSSBinaryServer
 from repro.server.http import DEFAULT_MAX_INFLIGHT, VSSServer
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.server",
-        description="Serve a VSS store over HTTP.",
+        description="Serve a VSS store over HTTP (default) or binary frames.",
     )
     parser.add_argument("root", help="store directory (created if missing)")
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=8720)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen port (default 8720 HTTP, 8721 binary)",
+    )
+    parser.add_argument(
+        "--binary",
+        action="store_true",
+        help="serve the binary frame protocol instead of HTTP",
+    )
     parser.add_argument(
         "--max-inflight",
         type=int,
         default=DEFAULT_MAX_INFLIGHT,
-        help="concurrent heavy requests before 429 (default %(default)s)",
+        help="concurrent heavy requests before busy rejection "
+        "(default %(default)s)",
     )
     parser.add_argument(
         "--parallelism",
@@ -30,16 +42,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
-    server = VSSServer(
-        root=args.root,
-        host=args.host,
-        port=args.port,
-        max_inflight=args.max_inflight,
-        verbose=not args.quiet,
-        parallelism=args.parallelism,
-    )
+    if args.binary:
+        server = VSSBinaryServer(
+            root=args.root,
+            host=args.host,
+            port=args.port if args.port is not None else 8721,
+            max_inflight=args.max_inflight,
+            verbose=not args.quiet,
+            parallelism=args.parallelism,
+        )
+    else:
+        server = VSSServer(
+            root=args.root,
+            host=args.host,
+            port=args.port if args.port is not None else 8720,
+            max_inflight=args.max_inflight,
+            verbose=not args.quiet,
+            parallelism=args.parallelism,
+        )
     host, port = server.address
-    print(f"serving VSS store {args.root!r} on http://{host}:{port}")
+    print(f"serving VSS store {args.root!r} on {server.url}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

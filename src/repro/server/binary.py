@@ -1,0 +1,626 @@
+"""The VSS binary service: length-prefixed frames over an asyncio loop.
+
+:class:`VSSBinaryServer` is the throughput-oriented peer of the HTTP
+:class:`repro.server.http.VSSServer`.  Both front the same
+:class:`repro.core.engine.VSSEngine` and speak the same logical protocol
+(specs, stats, segments, and error envelopes from
+:mod:`repro.core.wire`), so responses are bit-identical across
+transports — but where the HTTP server burns one thread per in-flight
+request and re-frames every chunk through JSON lines plus chunked
+transfer encoding, the binary server:
+
+* runs **one event loop** that multiplexes every connection — thousands
+  of idle streams cost file descriptors, not threads;
+* frames each message **once**, as a length-prefixed binary frame
+  (``u32 length | u8 type | u32 header_len | JSON header | raw
+  payload`` — see :func:`repro.core.wire.encode_frame` and the
+  byte-for-byte layout in ``docs/api.md``), handing pixel buffers and
+  stored GOP bytes to the socket without a single intermediate copy;
+* **bridges** into worker threads only for engine work (planning,
+  decode, catalog IO), so blocking storage code never stalls the loop.
+
+A connection carries any number of sequential requests: the client
+sends one ``FRAME_REQUEST`` and reads that request's response frames
+(one ``FRAME_REPLY``, or a stream of segment/GOP frames ending in
+``FRAME_END``/``FRAME_ERROR``) before sending the next.  Engine errors
+travel as ``FRAME_ERROR`` envelopes and leave the connection usable;
+framing errors (bad length prefix, unknown frame type, truncated frame)
+answer with a :class:`WireError` envelope and close only that
+connection — never the server.
+
+Admission control matches the HTTP server: heavy operations (read,
+read_batch, write) take a :class:`ServiceGauges` slot or are rejected
+immediately with a ``ServerBusyError`` envelope carrying the same
+``retry_after`` hint as HTTP 429 + ``Retry-After``; the queue-depth
+gauges are served by the ``metrics`` op (the ``/metrics`` equivalent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from pathlib import Path
+
+from repro.core.engine import VSSEngine
+from repro.core.wire import (
+    FRAME_END,
+    FRAME_ERROR,
+    FRAME_GOPS,
+    FRAME_REPLY,
+    FRAME_REQUEST,
+    FRAME_RESULT_GOPS,
+    FRAME_RESULT_SEGMENT,
+    FRAME_SEGMENT,
+    check_frame_length,
+    encode_frame,
+    error_to_dict,
+    parse_frame,
+    read_spec_from_dict,
+    read_stats_to_dict,
+    segment_from_payload,
+    segment_payload_view,
+    segment_to_meta,
+    view_spec_from_dict,
+    view_spec_to_dict,
+    write_spec_from_dict,
+)
+from repro.errors import WireError
+from repro.server.http import (
+    DEFAULT_MAX_INFLIGHT,
+    RETRY_AFTER_SECONDS,
+    ServiceGauges,
+)
+from repro.video.codec.container import encode_container
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict, memoryview]:
+    """Read one complete frame from an asyncio stream.
+
+    Raises :class:`WireError` for an implausible length prefix or a
+    malformed body, and :class:`asyncio.IncompleteReadError` when the
+    peer hangs up (``.partial`` distinguishes between-frames from
+    mid-frame).
+    """
+    prefix = await reader.readexactly(4)
+    length = check_frame_length(int.from_bytes(prefix, "big"))
+    body = await reader.readexactly(length)
+    return parse_frame(body)
+
+
+#: Chunk-batch bounds for one bridge round-trip.  Every loop<->thread
+#: hop costs a wakeup on both sides (and GIL churn under load), so the
+#: stream is drained in bounded batches rather than chunk-at-a-time:
+#: small reads finish in a single hop, large reads stay O(batch)
+#: resident instead of O(read).
+_PULL_MAX_CHUNKS = 8
+_PULL_MAX_BYTES = 32 << 20
+
+
+def _chunk_nbytes(chunk) -> int:
+    if chunk.segment is not None:
+        return chunk.segment.nbytes
+    return sum(g.nbytes for g in chunk.gops)
+
+
+def _pull_chunks(stream) -> tuple[list, bool]:
+    """Drain up to one bounded batch of chunks on a bridge thread.
+
+    Returns ``(chunks, exhausted)``.
+    """
+    chunks: list = []
+    nbytes = 0
+    while len(chunks) < _PULL_MAX_CHUNKS and nbytes < _PULL_MAX_BYTES:
+        try:
+            chunk = next(stream)
+        except StopIteration:
+            return chunks, True
+        chunks.append(chunk)
+        nbytes += _chunk_nbytes(chunk)
+    return chunks, False
+
+
+def _open_and_pull(session, spec):
+    """Open a read stream and pull its first batch in one bridge hop."""
+    stream = session.read_stream(spec)
+    try:
+        chunks, done = _pull_chunks(stream)
+    except BaseException:
+        stream.close()
+        raise
+    return stream, chunks, done
+
+
+class VSSBinaryServer:
+    """One engine behind the binary frame protocol (see the module docs).
+
+    The constructor mirrors :class:`repro.server.http.VSSServer`: wrap
+    an existing engine (``VSSBinaryServer(engine=engine)``) or own a
+    fresh one (``VSSBinaryServer(root=path, **knobs)``).  ``port=0``
+    binds an ephemeral port — the socket is bound synchronously in the
+    constructor, so :attr:`address` is valid immediately.
+    :meth:`start` serves from a daemon thread running the event loop;
+    :meth:`serve_forever` blocks the calling thread until interrupted.
+    """
+
+    def __init__(
+        self,
+        engine: VSSEngine | None = None,
+        root: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        verbose: bool = False,
+        **engine_kwargs,
+    ):
+        if (engine is None) == (root is None):
+            raise ValueError("provide exactly one of engine= or root=")
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else VSSEngine(
+            root, **engine_kwargs
+        )
+        self.session = self.engine.session()
+        self.gauges = ServiceGauges(max_inflight)
+        self.verbose = verbose
+        self._sock = socket.create_server((host, port))
+        # The engine bridge: every blocking call (plan, decode, catalog)
+        # runs here, so the event loop only ever awaits.
+        self._bridge = ThreadPoolExecutor(
+            max_workers=max(4, max_inflight),
+            thread_name_prefix="vss-binary-bridge",
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._shutdown: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"vss://{host}:{port}"
+
+    def start(self) -> "VSSBinaryServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run_loop, name="vss-binary-server", daemon=True
+            )
+            self._thread.start()
+            self._started.wait(timeout=10.0)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until the process is interrupted (the CLI mode)."""
+        self.start()
+        while self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=1.0)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._signal_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        else:
+            self._sock.close()
+        self._bridge.shutdown(wait=True, cancel_futures=True)
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "VSSBinaryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _signal_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def _run_loop(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            try:
+                self._loop.run_until_complete(
+                    self._loop.shutdown_asyncgens()
+                )
+            finally:
+                asyncio.set_event_loop(None)
+                self._loop.close()
+
+    async def _main(self) -> None:
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._on_connection, sock=self._sock
+        )
+        self._started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+
+    def _bridge_call(self, fn, *args, **kwargs):
+        """Run blocking engine work on the bridge pool; awaitable."""
+        return asyncio.get_running_loop().run_in_executor(
+            self._bridge, partial(fn, *args, **kwargs)
+        )
+
+    # ------------------------------------------------------------------
+    # connection loop
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        if self.verbose:
+            print(f"binary: connection from {writer.get_extra_info('peername')}")
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, TimeoutError):
+            pass  # client hung up mid-conversation: routine, not an error
+        except asyncio.CancelledError:
+            pass  # server shutting down
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._shutdown.is_set():
+            try:
+                frame_type, header, payload = await read_frame_async(reader)
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    # Died mid-frame: report the truncation best-effort.
+                    await self._send_error(
+                        writer,
+                        WireError(
+                            "connection truncated mid-frame "
+                            f"({len(exc.partial)} of its bytes arrived)"
+                        ),
+                        best_effort=True,
+                    )
+                return
+            except WireError as exc:
+                # Bad length prefix or unparseable body: the framing can
+                # no longer be trusted, so answer and drop the
+                # connection.  The server itself keeps serving.
+                await self._send_error(writer, exc, best_effort=True)
+                return
+            if frame_type != FRAME_REQUEST:
+                await self._send_error(
+                    writer,
+                    WireError(
+                        f"expected a request frame, got type "
+                        f"{frame_type:#04x}"
+                    ),
+                    best_effort=True,
+                )
+                return
+            op = header.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                # Frame boundaries are intact: answer and keep serving.
+                await self._send_error(
+                    writer, WireError(f"unknown op {op!r}")
+                )
+                continue
+            try:
+                await handler(self, writer, header, payload)
+            except (ConnectionError, TimeoutError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+                await self._send_error(writer, exc)
+
+    # ------------------------------------------------------------------
+    # frame writers
+    # ------------------------------------------------------------------
+    async def _send(self, writer, buffers) -> None:
+        writer.writelines(buffers)
+        await writer.drain()
+
+    async def _send_reply(self, writer, result: dict) -> None:
+        await self._send(writer, encode_frame(FRAME_REPLY, result))
+
+    async def _send_error(
+        self, writer, exc: BaseException, best_effort: bool = False
+    ) -> None:
+        envelope = error_to_dict(exc)
+        try:
+            await self._send(writer, encode_frame(FRAME_ERROR, envelope))
+        except (ConnectionError, TimeoutError):
+            if not best_effort:
+                raise
+
+    async def _send_busy(self, writer) -> None:
+        envelope = {
+            "error": "ServerBusyError",
+            "message": "too many in-flight requests",
+            "retry_after": RETRY_AFTER_SECONDS,
+        }
+        await self._send(writer, encode_frame(FRAME_ERROR, envelope))
+
+    @staticmethod
+    def _chunk_frame_buffers(
+        frame_type: int, result_type: int, index: int,
+        segment, gops, extra: dict,
+    ) -> list:
+        """One stream chunk or batch result as zero-copy frame buffers."""
+        if segment is not None:
+            header = {
+                "index": index,
+                "meta": segment_to_meta(segment),
+                **extra,
+            }
+            return encode_frame(
+                frame_type, header, segment_payload_view(segment)
+            )
+        blobs = [encode_container(g) for g in gops]
+        header = {
+            "index": index,
+            "sizes": [len(b) for b in blobs],
+            **extra,
+        }
+        return encode_frame(result_type, header, *blobs)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _op_ping(self, writer, header, payload) -> None:
+        await self._send_reply(writer, {"pong": True})
+
+    async def _op_metrics(self, writer, header, payload) -> None:
+        stats = await self._bridge_call(self.engine.stats)
+        await self._send_reply(
+            writer,
+            {
+                "engine": dataclasses.asdict(stats),
+                "server": self.gauges.snapshot(),
+            },
+        )
+
+    async def _op_create(self, writer, header, payload) -> None:
+        logical = await self._bridge_call(
+            self.engine.create,
+            header["name"],
+            budget_bytes=int(header.get("budget_bytes", 0)),
+        )
+        await self._send_reply(
+            writer,
+            {
+                "name": logical.name,
+                "id": logical.id,
+                "budget_bytes": logical.budget_bytes,
+            },
+        )
+
+    async def _op_delete(self, writer, header, payload) -> None:
+        await self._bridge_call(
+            self.engine.delete,
+            header["name"],
+            force=bool(header.get("force", False)),
+        )
+        await self._send_reply(writer, {"deleted": header["name"]})
+
+    async def _op_exists(self, writer, header, payload) -> None:
+        name = header["name"]
+        kind = await self._bridge_call(self.engine.catalog.name_kind, name)
+        await self._send_reply(
+            writer, {"name": name, "exists": kind is not None, "kind": kind}
+        )
+
+    async def _op_list_videos(self, writer, header, payload) -> None:
+        videos = await self._bridge_call(
+            self.engine.list_videos, header.get("kind", "all")
+        )
+        await self._send_reply(writer, {"videos": videos})
+
+    async def _op_video_stats(self, writer, header, payload) -> None:
+        stats = await self._bridge_call(
+            self.engine.video_stats, header["name"]
+        )
+        await self._send_reply(writer, dataclasses.asdict(stats))
+
+    @staticmethod
+    def _view_payload(record) -> dict:
+        return {
+            "name": record.name,
+            "id": record.id,
+            "over": record.over,
+            "created_at": record.created_at,
+            "spec": view_spec_to_dict(record.spec),
+        }
+
+    async def _op_create_view(self, writer, header, payload) -> None:
+        record = await self._bridge_call(
+            self.engine.create_view,
+            header["name"],
+            view_spec_from_dict(header["spec"]),
+        )
+        await self._send_reply(writer, self._view_payload(record))
+
+    async def _op_get_view(self, writer, header, payload) -> None:
+        record = await self._bridge_call(
+            self.engine.get_view, header["name"]
+        )
+        await self._send_reply(writer, self._view_payload(record))
+
+    async def _op_list_views(self, writer, header, payload) -> None:
+        views = await self._bridge_call(self.engine.list_views)
+        await self._send_reply(
+            writer, {"views": [self._view_payload(v) for v in views]}
+        )
+
+    async def _op_delete_view(self, writer, header, payload) -> None:
+        await self._bridge_call(
+            self.engine.delete_view,
+            header["name"],
+            force=bool(header.get("force", False)),
+        )
+        await self._send_reply(writer, {"deleted": header["name"]})
+
+    async def _op_write(self, writer, header, payload) -> None:
+        spec = write_spec_from_dict(header["spec"])
+        # np.frombuffer over the received memoryview: the pixels are
+        # never copied between the socket buffer and the engine.
+        segment = segment_from_payload(header["segment"], payload)
+        if not self.gauges.try_enter():
+            await self._send_busy(writer)
+            return
+        try:
+            physical = await self._bridge_call(
+                self.engine.write, spec, segment=segment
+            )
+        finally:
+            self.gauges.leave()
+        await self._send_reply(
+            writer,
+            {
+                "physical_id": physical.id,
+                "codec": physical.codec,
+                "width": physical.width,
+                "height": physical.height,
+                "fps": physical.fps,
+                "start_time": physical.start_time,
+                "end_time": physical.end_time,
+            },
+        )
+
+    async def _op_read(self, writer, header, payload) -> None:
+        spec = read_spec_from_dict(header["spec"])
+        if not self.gauges.try_enter():
+            await self._send_busy(writer)
+            return
+        stream = None
+        prefetch = None
+        try:
+            # Errors raised before any chunk exists (missing video,
+            # empty logical) surface as one error frame; once streaming
+            # starts, failures travel as an in-band error frame too —
+            # the framing keeps the connection reusable either way.
+            stream, chunks, done = await self._bridge_call(
+                _open_and_pull, self.session, spec
+            )
+            while True:
+                # Prefetch the next batch while this one goes out: the
+                # bridge thread decodes ahead of the socket writes.
+                prefetch = (
+                    None if done else self._bridge_call(_pull_chunks, stream)
+                )
+                # One vectored write per batch: every frame of the
+                # batch (and, on the last one, the END frame) leaves in
+                # a single writelines.
+                buffers: list = []
+                for chunk in chunks:
+                    buffers.extend(
+                        self._chunk_frame_buffers(
+                            FRAME_SEGMENT, FRAME_GOPS, chunk.index,
+                            chunk.segment, chunk.gops,
+                            {
+                                "start_time": chunk.start_time,
+                                "end_time": chunk.end_time,
+                            },
+                        )
+                    )
+                if prefetch is None:
+                    buffers.extend(
+                        encode_frame(
+                            FRAME_END,
+                            {"stats": read_stats_to_dict(stream.stats)},
+                        )
+                    )
+                    await self._send(writer, buffers)
+                    break
+                await self._send(writer, buffers)
+                chunks, done = await prefetch
+                prefetch = None
+        except BaseException:
+            # Let an in-flight prefetch finish before closing the
+            # stream under it; its result is discarded.
+            if prefetch is not None:
+                with contextlib.suppress(BaseException):
+                    await prefetch
+            if stream is not None:
+                stream.close()
+            raise
+        finally:
+            self.gauges.leave()
+
+    async def _op_read_batch(self, writer, header, payload) -> None:
+        specs = [read_spec_from_dict(d) for d in header["specs"]]
+        if not self.gauges.try_enter():
+            await self._send_busy(writer)
+            return
+        try:
+            results, batch = await self._bridge_call(
+                self.engine.read_batch, specs
+            )
+            for index, result in enumerate(results):
+                await self._send(
+                    writer,
+                    self._chunk_frame_buffers(
+                        FRAME_RESULT_SEGMENT, FRAME_RESULT_GOPS,
+                        index, result.segment, result.gops,
+                        {"stats": read_stats_to_dict(result.stats)},
+                    ),
+                )
+            await self._send(
+                writer,
+                encode_frame(
+                    FRAME_END, {"batch": dataclasses.asdict(batch)}
+                ),
+            )
+        finally:
+            self.gauges.leave()
+
+    _OPS = {
+        "ping": _op_ping,
+        "metrics": _op_metrics,
+        "create": _op_create,
+        "delete": _op_delete,
+        "exists": _op_exists,
+        "list_videos": _op_list_videos,
+        "video_stats": _op_video_stats,
+        "create_view": _op_create_view,
+        "get_view": _op_get_view,
+        "list_views": _op_list_views,
+        "delete_view": _op_delete_view,
+        "write": _op_write,
+        "read": _op_read,
+        "read_batch": _op_read_batch,
+    }

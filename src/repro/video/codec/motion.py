@@ -52,40 +52,68 @@ def phase_correlate(reference: np.ndarray, target: np.ndarray) -> tuple[int, int
     return dy, dx
 
 
+def shift_window(
+    plane: np.ndarray, dy: int, dx: int, y0: int, y1: int, x0: int, x1: int
+) -> np.ndarray:
+    """The window ``[y0:y1, x0:x1]`` of ``plane`` shifted by (dy, dx).
+
+    ``out[y - y0, x - x0] = plane[clip(y - dy), clip(x - dx)]`` for every
+    ``(y, x)`` in the window — i.e. exactly the window of
+    :func:`shift_plane`'s output, computed **without** materialising the
+    full shifted plane.  Border pixels are pulled in from outside the
+    window where the source lands inside the plane, and edge-replicated
+    where it does not, so tiled motion compensation behaves like a real
+    codec's clamped prediction.
+
+    The window splits into at most 3x3 bands: the core (a pure slice
+    copy from the plane), plus clipped bands that broadcast the plane's
+    edge row/column/corner.  Every output pixel is written exactly once.
+    """
+    h, w = plane.shape
+    out = np.empty((y1 - y0, x1 - x0), dtype=plane.dtype)
+    # Output rows y (absolute) with an in-plane source row satisfy
+    # 0 <= y - dy < h; [ya, yb) is that band clamped into the window.
+    ya = min(max(y0, dy), y1)
+    yb = max(min(y1, h + dy), ya)
+    xa = min(max(x0, dx), x1)
+    xb = max(min(x1, w + dx), xa)
+    # (out start, out stop, plane start, plane stop) per axis band; the
+    # clipped bands source a single edge line and broadcast over the
+    # band (corners broadcast a single pixel both ways).
+    row_bands = (
+        (0, ya - y0, 0, 1),
+        (ya - y0, yb - y0, ya - dy, yb - dy),
+        (yb - y0, y1 - y0, h - 1, h),
+    )
+    col_bands = (
+        (0, xa - x0, 0, 1),
+        (xa - x0, xb - x0, xa - dx, xb - dx),
+        (xb - x0, x1 - x0, w - 1, w),
+    )
+    for r0, r1, sr0, sr1 in row_bands:
+        if r0 >= r1:
+            continue
+        for c0, c1, sc0, sc1 in col_bands:
+            if c0 >= c1:
+                continue
+            out[r0:r1, c0:c1] = plane[sr0:sr1, sc0:sc1]
+    return out
+
+
 def shift_plane(plane: np.ndarray, dy: int, dx: int) -> np.ndarray:
     """Translate a 2-D plane by (dy, dx), replicating edges.
 
     ``out[y, x] = plane[clip(y - dy), clip(x - dx)]``, realised as one
-    sliced block copy plus edge replication.  This runs once per plane
-    per P-frame on both the encode and decode paths; the former
-    ``plane[src_y][:, src_x]`` double fancy-index materialised two full
-    copies per call, where the slice form copies each pixel once.
+    sliced block copy plus edge replication (see :func:`shift_window`).
+    This runs once per plane per P-frame on both the encode and decode
+    paths; the former ``plane[src_y][:, src_x]`` double fancy-index
+    materialised two full copies per call, where the banded slice form
+    copies each pixel once.
     """
     if dy == 0 and dx == 0:
         return plane
     h, w = plane.shape
-    # A shift of +/-(dim-1) or beyond replicates a single edge row/col
-    # across the whole axis, exactly as index clipping did.
-    dy = min(max(dy, 1 - h), h - 1)
-    dx = min(max(dx, 1 - w), w - 1)
-    out = np.empty_like(plane)
-    # Rows [ty, by) and cols [lx, rx) of `out` receive the shifted core.
-    ty, by = max(dy, 0), h + min(dy, 0)
-    lx, rx = max(dx, 0), w + min(dx, 0)
-    out[ty:by, lx:rx] = plane[
-        max(-dy, 0) : h - max(dy, 0), max(-dx, 0) : w - max(dx, 0)
-    ]
-    # Replicate the core's border rows, then columns over the full
-    # height — the corner pixels come out clamped in both axes.
-    if ty:
-        out[:ty, lx:rx] = out[ty, lx:rx]
-    if by < h:
-        out[by:, lx:rx] = out[by - 1, lx:rx]
-    if lx:
-        out[:, :lx] = out[:, lx : lx + 1]
-    if rx < w:
-        out[:, rx:] = out[:, rx - 1 : rx]
-    return out
+    return shift_window(plane, dy, dx, 0, h, 0, w)
 
 
 def _sad(a: np.ndarray, b: np.ndarray) -> float:
@@ -143,21 +171,29 @@ def compensate_global(plane: np.ndarray, vector: tuple[int, int]) -> np.ndarray:
 def compensate_tiled(
     plane: np.ndarray, vectors: list[tuple[int, int]]
 ) -> np.ndarray:
-    """Apply per-tile motion vectors (2x2 grid) to a prediction plane."""
+    """Apply per-tile motion vectors (2x2 grid) to a prediction plane.
+
+    Each tile is predicted from the *whole* plane shifted by its vector,
+    so pixels can be pulled in from outside the tile (as real motion
+    compensation does) — but only the tile's own region is ever
+    computed.  The former implementation called :func:`shift_plane` per
+    tile, materialising four full-plane copies per P-frame plane; this
+    runs on both the encode and decode hot paths, so the four tiles are
+    now filled in one pass at one plane's worth of writes total.
+    """
     h, w = plane.shape
     hy, hx = h // 2, w // 2
-    out = plane.copy()
-    bounds = [
+    # Fewer than four vectors leaves the uncovered tiles unshifted,
+    # exactly as the old shift-then-overwrite implementation did.
+    out = np.empty_like(plane) if len(vectors) >= 4 else plane.copy()
+    bounds = (
         (0, hy, 0, hx),
         (0, hy, hx, w),
         (hy, h, 0, hx),
         (hy, h, hx, w),
-    ]
+    )
     for (y0, y1, x0, x1), (dy, dx) in zip(bounds, vectors):
-        # Shift the whole plane then take the tile, so pixels can be pulled
-        # in from outside the tile (as real motion compensation does).
-        shifted = shift_plane(plane, dy, dx)
-        out[y0:y1, x0:x1] = shifted[y0:y1, x0:x1]
+        out[y0:y1, x0:x1] = shift_window(plane, dy, dx, y0, y1, x0, x1)
     return out
 
 

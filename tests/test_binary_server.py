@@ -1,0 +1,599 @@
+"""Binary service layer: bit-identity, admission control, frame fuzzing.
+
+A real ``VSSBinaryServer`` runs its asyncio loop on an ephemeral port
+for each test; a ``VSSBinaryClient`` talks to it over real sockets with
+pooled persistent connections.  The headline contract is the acceptance
+criterion: responses over the binary transport are **bit-identical** to
+an in-process ``session.read`` *and* to the HTTP transport for the same
+spec — raw streams, re-encoded compressed output, and direct-served
+bytes alike.  The fuzzing half feeds the server garbage frames (bad
+length prefixes, unknown types, truncations, malformed headers) and
+asserts each lands as a :class:`WireError` envelope on that connection
+only — the server keeps serving everyone else.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.client import VSSBinaryClient, VSSClient
+from repro.core.engine import VSSEngine
+from repro.core.specs import ReadSpec, ViewSpec
+from repro.core.wire import (
+    FRAME_END,
+    FRAME_ERROR,
+    FRAME_REPLY,
+    FRAME_REQUEST,
+    FRAME_SEGMENT,
+    frame_to_bytes,
+    read_spec_to_dict,
+    parse_frame,
+)
+from repro.errors import (
+    ServerBusyError,
+    VideoExistsError,
+    VideoNotFoundError,
+)
+from repro.server import VSSBinaryServer, VSSServer
+from repro.video.codec.container import encode_container
+
+
+@pytest.fixture()
+def engine(tmp_path, calibration) -> VSSEngine:
+    eng = VSSEngine(tmp_path / "store", calibration=calibration)
+    yield eng
+    eng.close()
+
+
+@pytest.fixture()
+def server(engine) -> VSSBinaryServer:
+    with VSSBinaryServer(engine=engine) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server) -> VSSBinaryClient:
+    host, port = server.address
+    with VSSBinaryClient(host, port, timeout=30.0) as cli:
+        yield cli
+
+
+@pytest.fixture()
+def loaded_client(client, three_second_clip) -> VSSBinaryClient:
+    client.write(
+        "traffic", three_second_clip, codec="h264", qp=10, gop_size=30
+    )
+    return client
+
+
+def _gop_bytes(gops) -> bytes:
+    return b"".join(encode_container(g) for g in gops)
+
+
+def _wait_idle(client: VSSBinaryClient, timeout: float = 5.0) -> dict:
+    """Poll the metrics op until no handler holds an admission slot."""
+    deadline = time.monotonic() + timeout
+    while True:
+        doc = client.metrics()
+        if doc["server"]["inflight"] == 0 or time.monotonic() > deadline:
+            return doc
+        time.sleep(0.01)
+
+
+class _RawConnection:
+    """A hand-rolled socket for speaking deliberately broken frames.
+
+    ``rcvbuf`` shrinks the receive buffer *before* connecting, which
+    pins the TCP window: a server streaming a response larger than the
+    window must block in its backpressure path until we read.
+    """
+
+    def __init__(self, address: tuple[str, int], rcvbuf: int | None = None):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        if rcvbuf is not None:
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        self.sock.settimeout(30.0)
+        self.sock.connect(address)
+        self.rfile = self.sock.makefile("rb")
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def read_frame(self):
+        prefix = self.rfile.read(4)
+        if len(prefix) < 4:
+            return None  # peer closed
+        body = self.rfile.read(int.from_bytes(prefix, "big"))
+        return parse_frame(body)
+
+    def closed_by_peer(self) -> bool:
+        """True when the server hangs up (EOF) within the timeout."""
+        try:
+            return self.rfile.read(1) == b""
+        except (TimeoutError, OSError):
+            return False
+
+    def close(self) -> None:
+        self.rfile.close()
+        self.sock.close()
+
+
+class TestCatalogOverBinary:
+    def test_create_exists_list_delete(self, client):
+        client.create("cam0")
+        assert client.exists("cam0")
+        assert not client.exists("nope")
+        assert client.list_videos() == ["cam0"]
+        with pytest.raises(VideoExistsError):
+            client.create("cam0")
+        client.delete("cam0")
+        assert client.list_videos() == []
+
+    def test_delete_missing_raises_not_found(self, client):
+        with pytest.raises(VideoNotFoundError):
+            client.delete("ghost")
+
+    def test_video_stats(self, loaded_client):
+        stats = loaded_client.video_stats("traffic")
+        assert stats["num_gops"] == 3
+        assert stats["total_bytes"] > 0
+
+    def test_ping(self, client):
+        assert client.ping()
+
+
+class TestReadsOverBinary:
+    def test_raw_read_bit_identical_to_local(self, loaded_client, engine):
+        spec = ReadSpec("traffic", 0.0, 3.0, codec="raw", cache=False)
+        remote = loaded_client.read(spec)  # cold: decodes on the server
+        local = engine.session().read(spec)
+        assert np.array_equal(remote.segment.pixels, local.segment.pixels)
+        assert remote.stats.frames_decoded == 90
+
+    def test_raw_read_bit_identical_to_http(self, loaded_client, engine):
+        """The acceptance criterion across all three paths at once."""
+        spec = ReadSpec(
+            "traffic", 0.4, 2.6, codec="raw", cache=False,
+            resolution=(32, 18),
+        )
+        with VSSServer(engine=engine) as http_server:
+            host, port = http_server.address
+            http_client = VSSClient(host, port, timeout=30.0)
+            over_http = http_client.read(spec)
+        over_binary = loaded_client.read(spec)
+        local = engine.session().read(spec)
+        assert np.array_equal(
+            over_binary.segment.pixels, local.segment.pixels
+        )
+        assert np.array_equal(
+            over_binary.segment.pixels, over_http.segment.pixels
+        )
+
+    def test_streamed_read_bit_identical(self, loaded_client, engine):
+        spec = ReadSpec(
+            "traffic", 0.2, 2.8, codec="raw", cache=False,
+            resolution=(32, 18),
+        )
+        stream = loaded_client.read_stream(spec)
+        chunks = list(stream)
+        local = engine.session().read(spec)
+        assert len(chunks) > 1
+        got = np.concatenate([c.segment.pixels for c in chunks], axis=0)
+        assert np.array_equal(got, local.segment.pixels)
+        assert stream.stats is not None  # final server-side stats arrived
+        assert stream.stats.frames_decoded > 0
+
+    def test_encoded_read_same_bytes(self, loaded_client, engine):
+        spec = ReadSpec(
+            "traffic", 0.15, 2.85, codec="h264", qp=14, cache=False
+        )
+        local = engine.session().read(spec)
+        remote = loaded_client.read(spec)
+        assert _gop_bytes(remote.gops) == _gop_bytes(local.gops)
+        assert np.array_equal(
+            remote.as_segment().pixels, local.as_segment().pixels
+        )
+
+    def test_direct_serve_over_binary(self, loaded_client, engine):
+        spec = ReadSpec(
+            "traffic", 0.0, 3.0, codec="h264", qp=10, cache=False
+        )
+        local = engine.session().read(spec)
+        assert local.stats.direct_serve
+        remote = loaded_client.read(spec)
+        assert remote.stats.direct_serve
+        assert _gop_bytes(remote.gops) == _gop_bytes(local.gops)
+
+    def test_read_batch(self, loaded_client, engine):
+        base = ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        specs = [
+            base,
+            base.replace(start=1.0, end=2.0),
+            base.replace(start=0.5, end=1.5),
+        ]
+        local = engine.read(specs[0])
+        results = loaded_client.read_batch(specs)
+        assert len(results) == 3
+        assert np.array_equal(
+            results[0].segment.pixels, local.segment.pixels
+        )
+        assert loaded_client.stats.last_batch.num_reads == 3
+
+    def test_session_defaults_mirror(self, server, three_second_clip):
+        host, port = server.address
+        with VSSBinaryClient(
+            host, port, codec="h264", qp=10, gop_size=30
+        ) as cli:
+            cli.write("cam", three_second_clip)  # defaults applied
+            result = cli.read("cam", 0.0, 1.0, codec="raw", cache=False)
+            assert result.segment.num_frames == 30
+
+    def test_missing_video_raises_not_found(self, client):
+        with pytest.raises(VideoNotFoundError):
+            client.read("ghost", 0.0, 1.0)
+        assert client.stats.failures == 1
+
+    def test_invalid_spec_rejected_client_side(self, client):
+        with pytest.raises(ValueError):
+            client.read("v", 0.0, float("nan"))
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(TypeError):
+            VSSBinaryClient("127.0.0.1", 1, bogus=True)
+
+    def test_early_stream_abandonment_leaves_client_usable(
+        self, loaded_client
+    ):
+        spec = ReadSpec(
+            "traffic", 0.0, 3.0, codec="raw", cache=False,
+            resolution=(32, 18),
+        )
+        stream = loaded_client.read_stream(spec)
+        next(stream)
+        stream.close()  # unread frames in flight: connection is dropped
+        # The next call runs on a fresh pooled connection.
+        result = loaded_client.read(
+            ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        )
+        assert result.segment.num_frames == 30
+        _wait_idle(loaded_client)
+
+    def test_connections_are_reused_across_calls(self, loaded_client):
+        spec = ReadSpec("traffic", 0.0, 0.5, codec="raw", cache=False)
+        for _ in range(5):
+            loaded_client.read(spec)
+        # Sequential calls drain cleanly and reuse one pooled socket.
+        assert len(loaded_client._conns) == 1
+
+
+class TestViewsOverBinary:
+    VIEW = ViewSpec(over="traffic", start=0.5, end=2.5, resolution=(32, 18))
+
+    def test_create_list_get_delete_view(self, loaded_client):
+        created = loaded_client.create_view("vw", self.VIEW)
+        assert created["name"] == "vw"
+        assert created["over"] == "traffic"
+        listed = loaded_client.list_views()
+        assert [v["name"] for v in listed] == ["vw"]
+        got = loaded_client.get_view("vw")
+        assert got["spec"] == created["spec"]
+        loaded_client.delete("vw")
+        assert loaded_client.list_views() == []
+
+    def test_view_read_bit_identical(self, loaded_client, engine):
+        loaded_client.create_view("vw", self.VIEW)
+        spec = ReadSpec("vw", 0.5, 1.5, codec="raw", cache=False)
+        remote = loaded_client.read(spec)
+        local = engine.session().read(spec)
+        assert np.array_equal(remote.segment.pixels, local.segment.pixels)
+
+    def test_views_resolve_in_list_and_exists(self, loaded_client):
+        loaded_client.create_view("vw", self.VIEW)
+        assert loaded_client.exists("vw")
+        assert "vw" in loaded_client.list_videos()
+        assert "vw" not in loaded_client.list_videos("video")
+
+
+class TestAdmissionControl:
+    def test_busy_rejection_carries_retry_after(self, loaded_client, server):
+        spec = ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        _wait_idle(loaded_client)
+        # Deterministically exhaust the admission slots.
+        saved = server.gauges.max_inflight
+        server.gauges.max_inflight = 1
+        assert server.gauges.try_enter()
+        try:
+            with pytest.raises(ServerBusyError) as info:
+                loaded_client.read(spec)
+            assert info.value.retry_after >= 1.0
+        finally:
+            server.gauges.leave()
+            server.gauges.max_inflight = saved
+        # Slot released: the same request (and connection) now succeeds.
+        assert loaded_client.read(spec).segment is not None
+        assert loaded_client.metrics()["server"]["rejected"] == 1
+
+    def test_gauges_track_inflight(self, loaded_client, server):
+        _wait_idle(loaded_client)
+        spec = ReadSpec("traffic", 0.0, 3.0, codec="raw", cache=False)
+        # A tiny receive window forces the server to block in its
+        # backpressure path mid-stream (the multi-megabyte raw response
+        # cannot fit in the socket buffers), so the admission slot is
+        # observably held while the stream is in flight.
+        raw = _RawConnection(server.address, rcvbuf=4096)
+        try:
+            raw.send(
+                frame_to_bytes(
+                    FRAME_REQUEST,
+                    {"op": "read", "spec": read_spec_to_dict(spec)},
+                )
+            )
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                metrics = loaded_client.metrics()["server"]
+                if metrics["inflight"] == 1:
+                    break
+                time.sleep(0.01)
+            assert metrics["inflight"] == 1
+            assert metrics["max_inflight"] == server.gauges.max_inflight
+            # Drain the stream; the slot is released at the END frame.
+            chunks = 0
+            while True:
+                frame_type, _, _ = raw.read_frame()
+                if frame_type == FRAME_END:
+                    break
+                assert frame_type == FRAME_SEGMENT
+                chunks += 1
+            assert chunks > 1
+        finally:
+            raw.close()
+        assert _wait_idle(loaded_client)["server"]["inflight"] == 0
+
+    def test_concurrent_clients_shared_video(
+        self, loaded_client, server
+    ):
+        host, port = server.address
+        spec = ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        errors: list = []
+        frames: list = []
+
+        def worker():
+            try:
+                with VSSBinaryClient(host, port, timeout=60.0) as cli:
+                    frames.append(cli.read(spec).segment.num_frames)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert frames == [30, 30, 30, 30]
+
+    def test_concurrent_clients_disjoint_videos(
+        self, server, tiny_clip
+    ):
+        host, port = server.address
+        with VSSBinaryClient(
+            host, port, codec="h264", qp=12, timeout=60.0
+        ) as seed:
+            for i in range(3):
+                seed.write(f"cam{i}", tiny_clip)
+        errors: list = []
+        shapes: list = []
+
+        def worker(name: str):
+            try:
+                with VSSBinaryClient(host, port, timeout=60.0) as cli:
+                    result = cli.read(name, 0.0, 0.5, codec="raw",
+                                      cache=False)
+                    shapes.append(result.segment.pixels.shape)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"cam{i}",))
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(shapes)) == 1  # same clip, three videos
+
+    def test_one_shared_client_across_threads(self, loaded_client):
+        spec = ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        errors: list = []
+
+        def worker():
+            try:
+                assert loaded_client.read(spec).segment.num_frames == 30
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every connection came back to the pool (bounded by the default).
+        assert 1 <= len(loaded_client._conns) <= 4
+
+
+class TestFrameFuzzing:
+    """Garbage on the wire hurts one connection, never the server."""
+
+    def _assert_server_alive(self, server) -> None:
+        host, port = server.address
+        with VSSBinaryClient(host, port, timeout=10.0) as probe:
+            assert probe.ping()
+
+    def test_bad_length_prefix(self, server):
+        raw = _RawConnection(server.address)
+        try:
+            raw.send((2**31).to_bytes(4, "big") + b"\x01junk")
+            reply = raw.read_frame()
+            assert reply is not None
+            frame_type, header, _ = reply
+            assert frame_type == FRAME_ERROR
+            assert header["error"] == "WireError"
+            assert raw.closed_by_peer()
+        finally:
+            raw.close()
+        self._assert_server_alive(server)
+
+    def test_zero_length_prefix(self, server):
+        raw = _RawConnection(server.address)
+        try:
+            raw.send(b"\x00\x00\x00\x00")
+            frame_type, header, _ = raw.read_frame()
+            assert frame_type == FRAME_ERROR
+            assert header["error"] == "WireError"
+            assert raw.closed_by_peer()
+        finally:
+            raw.close()
+        self._assert_server_alive(server)
+
+    def test_unknown_frame_type(self, server):
+        body = b"\x7f" + (0).to_bytes(4, "big")
+        raw = _RawConnection(server.address)
+        try:
+            raw.send(len(body).to_bytes(4, "big") + body)
+            frame_type, header, _ = raw.read_frame()
+            assert frame_type == FRAME_ERROR
+            assert header["error"] == "WireError"
+            assert "unknown frame type" in header["message"]
+            assert raw.closed_by_peer()
+        finally:
+            raw.close()
+        self._assert_server_alive(server)
+
+    def test_truncated_frame(self, server):
+        wire = frame_to_bytes(FRAME_REQUEST, {"op": "ping"})
+        raw = _RawConnection(server.address)
+        try:
+            raw.send(wire[:-3])  # length prefix promises 3 more bytes
+            raw.sock.shutdown(socket.SHUT_WR)
+            frame_type, header, _ = raw.read_frame()
+            assert frame_type == FRAME_ERROR
+            assert header["error"] == "WireError"
+            assert "truncated" in header["message"]
+        finally:
+            raw.close()
+        self._assert_server_alive(server)
+
+    def test_malformed_header_json(self, server):
+        header = b"!not json!"
+        body = b"\x01" + len(header).to_bytes(4, "big") + header
+        raw = _RawConnection(server.address)
+        try:
+            raw.send(len(body).to_bytes(4, "big") + body)
+            frame_type, envelope, _ = raw.read_frame()
+            assert frame_type == FRAME_ERROR
+            assert envelope["error"] == "WireError"
+            assert raw.closed_by_peer()
+        finally:
+            raw.close()
+        self._assert_server_alive(server)
+
+    def test_non_request_frame_rejected(self, server):
+        raw = _RawConnection(server.address)
+        try:
+            raw.send(frame_to_bytes(FRAME_END, {}))
+            frame_type, header, _ = raw.read_frame()
+            assert frame_type == FRAME_ERROR
+            assert header["error"] == "WireError"
+            assert "expected a request frame" in header["message"]
+            assert raw.closed_by_peer()
+        finally:
+            raw.close()
+        self._assert_server_alive(server)
+
+    def test_unknown_op_keeps_connection_open(self, server):
+        raw = _RawConnection(server.address)
+        try:
+            raw.send(frame_to_bytes(FRAME_REQUEST, {"op": "frobnicate"}))
+            frame_type, header, _ = raw.read_frame()
+            assert frame_type == FRAME_ERROR
+            assert header["error"] == "WireError"
+            assert "unknown op" in header["message"]
+            # Frame boundaries intact: the same connection still works.
+            raw.send(frame_to_bytes(FRAME_REQUEST, {"op": "ping"}))
+            frame_type, header, _ = raw.read_frame()
+            assert frame_type == FRAME_REPLY
+            assert header == {"pong": True}
+        finally:
+            raw.close()
+
+    def test_clean_disconnect_between_frames_is_silent(self, server):
+        raw = _RawConnection(server.address)
+        raw.send(frame_to_bytes(FRAME_REQUEST, {"op": "ping"}))
+        assert raw.read_frame()[0] == FRAME_REPLY
+        raw.close()  # between frames: no error, no fuss
+        self._assert_server_alive(server)
+
+    def test_fuzz_storm_then_real_traffic(self, loaded_client, server):
+        """A burst of junk connections never degrades real clients."""
+        for junk in (
+            b"\xff\xff\xff\xff",
+            b"\x00\x00\x00\x05\x63haos",
+            frame_to_bytes(FRAME_REPLY, {"not": "a request"}),
+            b"\x00",
+        ):
+            raw = _RawConnection(server.address)
+            try:
+                raw.send(junk)
+                raw.sock.shutdown(socket.SHUT_WR)
+                raw.read_frame()  # drain whatever comes back
+            finally:
+                raw.close()
+        result = loaded_client.read(
+            ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        )
+        assert result.segment.num_frames == 30
+
+
+class TestMetricsOverBinary:
+    def test_metrics_document(self, loaded_client):
+        loaded_client.read(
+            ReadSpec("traffic", 0.0, 1.0, codec="raw", cache=False)
+        )
+        doc = _wait_idle(loaded_client)
+        assert doc["engine"]["reads"] >= 1
+        assert doc["server"]["inflight"] == 0
+        assert doc["server"]["max_inflight"] >= 1
+
+
+class TestServerLifecycle:
+    def test_close_is_idempotent(self, engine):
+        server = VSSBinaryServer(engine=engine).start()
+        server.close()
+        server.close()
+
+    def test_close_without_start(self, engine):
+        VSSBinaryServer(engine=engine).close()
+
+    def test_requires_exactly_one_source(self, engine, tmp_path):
+        with pytest.raises(ValueError):
+            VSSBinaryServer()
+        with pytest.raises(ValueError):
+            VSSBinaryServer(engine=engine, root=tmp_path / "x")
+
+    def test_url_scheme(self, server):
+        assert server.url.startswith("vss://")
+
+    def test_clients_fail_fast_after_close(self, engine, calibration):
+        server = VSSBinaryServer(engine=engine).start()
+        host, port = server.address
+        server.close()
+        with pytest.raises(OSError):
+            VSSBinaryClient(host, port, timeout=2.0).ping()

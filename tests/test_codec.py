@@ -184,6 +184,68 @@ class TestMotion:
                     reference(plane, dy, dx),
                 )
 
+    def test_shift_window_matches_shift_plane_slice(self):
+        """``shift_window`` must equal the corresponding window of the
+        full shifted plane for arbitrary windows and shifts."""
+        rng = np.random.default_rng(17)
+        for _ in range(300):
+            h = int(rng.integers(1, 33))
+            w = int(rng.integers(1, 33))
+            plane = rng.integers(0, 256, size=(h, w)).astype(np.int16)
+            dy = int(rng.integers(-40, 41))
+            dx = int(rng.integers(-40, 41))
+            y0 = int(rng.integers(0, h))
+            y1 = int(rng.integers(y0 + 1, h + 1))
+            x0 = int(rng.integers(0, w))
+            x1 = int(rng.integers(x0 + 1, w + 1))
+            expected = motion.shift_plane(plane, dy, dx)[y0:y1, x0:x1]
+            got = motion.shift_window(plane, dy, dx, y0, y1, x0, x1)
+            assert np.array_equal(got, expected), (h, w, dy, dx, y0, y1, x0, x1)
+
+    def test_compensate_tiled_matches_full_plane_reference(self):
+        """Tiled compensation computes each tile's region directly; it
+        must stay bit-identical to the former implementation (shift the
+        whole plane per tile, then copy out that tile) — including
+        border pixels pulled in from outside the tile."""
+
+        def reference(plane, vectors):
+            h, w = plane.shape
+            hy, hx = h // 2, w // 2
+            out = plane.copy()
+            bounds = (
+                (0, hy, 0, hx),
+                (0, hy, hx, w),
+                (hy, h, 0, hx),
+                (hy, h, hx, w),
+            )
+            for (y0, y1, x0, x1), (dy, dx) in zip(bounds, vectors):
+                shifted = motion.shift_plane(plane, dy, dx)
+                out[y0:y1, x0:x1] = shifted[y0:y1, x0:x1]
+            return out
+
+        rng = np.random.default_rng(13)
+        for _ in range(300):
+            h = int(rng.integers(2, 40))
+            w = int(rng.integers(2, 40))
+            plane = rng.integers(0, 256, size=(h, w)).astype(np.int16)
+            vectors = [
+                (int(rng.integers(-40, 41)), int(rng.integers(-40, 41)))
+                for _ in range(4)
+            ]
+            got = motion.compensate_tiled(plane, vectors)
+            assert np.array_equal(got, reference(plane, vectors)), (
+                h, w, vectors,
+            )
+        # Degenerate vector lists leave uncovered tiles unshifted, as
+        # the former implementation's zip truncation did.
+        plane = rng.integers(0, 256, size=(12, 16)).astype(np.int16)
+        for n in (0, 1, 2, 3):
+            vectors = [(3, -2)] * n
+            assert np.array_equal(
+                motion.compensate_tiled(plane, vectors),
+                reference(plane, vectors),
+            )
+
     def test_refine_rejects_bad_vector(self):
         rng = np.random.default_rng(7)
         ref = rng.uniform(0, 255, (32, 32)).astype(np.float32)

@@ -23,7 +23,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.client import VSSClient
+from repro.client import VSSBinaryClient, VSSClient
 from repro.core.catalog import Catalog
 from repro.core.engine import Session, StoreStats, ViewStats, VSSEngine
 from repro.core.read_planner import (
@@ -709,10 +709,12 @@ class TestSnapshotListing:
 # API parity audit (satellite)
 # ----------------------------------------------------------------------
 def _public_methods(cls) -> set[str]:
+    # dir() walks the MRO: the client surface is split between
+    # _RemoteClientBase and its transport subclasses.
     return {
         name
-        for name, member in vars(cls).items()
-        if not name.startswith("_") and callable(member)
+        for name in dir(cls)
+        if not name.startswith("_") and callable(getattr(cls, name))
     }
 
 
@@ -721,6 +723,9 @@ class TestApiParity:
     CLIENT_ONLY = {
         "metrics",  # server gauges have no single-session equivalent
     }
+    BINARY_ONLY = {
+        "ping",  # connectivity probe; meaningless in-process
+    }
     SESSION_ONLY: set[str] = set()
 
     def test_session_and_client_surfaces_match(self):
@@ -728,6 +733,13 @@ class TestApiParity:
         client_api = _public_methods(VSSClient)
         assert session_api - client_api == self.SESSION_ONLY
         assert client_api - session_api == self.CLIENT_ONLY
+
+    def test_binary_client_mirrors_http_client(self):
+        """Both transports expose the identical Session-shaped surface."""
+        http_api = _public_methods(VSSClient)
+        binary_api = _public_methods(VSSBinaryClient)
+        assert binary_api - http_api == self.BINARY_ONLY
+        assert http_api - binary_api == set()
 
     def test_shared_methods_accept_the_same_positional_shape(self):
         """First two non-self parameter names agree for every mirror.

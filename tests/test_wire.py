@@ -22,13 +22,26 @@ from hypothesis import strategies as st
 from repro.core.reader import ReadStats
 from repro.core.specs import ReadSpec, ViewSpec, WriteSpec
 from repro.core.wire import (
+    FRAME_END,
+    FRAME_ERROR,
+    FRAME_REPLY,
+    FRAME_REQUEST,
+    FRAME_SEGMENT,
+    FRAME_TYPES,
+    MAX_FRAME_BYTES,
+    MIN_FRAME_BYTES,
+    check_frame_length,
+    encode_frame,
     error_from_dict,
     error_to_dict,
+    frame_to_bytes,
+    parse_frame,
     read_spec_from_dict,
     read_stats_from_dict,
     read_stats_to_dict,
     segment_from_payload,
     segment_payload,
+    segment_payload_view,
     segment_to_meta,
     write_spec_from_dict,
 )
@@ -349,3 +362,123 @@ class TestErrorEnvelopes:
     def test_malformed_envelope(self):
         with pytest.raises(WireError):
             error_from_dict({"message": "no class"})
+
+
+# ----------------------------------------------------------------------
+# binary frames
+# ----------------------------------------------------------------------
+class TestBinaryFrames:
+    def test_round_trip_header_only(self):
+        body = frame_to_bytes(FRAME_REPLY, {"pong": True})[4:]
+        frame_type, header, payload = parse_frame(body)
+        assert frame_type == FRAME_REPLY
+        assert header == {"pong": True}
+        assert payload.nbytes == 0
+
+    def test_round_trip_with_payload(self):
+        pixels = b"\x00\x01\x02\x03" * 16
+        body = frame_to_bytes(FRAME_SEGMENT, {"index": 0}, pixels)[4:]
+        frame_type, header, payload = parse_frame(body)
+        assert frame_type == FRAME_SEGMENT
+        assert header == {"index": 0}
+        assert bytes(payload) == pixels
+
+    def test_length_prefix_counts_bytes_after_itself(self):
+        wire = frame_to_bytes(FRAME_REQUEST, {"op": "ping"}, b"xy")
+        length = int.from_bytes(wire[:4], "big")
+        assert length == len(wire) - 4
+
+    def test_multi_payload_buffers_concatenate(self):
+        buffers = encode_frame(FRAME_END, {"sizes": [2, 3]}, b"ab", b"cde")
+        wire = b"".join(
+            bytes(b) if isinstance(b, memoryview) else b for b in buffers
+        )
+        _, header, payload = parse_frame(wire[4:])
+        assert bytes(payload) == b"abcde"
+        assert header["sizes"] == [2, 3]
+
+    def test_encode_is_zero_copy_for_payloads(self):
+        pixels = np.arange(64, dtype=np.uint8)
+        view = memoryview(pixels).cast("B")
+        buffers = encode_frame(FRAME_SEGMENT, {"index": 1}, view)
+        assert buffers[1] is view  # the payload buffer passes through
+
+    def test_parse_payload_is_a_view(self):
+        body = frame_to_bytes(FRAME_SEGMENT, {"i": 0}, b"payload")[4:]
+        _, _, payload = parse_frame(body)
+        assert isinstance(payload, memoryview)
+
+    def test_segment_survives_frame_round_trip(self):
+        segment = blank_segment(4, 8, 12, fps=10.0)
+        segment.pixels[...] = np.arange(
+            segment.pixels.size, dtype=np.uint64
+        ).reshape(segment.pixels.shape) % 251
+        body = frame_to_bytes(
+            FRAME_SEGMENT,
+            {"meta": segment_to_meta(segment)},
+            segment_payload_view(segment),
+        )[4:]
+        _, header, payload = parse_frame(body)
+        rebuilt = segment_from_payload(header["meta"], payload)
+        np.testing.assert_array_equal(rebuilt.pixels, segment.pixels)
+        assert rebuilt.fps == segment.fps
+        assert rebuilt.start_time == segment.start_time
+
+    def test_unknown_frame_type_rejected_on_encode(self):
+        with pytest.raises(WireError, match="unknown frame type"):
+            encode_frame(0x7F, {})
+
+    def test_unknown_frame_type_rejected_on_parse(self):
+        body = bytearray(frame_to_bytes(FRAME_REPLY, {})[4:])
+        body[0] = 0x7F
+        with pytest.raises(WireError, match="unknown frame type"):
+            parse_frame(bytes(body))
+
+    def test_short_body_rejected(self):
+        with pytest.raises(WireError, match="shorter than"):
+            parse_frame(b"\x02")
+
+    def test_header_overrun_rejected(self):
+        body = bytearray(frame_to_bytes(FRAME_REPLY, {"k": 1})[4:])
+        body[1:5] = (2**32 - 1).to_bytes(4, "big")
+        with pytest.raises(WireError, match="overruns"):
+            parse_frame(bytes(body))
+
+    def test_malformed_header_json_rejected(self):
+        body = bytearray(frame_to_bytes(FRAME_REPLY, {"k": 1})[4:])
+        body[MIN_FRAME_BYTES] = ord("!")
+        with pytest.raises(WireError, match="malformed frame header"):
+            parse_frame(bytes(body))
+
+    def test_non_object_header_rejected(self):
+        header_bytes = b"[1,2]"
+        body = (
+            bytes([FRAME_REPLY])
+            + len(header_bytes).to_bytes(4, "big")
+            + header_bytes
+        )
+        with pytest.raises(WireError, match="JSON object"):
+            parse_frame(body)
+
+    @pytest.mark.parametrize(
+        "length", [0, MIN_FRAME_BYTES - 1, MAX_FRAME_BYTES + 1, 2**32 - 1]
+    )
+    def test_implausible_length_prefix_rejected(self, length):
+        with pytest.raises(WireError, match="length prefix"):
+            check_frame_length(length)
+
+    def test_plausible_length_accepted(self):
+        assert check_frame_length(MIN_FRAME_BYTES) == MIN_FRAME_BYTES
+        assert check_frame_length(MAX_FRAME_BYTES) == MAX_FRAME_BYTES
+
+    def test_frame_types_are_distinct(self):
+        assert len(FRAME_TYPES) == 8
+
+    def test_error_envelope_round_trip(self):
+        body = frame_to_bytes(
+            FRAME_ERROR, error_to_dict(VideoNotFoundError("cam3"))
+        )[4:]
+        _, header, _ = parse_frame(body)
+        rebuilt = error_from_dict(header)
+        assert type(rebuilt) is VideoNotFoundError
+        assert rebuilt.name == "cam3"
