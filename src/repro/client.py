@@ -40,6 +40,7 @@ Transport differences worth knowing:
 from __future__ import annotations
 
 import json
+import select
 import socket
 import threading
 import time
@@ -263,6 +264,7 @@ class _RemoteClientBase:
         host: str = "127.0.0.1",
         port: int = 8720,
         timeout: float = 60.0,
+        busy_retries: int = 0,
         **defaults,
     ):
         unknown = set(defaults) - (READ_SPEC_FIELDS | WRITE_SPEC_FIELDS)
@@ -271,14 +273,41 @@ class _RemoteClientBase:
                 f"unknown client default(s) {sorted(unknown)}; expected "
                 f"fields of ReadSpec/WriteSpec"
             )
+        if busy_retries < 0:
+            raise ValueError(f"busy_retries must be >= 0, got {busy_retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self._defaults = dict(defaults)
+        self._busy_retries = busy_retries
+        #: Times a busy rejection was absorbed by waiting out the
+        #: server's Retry-After hint and retrying (``busy_retries > 0``).
+        self.busy_retries_used = 0
         self._stats_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
         self.stats = SessionStats()
+
+    def _retrying(self, fn, *args, **kwargs):
+        """Run one idempotent operation, honouring busy backpressure.
+
+        With ``busy_retries=N`` (constructor), a :class:`ServerBusyError`
+        is absorbed up to N times by sleeping out the server's
+        ``Retry-After`` hint (capped at 5 s a hop) and reissuing the
+        request; the N+1th rejection propagates.  The default (0) keeps
+        the historical fail-fast behaviour.
+        """
+        attempts = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except ServerBusyError as exc:
+                if attempts >= self._busy_retries:
+                    raise
+                attempts += 1
+                with self._stats_lock:
+                    self.busy_retries_used += 1
+                time.sleep(min(max(exc.retry_after, 0.0), 5.0))
 
     @property
     def defaults(self) -> dict:
@@ -303,21 +332,23 @@ class _RemoteClientBase:
     # catalog operations
     # ------------------------------------------------------------------
     def create(self, name: str, budget_bytes: int = 0) -> dict:
-        return self._rpc(
-            "create", {"name": name, "budget_bytes": budget_bytes}
+        return self._retrying(
+            self._rpc, "create", {"name": name, "budget_bytes": budget_bytes}
         )
 
     def delete(self, name: str, force: bool = False) -> None:
         """Delete a video or view; ``force`` cascades dependent views."""
-        self._rpc("delete", {"name": name, "force": force})
+        self._retrying(self._rpc, "delete", {"name": name, "force": force})
 
     def exists(self, name: str) -> bool:
         """True when ``name`` is a logical video or a derived view."""
-        return bool(self._rpc("exists", {"name": name})["exists"])
+        reply = self._retrying(self._rpc, "exists", {"name": name})
+        return bool(reply["exists"])
 
     def list_videos(self, kind: str = "all") -> list[str]:
         """Sorted names from one server-side catalog snapshot."""
-        return self._rpc("list_videos", {"kind": kind})["videos"]
+        reply = self._retrying(self._rpc, "list_videos", {"kind": kind})
+        return reply["videos"]
 
     def create_view(self, name: str, spec: ViewSpec) -> dict:
         """Register a derived view (mirrors ``Session.create_view``)."""
@@ -325,24 +356,26 @@ class _RemoteClientBase:
             raise TypeError(
                 f"create_view takes a ViewSpec, got {type(spec).__name__}"
             )
-        return self._rpc(
-            "create_view", {"name": name, "spec": view_spec_to_dict(spec)}
+        return self._retrying(
+            self._rpc,
+            "create_view",
+            {"name": name, "spec": view_spec_to_dict(spec)},
         )
 
     def get_view(self, name: str) -> dict:
         """One view definition (``spec`` is a ViewSpec dict)."""
-        return self._rpc("get_view", {"name": name})
+        return self._retrying(self._rpc, "get_view", {"name": name})
 
     def list_views(self) -> list[dict]:
         """All view definitions, sorted by name."""
-        return self._rpc("list_views", {})["views"]
+        return self._retrying(self._rpc, "list_views", {})["views"]
 
     def video_stats(self, name: str) -> dict:
-        return self._rpc("video_stats", {"name": name})
+        return self._retrying(self._rpc, "video_stats", {"name": name})
 
     def metrics(self) -> dict:
         """The server's metrics document (engine + admission gauges)."""
-        return self._rpc("metrics", {})
+        return self._retrying(self._rpc, "metrics", {})
 
     # ------------------------------------------------------------------
     # spec builders (mirror Session)
@@ -390,7 +423,9 @@ class _RemoteClientBase:
         """Read video; takes a :class:`ReadSpec` or (name, start, end)."""
         spec = self._coerce_read_spec(spec_or_name, start, end, overrides)
         begin = time.perf_counter()
-        result = self._open_read_stream(spec).collect()
+        result = self._retrying(
+            lambda: self._open_read_stream(spec).collect()
+        )
         with_stats = result.stats
         with self._stats_lock:
             self.stats.reads += 1
@@ -465,7 +500,7 @@ class _RemoteClientBase:
             spec = self.write_spec(spec_or_name, **overrides)
         begin = time.perf_counter()
         try:
-            reply = self._send_write(spec, segment)
+            reply = self._retrying(self._send_write, spec, segment)
         except Exception:
             self._note_failure()
             raise
@@ -671,6 +706,26 @@ class _BinaryConnection:
         # small prelude of a large payload.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
+        #: Monotonic stamp of the last completed request (pool bookkeeping).
+        self.last_used = time.monotonic()
+
+    def stale(self, max_idle: float) -> bool:
+        """True when a pooled connection must not carry another request.
+
+        Two ways a parked socket goes bad: the server (or a proxy in
+        between) closed it while it idled — the socket turns *readable*
+        with EOF, since the protocol owes us nothing between requests —
+        or it simply sat past ``max_idle`` and isn't worth trusting.
+        Either way the caller discards it and dials fresh instead of
+        failing the next request with a truncation error.
+        """
+        if time.monotonic() - self.last_used > max_idle:
+            return True
+        try:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+        except (OSError, ValueError):
+            return True  # fd already closed/invalid
+        return bool(readable)
 
     def send_frame(self, buffers) -> None:
         for buffer in buffers:
@@ -811,23 +866,44 @@ class VSSBinaryClient(_RemoteClientBase):
         port: int = 8721,
         timeout: float = 60.0,
         pool_connections: int = 8,
+        pool_max_idle: float = 60.0,
+        busy_retries: int = 0,
         **defaults,
     ):
-        super().__init__(host, port, timeout, **defaults)
+        super().__init__(
+            host, port, timeout, busy_retries=busy_retries, **defaults
+        )
         self._pool_connections = pool_connections
+        self._pool_max_idle = pool_max_idle
         self._conn_lock = threading.Lock()
         self._conns: list[_BinaryConnection] = []
+        #: Pooled connections discarded as unusable (closed by the
+        #: server while idle, or parked past ``pool_max_idle`` seconds).
+        self.conns_reaped = 0
 
     # ------------------------------------------------------------------
     # connection pool
     # ------------------------------------------------------------------
     def _acquire(self) -> _BinaryConnection:
-        with self._conn_lock:
-            if self._conns:
-                return self._conns.pop()
+        # Pop LIFO (the most recently used connection is the least
+        # likely to have been idle-reaped server-side), skipping any
+        # socket that went stale while pooled — see _BinaryConnection
+        # .stale — instead of failing the request it would truncate.
+        while True:
+            with self._conn_lock:
+                if not self._conns:
+                    break
+                conn = self._conns.pop()
+            if conn.stale(self._pool_max_idle):
+                conn.close()
+                with self._conn_lock:
+                    self.conns_reaped += 1
+                continue
+            return conn
         return _BinaryConnection(self.host, self.port, self.timeout)
 
     def _release(self, conn: _BinaryConnection) -> None:
+        conn.last_used = time.monotonic()
         with self._conn_lock:
             if not self._closed and len(self._conns) < self._pool_connections:
                 self._conns.append(conn)

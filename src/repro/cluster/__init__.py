@@ -1,0 +1,24 @@
+"""Scale-out layer: shard placement, health, and the cluster router.
+
+One :class:`VSSRouter` fronts N independent VSS servers ("shards") as a
+single endpoint speaking the unmodified HTTP and binary protocols —
+existing clients connect to a router exactly as to a single server.
+Placement is consistent hashing (:class:`ShardRing`), reads fail over
+across replicas, and a background :class:`HealthChecker` tracks shard
+liveness.  See :mod:`repro.cluster.router` for the full design notes.
+"""
+
+from repro.cluster.health import HealthChecker, binary_ping, http_healthz
+from repro.cluster.ring import ShardRing, stable_hash
+from repro.cluster.router import ClusterEngine, VSSRouter, parse_shard
+
+__all__ = [
+    "ClusterEngine",
+    "HealthChecker",
+    "ShardRing",
+    "VSSRouter",
+    "binary_ping",
+    "http_healthz",
+    "parse_shard",
+    "stable_hash",
+]

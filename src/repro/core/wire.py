@@ -55,7 +55,7 @@ import numpy as np
 from repro import errors as _errors
 from repro.core.reader import ReadStats
 from repro.core.specs import ReadSpec, ViewSpec, WriteSpec
-from repro.errors import VSSError, WireError
+from repro.errors import ServerBusyError, VSSError, WireError
 from repro.video.frame import VideoSegment, pixel_format
 
 #: Tuple-valued ReadSpec/ViewSpec fields that cross the wire as JSON arrays.
@@ -247,6 +247,10 @@ def error_to_dict(exc: BaseException) -> dict:
 
     Library errors keep their class so the client re-raises the same
     type; anything else degrades to a plain :class:`VSSError` envelope.
+    Busy rejections carry their ``retry_after`` hint, and errors a
+    cluster router stamps with a ``shard`` id (``host:port`` of the
+    backend that failed or rejected) keep that forwarding metadata, so
+    the rebuilt exception tells the caller *which* shard to blame.
     """
     name = type(exc).__name__
     if name not in ERROR_CLASSES:
@@ -255,6 +259,12 @@ def error_to_dict(exc: BaseException) -> dict:
     video = getattr(exc, "name", None)
     if isinstance(video, str):
         envelope["name"] = video
+    retry_after = getattr(exc, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        envelope["retry_after"] = float(retry_after)
+    shard = getattr(exc, "shard", None)
+    if isinstance(shard, str):
+        envelope["shard"] = shard
     return envelope
 
 
@@ -264,16 +274,28 @@ def error_from_dict(data: dict) -> VSSError:
         raise WireError(f"malformed error envelope {data!r}")
     cls = ERROR_CLASSES.get(data["error"], VSSError)
     message = data.get("message", "")
-    video = data.get("name")
-    if video is not None:
+    exc: VSSError | None = None
+    if cls is ServerBusyError:
+        exc = ServerBusyError(
+            message or "server busy",
+            retry_after=float(data.get("retry_after", 1.0)),
+        )
+    if exc is None:
+        video = data.get("name")
+        if video is not None:
+            try:
+                exc = cls(video)
+            except TypeError:
+                exc = None
+    if exc is None:
         try:
-            return cls(video)
+            exc = cls(message)
         except TypeError:
-            pass
-    try:
-        return cls(message)
-    except TypeError:
-        return VSSError(message)
+            exc = VSSError(message)
+    shard = data.get("shard")
+    if isinstance(shard, str):
+        exc.shard = shard
+    return exc
 
 
 # ----------------------------------------------------------------------
@@ -288,6 +310,8 @@ FRAME_RESULT_SEGMENT = 0x05  #: batch result: decoded pixels
 FRAME_RESULT_GOPS = 0x06    #: batch result: encoded GOP containers
 FRAME_END = 0x07            #: stream/batch terminator carrying stats
 FRAME_ERROR = 0x08          #: error envelope (in- or out-of-stream)
+FRAME_PING = 0x09           #: liveness probe (answered out-of-band)
+FRAME_PONG = 0x0A           #: liveness answer
 
 FRAME_TYPES = frozenset(
     {
@@ -299,6 +323,8 @@ FRAME_TYPES = frozenset(
         FRAME_RESULT_GOPS,
         FRAME_END,
         FRAME_ERROR,
+        FRAME_PING,
+        FRAME_PONG,
     }
 )
 

@@ -98,3 +98,17 @@ class ServerBusyError(VSSError):
     def __init__(self, message: str = "server busy", retry_after: float = 1.0):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class ShardUnavailableError(VSSError):
+    """A cluster shard could not be reached (down, unreachable, or it
+    died mid-conversation) and no replica could take over the request.
+
+    ``shard`` names the last shard tried (``host:port``) when known.
+    """
+
+    def __init__(
+        self, message: str = "shard unavailable", shard: str | None = None
+    ):
+        super().__init__(message)
+        self.shard = shard

@@ -1,4 +1,13 @@
-"""CLI entry point: ``python -m repro.server /path/to/store``."""
+"""CLI entry point: ``python -m repro.server /path/to/store``.
+
+Three modes:
+
+* ``python -m repro.server /path/to/store`` — HTTP server over a store;
+* ``python -m repro.server /path/to/store --binary`` — binary frames;
+* ``python -m repro.server --router --shards host:port,host:port`` —
+  cluster router over running binary shard servers (serves **both**
+  transports: ``--port`` binary, ``--http-port`` HTTP).
+"""
 
 from __future__ import annotations
 
@@ -11,20 +20,51 @@ from repro.server.http import DEFAULT_MAX_INFLIGHT, VSSServer
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.server",
-        description="Serve a VSS store over HTTP (default) or binary frames.",
+        description=(
+            "Serve a VSS store over HTTP (default) or binary frames, "
+            "or route a cluster of shard servers (--router)."
+        ),
     )
-    parser.add_argument("root", help="store directory (created if missing)")
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="store directory (created if missing); omit with --router",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
         "--port",
         type=int,
         default=None,
-        help="listen port (default 8720 HTTP, 8721 binary)",
+        help="listen port (default 8720 HTTP, 8721 binary, 8731 router)",
     )
     parser.add_argument(
         "--binary",
         action="store_true",
         help="serve the binary frame protocol instead of HTTP",
+    )
+    parser.add_argument(
+        "--router",
+        action="store_true",
+        help="serve as a cluster router over --shards (no local store)",
+    )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated binary shard endpoints (host:port,...)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="copies kept per video across shards (router mode, "
+        "default %(default)s)",
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="router's HTTP listen port (default 8730)",
     )
     parser.add_argument(
         "--max-inflight",
@@ -42,6 +82,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
+    if args.router:
+        if not args.shards:
+            parser.error("--router requires --shards host:port,...")
+        if args.root is not None:
+            parser.error("--router takes no store directory")
+        from repro.cluster import VSSRouter
+
+        router = VSSRouter(
+            [s.strip() for s in args.shards.split(",") if s.strip()],
+            replication=args.replication,
+            host=args.host,
+            port=args.port if args.port is not None else 8731,
+            http_port=args.http_port if args.http_port is not None else 8730,
+            max_inflight=args.max_inflight,
+            verbose=not args.quiet,
+        ).start()
+        print(
+            f"routing {len(router.engine.shards)} shard(s) on "
+            f"{router.url} (binary) and {router.http_url} (HTTP)"
+        )
+        try:
+            router.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            router.close()
+        return 0
+
+    if args.root is None:
+        parser.error("a store directory is required (unless --router)")
     if args.binary:
         server = VSSBinaryServer(
             root=args.root,

@@ -51,6 +51,8 @@ from repro.core.wire import (
     FRAME_END,
     FRAME_ERROR,
     FRAME_GOPS,
+    FRAME_PING,
+    FRAME_PONG,
     FRAME_REPLY,
     FRAME_REQUEST,
     FRAME_RESULT_GOPS,
@@ -74,6 +76,7 @@ from repro.server.http import (
     DEFAULT_MAX_INFLIGHT,
     RETRY_AFTER_SECONDS,
     ServiceGauges,
+    as_plain_dict,
 )
 from repro.video.codec.container import encode_container
 
@@ -322,6 +325,14 @@ class VSSBinaryServer:
                 # connection.  The server itself keeps serving.
                 await self._send_error(writer, exc, best_effort=True)
                 return
+            if frame_type == FRAME_PING:
+                # Liveness probe: answered inline, no admission slot, no
+                # engine work — usable by health checkers and external
+                # load balancers even when the store is saturated.
+                await self._send(
+                    writer, encode_frame(FRAME_PONG, {"pong": True})
+                )
+                continue
             if frame_type != FRAME_REQUEST:
                 await self._send_error(
                     writer,
@@ -409,7 +420,7 @@ class VSSBinaryServer:
         await self._send_reply(
             writer,
             {
-                "engine": dataclasses.asdict(stats),
+                "engine": as_plain_dict(stats),
                 "server": self.gauges.snapshot(),
             },
         )
@@ -454,7 +465,7 @@ class VSSBinaryServer:
         stats = await self._bridge_call(
             self.engine.video_stats, header["name"]
         )
-        await self._send_reply(writer, dataclasses.asdict(stats))
+        await self._send_reply(writer, as_plain_dict(stats))
 
     @staticmethod
     def _view_payload(record) -> dict:

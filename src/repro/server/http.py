@@ -9,6 +9,7 @@ JSON header line.
 
 Endpoints::
 
+    GET    /healthz                   {"ok": true} liveness (no engine work)
     GET    /metrics                   engine EngineStats + server gauges
     GET    /v1/videos[?kind=...]      {"videos": [...]} (sorted snapshot)
     GET    /v1/videos/<name>          {"exists": bool, "kind": ...}
@@ -65,6 +66,8 @@ from repro.core.wire import (
     write_spec_from_dict,
 )
 from repro.errors import (
+    ServerBusyError,
+    ShardUnavailableError,
     VideoExistsError,
     VideoNotFoundError,
     VSSError,
@@ -85,9 +88,24 @@ def status_for(exc: BaseException) -> int:
         return 404
     if isinstance(exc, VideoExistsError):
         return 409
+    if isinstance(exc, ServerBusyError):
+        # A busy rejection forwarded from a cluster shard: same status
+        # and Retry-After contract as this server's own admission.
+        return 429
+    if isinstance(exc, ShardUnavailableError):
+        return 503
     if isinstance(exc, (VSSError, WireError, ValueError, TypeError, KeyError)):
         return 400
     return 500
+
+
+def as_plain_dict(obj) -> dict:
+    """``dataclasses.asdict`` that passes plain dicts through.
+
+    The servers wrap anything engine-shaped; a cluster facade returns
+    already-plain stats documents where the engine returns dataclasses.
+    """
+    return obj if isinstance(obj, dict) else dataclasses.asdict(obj)
 
 
 class ServiceGauges:
@@ -180,7 +198,12 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_exception(self, exc: BaseException) -> None:
-        self._send_json(error_to_dict(exc), status=status_for(exc))
+        headers = None
+        if isinstance(exc, ServerBusyError):
+            headers = {"Retry-After": str(exc.retry_after)}
+        self._send_json(
+            error_to_dict(exc), status=status_for(exc), headers=headers
+        )
 
     def _reject_busy(self) -> None:
         # Drain the request body first: closing with unread data makes
@@ -258,10 +281,14 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
         try:
             parts = self._route()
             engine = self.server.engine
-            if parts == ["metrics"]:
+            if parts == ["healthz"]:
+                # Liveness only — no engine work, so a wedged store never
+                # makes an external load balancer think the process died.
+                self._send_json({"ok": True, "service": "vss"})
+            elif parts == ["metrics"]:
                 self._send_json(
                     {
-                        "engine": dataclasses.asdict(engine.stats()),
+                        "engine": as_plain_dict(engine.stats()),
                         "server": self.server.gauges.snapshot(),
                     }
                 )
@@ -282,7 +309,7 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
                 parts[3] == "stats"
             ):
                 self._send_json(
-                    dataclasses.asdict(engine.video_stats(parts[2]))
+                    as_plain_dict(engine.video_stats(parts[2]))
                 )
             elif len(parts) == 3 and parts[:2] == ["v1", "videos"]:
                 name = parts[2]

@@ -472,7 +472,7 @@ class TestBinaryFrames:
         assert check_frame_length(MAX_FRAME_BYTES) == MAX_FRAME_BYTES
 
     def test_frame_types_are_distinct(self):
-        assert len(FRAME_TYPES) == 8
+        assert len(FRAME_TYPES) == 10
 
     def test_error_envelope_round_trip(self):
         body = frame_to_bytes(
