@@ -1,0 +1,113 @@
+"""Content search end to end: ingest, query, selective decode.
+
+The store indexes every GOP at ingest time (labels + colour histogram +
+descriptor embedding, extracted off the write path), so a content query
+answers with GOP-granularity hits and the follow-up read decodes *only*
+the matching windows — not the whole archive.
+
+Three phases:
+  1. ingest  — write synthetic traffic; extraction rides the admission
+     worker, ``drain_admissions()`` is the barrier before querying;
+  2. search  — keyword (an alert colour discovered from the index,
+     traffic_monitoring-style), query-by-example (a frame), and a
+     hybrid of both;
+  3. read    — materialize the best hit as a view and read it, then
+     compare the decode work against a full scan.
+
+Run:  python examples/search_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.core.engine import VSSEngine
+from repro.synthetic.scene import RoadScene
+from repro.video.frame import VideoSegment
+
+CAMERAS = 3
+FRAMES = 90  # 3 s @ 30 fps; gop_size=15 -> 6 GOPs per camera
+KINDS = {"car", "truck", "vehicle"}
+
+
+def render(seed: int) -> VideoSegment:
+    scene = RoadScene(world_width=96, height=36, seed=seed, num_vehicles=4)
+    stack = np.empty((FRAMES, 36, 64, 3), dtype=np.uint8)
+    for t in range(FRAMES):
+        stack[t] = scene.render_world(t)[:, :64]
+    return VideoSegment(stack, "rgb", 36, 64, fps=30.0)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        with VSSEngine(f"{root}/store") as engine:
+            # 1. ingest: extraction is scheduled behind each write
+            clips = {}
+            with engine.session() as session:
+                for i in range(CAMERAS):
+                    name = f"cam{i}"
+                    clips[name] = render(seed=10 + i)
+                    session.write(
+                        name, clips[name], codec="h264", qp=10, gop_size=15
+                    )
+            engine.drain_admissions()
+            stats = engine.stats()
+            print(
+                f"ingested {CAMERAS} cameras, "
+                f"{stats.search_index_rows} GOPs indexed"
+            )
+
+            # 2. search: discover an alert colour, then query for it
+            discovery = engine.search(text="vehicle", limit=50)
+            colors = sorted(
+                {l for h in discovery for l in h.labels if l not in KINDS}
+            )
+            query = f"{colors[0]} truck" if colors else "truck"
+            hits = engine.search(text=query, limit=5)
+            print(f"alert query {query!r}: {len(hits)} hits")
+            for hit in hits[:3]:
+                print(
+                    f"  {hit.name} gop {hit.gop_seq} "
+                    f"[{hit.start_time:.1f}s, {hit.end_time:.1f}s) "
+                    f"score {hit.score:.2f} labels {sorted(set(hit.labels))}"
+                )
+            example = clips["cam0"].pixels[40]
+            like_hits = engine.search(like=example, limit=3)
+            print(f"by-example top hit: {like_hits[0].name} "
+                  f"gop {like_hits[0].gop_seq} "
+                  f"(cosine {like_hits[0].score:.3f})")
+            hybrid = engine.search(text=query, like=example, limit=3)
+            if hybrid:
+                print(f"hybrid top hit: {hybrid[0].name} "
+                      f"gop {hybrid[0].gop_seq} "
+                      f"(summed {hybrid[0].score:.2f})")
+
+            # 3. read only what matched
+            best = hits[0] if hits else like_hits[0]
+            with engine.session() as session:
+                view = best.as_view(session)
+                narrow = session.read(
+                    view.name, best.start_time, best.end_time,
+                    codec="raw", cache=False,
+                )
+                full = session.read(
+                    best.name, 0.0, FRAMES / 30.0, codec="raw", cache=False,
+                )
+            print(
+                f"hit read decoded {narrow.stats.frames_decoded} frames "
+                f"({len(narrow.stats.gop_ids_touched)} GOP) vs "
+                f"{full.stats.frames_decoded} frames "
+                f"({len(full.stats.gop_ids_touched)} GOPs) for the full scan"
+            )
+
+    print(
+        "\nThe index answers from FTS5 + vector BLOBs in the catalog DB — "
+        "no pixels are\ntouched until the read, and the read decodes only "
+        "the GOPs the query matched."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,8 @@ from repro.core.wire import (
     FRAME_REQUEST,
     FRAME_RESULT_GOPS,
     FRAME_RESULT_SEGMENT,
+    FRAME_SEARCH,
+    FRAME_SEARCH_HITS,
     FRAME_SEGMENT,
     check_frame_length,
     encode_frame,
@@ -73,6 +75,8 @@ from repro.core.wire import (
     parse_frame,
     read_spec_to_dict,
     read_stats_from_dict,
+    search_hit_from_dict,
+    search_query_to_dict,
     segment_from_payload,
     segment_payload,
     segment_payload_view,
@@ -81,6 +85,13 @@ from repro.core.wire import (
     write_spec_to_dict,
 )
 from repro.errors import ServerBusyError, VSSError, WireError
+from repro.search.query import (
+    DEFAULT_LIMIT as DEFAULT_SEARCH_LIMIT,
+)
+from repro.search.query import (
+    SearchHit,
+    like_to_vector,
+)
 from repro.video.codec.container import decode_container
 from repro.video.codec.registry import codec_for
 from repro.video.frame import VideoSegment
@@ -373,6 +384,39 @@ class _RemoteClientBase:
     def video_stats(self, name: str) -> dict:
         return self._retrying(self._rpc, "video_stats", {"name": name})
 
+    # ------------------------------------------------------------------
+    # content index & search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        text: str | None = None,
+        like=None,
+        limit: int = DEFAULT_SEARCH_LIMIT,
+        min_score: float = 0.0,
+    ) -> list[SearchHit]:
+        """Ranked :class:`SearchHit` GOPs (mirrors ``Session.search``).
+
+        A ``like=`` *image* is turned into its query vector here, on the
+        client — only a flat float array ever crosses the wire, so the
+        servers never decode images and the payload stays tiny.
+        """
+        if like is not None:
+            _, like = like_to_vector(like)
+        query = search_query_to_dict(
+            text=text, like=like, limit=limit, min_score=min_score
+        )
+        reply = self._retrying(self._search_rpc, query)
+        return [search_hit_from_dict(d) for d in reply["hits"]]
+
+    def reindex(self, name: str) -> int:
+        """Rebuild one video's content index; rows written."""
+        reply = self._retrying(self._rpc, "reindex", {"name": name})
+        return int(reply["indexed_gops"])
+
+    def _search_rpc(self, query: dict) -> dict:
+        """Ship one search query; transports may override the framing."""
+        return self._rpc("search", {"query": query})
+
     def metrics(self) -> dict:
         """The server's metrics document (engine + admission gauges)."""
         return self._retrying(self._rpc, "metrics", {})
@@ -619,6 +663,16 @@ class VSSClient(_RemoteClientBase):
             )
         if op == "list_views":
             return self._request_json("GET", "/v1/views")
+        if op == "search":
+            return self._request_json(
+                "POST",
+                "/v1/search",
+                json.dumps(params["query"]).encode("utf-8"),
+            )
+        if op == "reindex":
+            return self._request_json(
+                "POST", "/v1/reindex", json.dumps(params).encode("utf-8")
+            )
         if op == "metrics":
             return self._request_json("GET", "/metrics")
         raise VSSError(f"unknown client operation {op!r}")
@@ -939,6 +993,29 @@ class VSSBinaryClient(_RemoteClientBase):
     def ping(self) -> bool:
         """Round-trip a no-op frame (connectivity probe)."""
         return bool(self._rpc("ping", {}).get("pong"))
+
+    def _search_rpc(self, query: dict) -> dict:
+        """Search over the dedicated FRAME_SEARCH/FRAME_SEARCH_HITS pair."""
+        conn = self._acquire()
+        clean = False
+        try:
+            conn.send_frame(encode_frame(FRAME_SEARCH, query))
+            frame_type, header, _ = conn.read_frame()
+            if frame_type == FRAME_ERROR:
+                clean = True  # complete frame: boundary intact
+                raise _rebuild_error(header)
+            if frame_type != FRAME_SEARCH_HITS:
+                raise WireError(
+                    f"expected a search-hits frame, got type "
+                    f"{frame_type:#04x}"
+                )
+            clean = True
+            return header
+        finally:
+            if clean:
+                self._release(conn)
+            else:
+                conn.close()
 
     def _open_read_stream(self, spec: ReadSpec) -> BinaryReadStream:
         conn = self._acquire()

@@ -297,6 +297,7 @@ class ClusterEngine:
             "batches_routed": 0,
             "writes_routed": 0,
             "catalog_ops": 0,
+            "searches_routed": 0,
             "failovers": 0,
         }
         self._pool = ThreadPoolExecutor(
@@ -548,6 +549,43 @@ class ClusterEngine:
             self.list_views()
         except ShardUnavailableError:
             pass  # nothing reachable yet; health checks will recover
+
+    def search(
+        self,
+        text: str | None = None,
+        like=None,
+        limit: int = 10,
+        min_score: float = 0.0,
+    ) -> list:
+        """Cluster-wide content search: scatter, then merge rankings.
+
+        Every live shard ranks its own index; :func:`merge_ranked`
+        deduplicates replica-duplicated hits on ``(name, gop_seq)`` and
+        re-sorts with the same deterministic ordering the shards used,
+        so the merged list is exactly what one shard holding the whole
+        corpus would have returned.
+        """
+        from repro.search.query import merge_ranked
+
+        self._count("searches_routed")
+        hit_lists = self._scatter(
+            "search",
+            lambda s: s.client.search(
+                text=text, like=like, limit=limit, min_score=min_score
+            ),
+        )
+        return merge_ranked(hit_lists, limit=limit)
+
+    def reindex(self, name: str) -> int:
+        """Rebuild ``name``'s content index on every placement replica.
+
+        Replicas index independently but deterministically, so each
+        reports the same row count; the first reply is returned.
+        """
+        replies = self._on_all_replicas(
+            name, "reindex", lambda s: s.client.reindex(name)
+        )
+        return replies[0]
 
     def stats(self) -> dict:
         """The router's ``/metrics`` document: cluster + per-shard.

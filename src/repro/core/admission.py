@@ -98,6 +98,15 @@ class AdmissionWorker:
         with self._cond:
             return len(self._queue)
 
+    def pending(self, key: Hashable) -> bool:
+        """True when a task under ``key`` is queued (not yet started).
+
+        Lets callers tell a *coalesced* submit (the queued task covers
+        the work) apart from a *shed* one before submitting.
+        """
+        with self._cond:
+            return key in self._queue
+
     def submit(
         self, key: Hashable, task: Callable[[], None], nbytes: int = 0
     ) -> bool:

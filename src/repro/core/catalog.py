@@ -153,6 +153,12 @@ class Catalog:
         # is what keeps stale plan-cache entries unreachable.
         self._versions_lock = threading.Lock()
         self._versions: dict[int, int] = {}
+        # Callables run inside delete_logical's writer transaction, so
+        # subsystems keeping sidecar tables in this database (the search
+        # index) cascade atomically with the catalog rows — SQLite
+        # reuses rowids, so an orphaned sidecar row would silently
+        # attach to a recreated video.
+        self._delete_hooks: list = []
         self._readers: list[weakref.ref[_ReaderConn]] = []
         self._tls = threading.local()
         self._closed = False
@@ -321,6 +327,8 @@ class Catalog:
                         f"view {row['name']!r} is defined over "
                         f"{guard_over!r}"
                     )
+            for hook in self._delete_hooks:
+                hook(conn, logical_id)
             conn.execute(
                 "DELETE FROM gops WHERE physical_id IN "
                 "(SELECT id FROM physical_videos WHERE logical_id = ?)",
@@ -334,6 +342,12 @@ class Catalog:
             )
             conn.commit()
         self.bump_data_version(logical_id)
+
+    def add_delete_hook(self, hook) -> None:
+        """Register ``hook(conn, logical_id)`` to run inside the
+        :meth:`delete_logical` writer transaction, before the catalog
+        rows go."""
+        self._delete_hooks.append(hook)
 
     @staticmethod
     def _logical_from_row(row: sqlite3.Row) -> LogicalVideo:

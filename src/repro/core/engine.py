@@ -103,6 +103,10 @@ from repro.errors import (
     VSSError,
     WriteError,
 )
+from repro.search.extract import extract_physical
+from repro.search.index import SearchIndex
+from repro.search.query import DEFAULT_LIMIT as DEFAULT_SEARCH_LIMIT
+from repro.search.query import SearchHit, rows_to_hits, run_search
 from repro.util import LogicalClock
 from repro.vbench.calibrate import Calibration, load_or_run
 from repro.video.codec.container import EncodedGOP
@@ -177,6 +181,13 @@ class EngineStats:
     count versioned plan-cache outcomes; the ``admission*`` gauges
     describe the background admission/maintenance queue
     (``admission_queue_depth`` is instantaneous, the rest monotonic).
+
+    The search counters describe the content index (``repro.search``):
+    ``search_index_rows`` is the instantaneous indexed-GOP count;
+    ``extraction_pending`` counts queued-or-running background
+    extraction tasks, ``extraction_completed``/``extraction_dropped``
+    their outcomes; ``searches_served`` and ``search_seconds``
+    accumulate query traffic and latency.
     """
 
     num_logical_videos: int
@@ -206,6 +217,12 @@ class EngineStats:
     admissions_completed: int
     admissions_coalesced: int
     admissions_dropped: int
+    search_index_rows: int
+    extraction_pending: int
+    extraction_completed: int
+    extraction_dropped: int
+    searches_served: int
+    search_seconds: float
 
 
 @dataclass
@@ -309,6 +326,16 @@ class VSSEngine:
         self.admit_sync = admit_sync
         # Background admission/maintenance queue (see repro.core.admission).
         self._admissions = AdmissionWorker()
+        # Content index & search (repro.search): FTS5 + vector tables in
+        # the catalog's database; registers the delete-cascade hook, and
+        # ingest-time extraction rides the admission worker above.
+        self._search_index = SearchIndex(self.catalog)
+        self._search_lock = threading.Lock()
+        self._extraction_pending = 0
+        self._extraction_completed = 0
+        self._extraction_dropped = 0
+        self._searches_served = 0
+        self._search_seconds = 0.0
         # Versioned plan cache: (logical id, data version, effective
         # ReadSpec) -> ReadPlan.  Bounded LRU; entries for superseded
         # versions become unreachable the moment the catalog bumps the
@@ -848,6 +875,7 @@ class VSSEngine:
                 self._default_budget(logical, outcome.nbytes)
         with self._state_lock:
             self._writes += 1
+        self._schedule_extraction(logical)
         return outcome.physical
 
     def open_write_stream(
@@ -1490,6 +1518,12 @@ class VSSEngine:
             session_seconds = self._session_seconds
         with self._plan_lock:
             plan_hits, plan_misses = self._plan_hits, self._plan_misses
+        with self._search_lock:
+            extraction_pending = self._extraction_pending
+            extraction_completed = self._extraction_completed
+            extraction_dropped = self._extraction_dropped
+            searches_served = self._searches_served
+            search_seconds = self._search_seconds
         return EngineStats(
             num_logical_videos=len(self.catalog.list_logical()),
             num_views=self.catalog.count_views(),
@@ -1520,6 +1554,12 @@ class VSSEngine:
             admissions_completed=admissions.completed,
             admissions_coalesced=admissions.coalesced,
             admissions_dropped=admissions.dropped,
+            search_index_rows=self._search_index.count_rows(),
+            extraction_pending=extraction_pending,
+            extraction_completed=extraction_completed,
+            extraction_dropped=extraction_dropped,
+            searches_served=searches_served,
+            search_seconds=search_seconds,
         )
 
     def video_stats(self, name: str) -> StoreStats | ViewStats:
@@ -1570,6 +1610,125 @@ class VSSEngine:
             spec=view.spec,
             base_stats=base_stats,
         )
+
+    # ------------------------------------------------------------------
+    # content index & search
+    # ------------------------------------------------------------------
+    def _schedule_extraction(self, logical: LogicalVideo) -> None:
+        """Queue ingest-time feature extraction for ``logical``.
+
+        Rides the admission worker so extraction never blocks the write
+        path; keyed per logical so back-to-back writes coalesce into one
+        pass (the queued task re-reads the catalog and indexes whatever
+        GOPs exist by the time it runs).  ``admit_sync=True`` engines
+        run it inline instead, matching that mode's contract that every
+        side effect is visible the moment the call returns.
+        """
+        if self.admit_sync:
+            try:
+                with self._locked(logical.name, shared=True):
+                    self._extract_missing(logical)
+            except (CatalogError, VideoNotFoundError):
+                pass  # deleted out from under us: nothing to index
+            with self._search_lock:
+                self._extraction_completed += 1
+            return
+        key = ("extract", logical.id)
+        if self._admissions.pending(key):
+            return  # coalesces with the queued pass; nothing dropped
+        submitted = self._admissions.submit(
+            key, lambda: self._extraction_task(logical.id)
+        )
+        with self._search_lock:
+            if submitted:
+                self._extraction_pending += 1
+            else:
+                self._extraction_dropped += 1
+
+    def _extraction_task(self, logical_id: int) -> None:
+        """Admission-worker body: index the original's un-indexed GOPs."""
+        try:
+            try:
+                logical = self.catalog.get_logical_by_id(logical_id)
+            except CatalogError:
+                return  # deleted while queued
+            try:
+                with self._locked(logical.name, shared=True):
+                    self._extract_missing(logical)
+            except VideoNotFoundError:
+                return
+        finally:
+            with self._search_lock:
+                self._extraction_pending -= 1
+                self._extraction_completed += 1
+
+    def _extract_missing(self, logical: LogicalVideo) -> int:
+        """Index the original's GOPs not yet in the search index.
+
+        Only the *original* physical is extracted: it is never evicted,
+        compacted, or rewritten, so its ``(logical, gop_seq)`` rows stay
+        valid for the video's whole life — derived physicals come and go
+        with the budget.  Caller holds at least the shared lock.
+        """
+        original = self.catalog.original_physical(logical.id)
+        if original is None:
+            return 0
+        records = self.catalog.gops_of_physical(original.id)
+        skip = self._search_index.indexed_seqs(logical.id)
+        return extract_physical(
+            self.layout,
+            self._search_index,
+            logical.id,
+            records,
+            data_version=self.catalog.data_version(logical.id),
+            skip_seqs=skip,
+        )
+
+    def reindex(self, name: str) -> int:
+        """Drop and rebuild the content index for one video.
+
+        Backfill for videos ingested before indexing existed (or under a
+        newer extractor).  Runs synchronously — the caller asked for the
+        index to be fresh — and returns the number of GOPs indexed.
+        """
+        with self._locked(name, shared=True):
+            logical = self.catalog.get_logical(name)
+            self._search_index.drop_logical(logical.id)
+            return self._extract_missing(logical)
+
+    def search(
+        self,
+        text: str | None = None,
+        like=None,
+        limit: int = DEFAULT_SEARCH_LIMIT,
+        min_score: float = 0.0,
+    ) -> list[SearchHit]:
+        """Ranked :class:`SearchHit` GOPs matching ``text`` and/or ``like``.
+
+        Pure index work — no video is locked or decoded.  Each hit's
+        ``as_view()`` materializes a derived view over exactly the hit
+        window, so the follow-up read decodes only matching GOPs.
+        """
+        begin = time.perf_counter()
+        scored = run_search(
+            self._search_index,
+            text=text,
+            like=like,
+            limit=limit,
+            min_score=min_score,
+        )
+
+        def name_of(logical_id: int) -> str | None:
+            try:
+                return self.catalog.get_logical_by_id(logical_id).name
+            except CatalogError:
+                return None
+
+        hits = rows_to_hits(scored, name_of)
+        with self._search_lock:
+            self._searches_served += 1
+            self._search_seconds += time.perf_counter() - begin
+        return hits
 
 
 class ReadStream:
@@ -1808,6 +1967,24 @@ class Session:
         """All view definitions, sorted by name."""
         self._check_open()
         return self._engine.list_views()
+
+    def search(
+        self,
+        text: str | None = None,
+        like=None,
+        limit: int = DEFAULT_SEARCH_LIMIT,
+        min_score: float = 0.0,
+    ) -> list[SearchHit]:
+        """Ranked :class:`SearchHit` GOPs (see :meth:`VSSEngine.search`)."""
+        self._check_open()
+        return self._engine.search(
+            text=text, like=like, limit=limit, min_score=min_score
+        )
+
+    def reindex(self, name: str) -> int:
+        """Rebuild the content index for one video; rows written."""
+        self._check_open()
+        return self._engine.reindex(name)
 
     # ------------------------------------------------------------------
     # spec builders
@@ -2077,6 +2254,7 @@ class HookedStream:
             outcome = self._stream.close()
             if self._is_original:
                 self._engine._default_budget(self._logical, outcome.nbytes)
+        self._engine._schedule_extraction(self._logical)
         return outcome
 
     def __enter__(self) -> "HookedStream":

@@ -168,6 +168,110 @@ def read_stats_from_dict(data: dict) -> ReadStats:
 
 
 # ----------------------------------------------------------------------
+# search
+# ----------------------------------------------------------------------
+_SEARCH_QUERY_KEYS = ("text", "like", "limit", "min_score")
+_SEARCH_HIT_KEYS = (
+    "name",
+    "gop_seq",
+    "start_time",
+    "end_time",
+    "score",
+    "labels",
+    "source",
+)
+
+
+def search_query_to_dict(
+    text: str | None = None,
+    like=None,
+    limit: int = 10,
+    min_score: float = 0.0,
+) -> dict:
+    """An ``engine.search`` call as a wire dict.
+
+    ``like`` crosses the wire as a plain array of floats — clients turn
+    images into query vectors *client-side*
+    (:func:`repro.search.query.like_to_vector`), so the servers never
+    grow an image-decoding surface and the vector's length alone names
+    the search space (64 = histogram, 128 = embedding).
+    """
+    if like is not None:
+        arr = np.asarray(like, dtype=np.float64).reshape(-1)
+        like = [float(v) for v in arr]
+    return {
+        "text": text,
+        "like": like,
+        "limit": int(limit),
+        "min_score": float(min_score),
+    }
+
+
+def search_query_from_dict(data: dict) -> dict:
+    """Rebuild :func:`search_query_to_dict` output as ``search`` kwargs."""
+    _check_keys(data, _SEARCH_QUERY_KEYS, "search query")
+    text = data["text"]
+    if text is not None and not isinstance(text, str):
+        raise WireError(f"search text must be a string or null, got {text!r}")
+    like = data["like"]
+    if like is not None:
+        if not isinstance(like, (list, tuple)) or not like:
+            raise WireError(
+                f"search like= must be a non-empty array or null, "
+                f"got {like!r}"
+            )
+        try:
+            like = np.asarray([float(v) for v in like], dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"malformed like= vector: {exc}") from None
+    try:
+        limit = int(data["limit"])
+        min_score = float(data["min_score"])
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed search query: {exc}") from None
+    return {"text": text, "like": like, "limit": limit, "min_score": min_score}
+
+
+def search_hit_to_dict(hit) -> dict:
+    """A :class:`repro.search.query.SearchHit` as a wire dict."""
+    return {
+        "name": hit.name,
+        "gop_seq": hit.gop_seq,
+        "start_time": hit.start_time,
+        "end_time": hit.end_time,
+        "score": hit.score,
+        "labels": list(hit.labels),
+        "source": hit.source,
+    }
+
+
+def search_hit_from_dict(data: dict):
+    """Rebuild the :class:`SearchHit` a :func:`search_hit_to_dict` made.
+
+    Construction re-runs the hit's own validation, so a malformed
+    payload raises here rather than producing an unusable hit.
+    """
+    from repro.search.query import SearchHit
+
+    _check_keys(data, _SEARCH_HIT_KEYS, "SearchHit")
+    labels = data["labels"]
+    if not isinstance(labels, (list, tuple)):
+        raise WireError(f"hit labels must be an array, got {labels!r}")
+    try:
+        return SearchHit(
+            name=data["name"],
+            gop_seq=int(data["gop_seq"]),
+            start_time=float(data["start_time"]),
+            end_time=float(data["end_time"]),
+            score=float(data["score"]),
+            labels=tuple(str(token) for token in labels),
+            source=str(data["source"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed SearchHit: {exc}") from None
+
+
+# ----------------------------------------------------------------------
 # segments
 # ----------------------------------------------------------------------
 def segment_to_meta(segment: VideoSegment) -> dict:
@@ -312,6 +416,8 @@ FRAME_END = 0x07            #: stream/batch terminator carrying stats
 FRAME_ERROR = 0x08          #: error envelope (in- or out-of-stream)
 FRAME_PING = 0x09           #: liveness probe (answered out-of-band)
 FRAME_PONG = 0x0A           #: liveness answer
+FRAME_SEARCH = 0x0B         #: client -> server: one content-index query
+FRAME_SEARCH_HITS = 0x0C    #: server -> client: ranked hits answer
 
 FRAME_TYPES = frozenset(
     {
@@ -325,6 +431,8 @@ FRAME_TYPES = frozenset(
         FRAME_ERROR,
         FRAME_PING,
         FRAME_PONG,
+        FRAME_SEARCH,
+        FRAME_SEARCH_HITS,
     }
 )
 

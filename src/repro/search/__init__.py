@@ -1,0 +1,53 @@
+"""Content index & search: make stored video queryable.
+
+The subsystem has three layers, wired into the engine:
+
+* :mod:`repro.search.extract` — ingest-time feature extraction (runs on
+  the engine's background admission worker; ``engine.reindex`` backfills
+  pre-existing videos);
+* :mod:`repro.search.index` — FTS5 keywords + vector BLOBs inside the
+  catalog's SQLite database, cascade-consistent with delete;
+* :mod:`repro.search.query` — ``engine.search(text=..., like=...)``
+  returning ranked :class:`SearchHit` windows that materialize as
+  derived views, so a follow-up read decodes only matching GOPs.
+"""
+
+from repro.search.extract import (
+    GopFeatures,
+    extract_frame,
+    extract_gop,
+    extract_physical,
+    labels_for,
+)
+from repro.search.index import (
+    EMBEDDING_DIM,
+    HISTOGRAM_DIM,
+    IndexRow,
+    SearchIndex,
+)
+from repro.search.query import (
+    DEFAULT_LIMIT,
+    SearchHit,
+    like_to_vector,
+    merge_ranked,
+    rows_to_hits,
+    run_search,
+)
+
+__all__ = [
+    "DEFAULT_LIMIT",
+    "EMBEDDING_DIM",
+    "GopFeatures",
+    "HISTOGRAM_DIM",
+    "IndexRow",
+    "SearchHit",
+    "SearchIndex",
+    "extract_frame",
+    "extract_gop",
+    "extract_physical",
+    "labels_for",
+    "like_to_vector",
+    "merge_ranked",
+    "rows_to_hits",
+    "run_search",
+]

@@ -1,0 +1,215 @@
+"""Search queries and ranked hits over the content index.
+
+A query is keyword text (``text="red truck"``), a ``like`` example (an
+image in any layout :func:`repro.vision.frame_to_rgb` accepts, a 64-dim
+colour histogram, or a 128-dim embedding — 1-D vectors are told apart
+by length), or both.  Results are :class:`SearchHit` segments, one per
+matching GOP, ranked best-first; ``hit.as_view(session)`` materializes
+a hit as a derived view over exactly its time window, so the follow-up
+read goes through the ordinary views/planner/cache stack and decodes
+only the GOPs the index matched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.index import (
+    EMBEDDING_DIM,
+    HISTOGRAM_DIM,
+    IndexRow,
+    SearchIndex,
+)
+
+#: Overfetch factor for hybrid (text AND like) queries: each leg pulls
+#: extra rows so the intersection still fills ``limit``.
+_HYBRID_OVERFETCH = 4
+
+#: Default number of hits returned.
+DEFAULT_LIMIT = 10
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One matching GOP: where it is, how well it matched, and why.
+
+    ``score`` is higher-is-better: BM25 (negated) for text matches,
+    cosine similarity for vector matches, their sum for hybrid ones.
+    ``source`` says which leg produced the hit (``"text"``,
+    ``"histogram"``, ``"embedding"``, or ``"hybrid"``).
+    """
+
+    name: str
+    gop_seq: int
+    start_time: float
+    end_time: float
+    score: float
+    labels: tuple[str, ...] = ()
+    source: str = "text"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("hit needs a video name")
+        if not math.isfinite(self.score):
+            raise ValueError(f"score must be finite, got {self.score!r}")
+        if self.end_time <= self.start_time:
+            raise ValueError(
+                f"empty hit window [{self.start_time}, {self.end_time})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def view_spec(self):
+        """A :class:`~repro.core.specs.ViewSpec` over the hit window."""
+        from repro.core.specs import ViewSpec
+
+        return ViewSpec(
+            over=self.name, start=self.start_time, end=self.end_time
+        )
+
+    def as_view(self, session, name: str | None = None):
+        """Materialize the hit as a derived view via ``create_view``.
+
+        ``session`` is anything with the Session-shaped ``create_view``
+        (a local :class:`~repro.core.engine.Session`, either remote
+        client, or the cluster facade).  Reading the returned view
+        decodes only the GOPs inside the hit window.
+        """
+        if name is None:
+            name = f"{self.name}.hit{self.gop_seq}"
+        return session.create_view(name, self.view_spec())
+
+
+def like_to_vector(like) -> tuple[str, np.ndarray]:
+    """Normalize a ``like`` example to ``(space, query_vector)``.
+
+    1-D input of length 64 is a colour histogram, length 128 an
+    embedding; 2-D (grayscale) or ``(H, W, 3)`` input is an image, which
+    searches the embedding space through the same descriptor pipeline
+    extraction used.
+    """
+    arr = np.asarray(like)
+    if arr.ndim == 1:
+        if arr.size == HISTOGRAM_DIM:
+            return "histogram", arr.astype(np.float32)
+        if arr.size == EMBEDDING_DIM:
+            return "embedding", arr.astype(np.float32)
+        raise ValueError(
+            f"1-D like= vector must have {HISTOGRAM_DIM} (histogram) or "
+            f"{EMBEDDING_DIM} (embedding) dims, got {arr.size}"
+        )
+    if arr.ndim in (2, 3):
+        from repro.search.extract import embed_image
+        from repro.vision import frame_to_rgb
+
+        rgb = frame_to_rgb(arr, "rgb" if arr.ndim == 3 else "gray")
+        return "embedding", embed_image(rgb)
+    raise ValueError(
+        f"like= must be an image or a 1-D vector, got shape {arr.shape}"
+    )
+
+
+def run_search(
+    index: SearchIndex,
+    text: str | None = None,
+    like=None,
+    limit: int = DEFAULT_LIMIT,
+    min_score: float = 0.0,
+) -> list[tuple[IndexRow, str]]:
+    """Execute a query against the index; ``(row, source)`` best-first.
+
+    Deterministic ordering: score descending, then ``(logical_id,
+    gop_seq)`` ascending as the tie-break, so identical corpora rank
+    identically across shards and runs.
+    """
+    if text is None and like is None:
+        raise ValueError("search needs text= and/or like=")
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    if not math.isfinite(min_score):
+        raise ValueError(f"min_score must be finite, got {min_score!r}")
+    fetch = limit * _HYBRID_OVERFETCH if text is not None and like is not None else limit
+    scored: list[tuple[IndexRow, str]]
+    if text is not None and like is not None:
+        space, vector = like_to_vector(like)
+        text_rows = {
+            (r.logical_id, r.gop_seq): r
+            for r in index.text_search(text, fetch)
+        }
+        scored = []
+        for row in index.vector_search(space, vector, fetch):
+            mate = text_rows.get((row.logical_id, row.gop_seq))
+            if mate is None:
+                continue
+            merged = IndexRow(
+                logical_id=row.logical_id,
+                gop_seq=row.gop_seq,
+                start_time=row.start_time,
+                end_time=row.end_time,
+                labels=row.labels,
+                num_detections=row.num_detections,
+                score=row.score + mate.score,
+            )
+            scored.append((merged, "hybrid"))
+    elif text is not None:
+        scored = [(row, "text") for row in index.text_search(text, fetch)]
+    else:
+        space, vector = like_to_vector(like)
+        scored = [
+            (row, space) for row in index.vector_search(space, vector, fetch)
+        ]
+    scored = [item for item in scored if item[0].score >= min_score]
+    scored.sort(
+        key=lambda item: (-item[0].score, item[0].logical_id, item[0].gop_seq)
+    )
+    return scored[:limit]
+
+
+def rows_to_hits(scored, name_of) -> list[SearchHit]:
+    """Map ``(row, source)`` pairs to hits, skipping vanished videos.
+
+    ``name_of(logical_id)`` returns the video's name or None when the
+    logical was deleted between indexing and ranking.
+    """
+    hits = []
+    for row, source in scored:
+        name = name_of(row.logical_id)
+        if name is None:
+            continue
+        hits.append(
+            SearchHit(
+                name=name,
+                gop_seq=row.gop_seq,
+                start_time=row.start_time,
+                end_time=row.end_time,
+                score=row.score,
+                labels=tuple(row.labels.split()) if row.labels else (),
+                source=source,
+            )
+        )
+    return hits
+
+
+def merge_ranked(hit_lists, limit: int = DEFAULT_LIMIT) -> list[SearchHit]:
+    """Merge per-shard ranked hit lists into one global ranking.
+
+    Deduplicates on ``(name, gop_seq)`` keeping the best score (replicas
+    index independently but deterministically, so duplicates agree), and
+    re-sorts with the same deterministic ordering ``run_search`` uses.
+    """
+    best: dict[tuple[str, int], SearchHit] = {}
+    for hits in hit_lists:
+        for hit in hits:
+            key = (hit.name, hit.gop_seq)
+            kept = best.get(key)
+            if kept is None or hit.score > kept.score:
+                best[key] = hit
+    merged = sorted(
+        best.values(), key=lambda h: (-h.score, h.name, h.gop_seq)
+    )
+    return merged[:limit]

@@ -57,6 +57,8 @@ from repro.core.wire import (
     FRAME_REQUEST,
     FRAME_RESULT_GOPS,
     FRAME_RESULT_SEGMENT,
+    FRAME_SEARCH,
+    FRAME_SEARCH_HITS,
     FRAME_SEGMENT,
     check_frame_length,
     encode_frame,
@@ -64,6 +66,8 @@ from repro.core.wire import (
     parse_frame,
     read_spec_from_dict,
     read_stats_to_dict,
+    search_hit_to_dict,
+    search_query_from_dict,
     segment_from_payload,
     segment_payload_view,
     segment_to_meta,
@@ -333,6 +337,29 @@ class VSSBinaryServer:
                     writer, encode_frame(FRAME_PONG, {"pong": True})
                 )
                 continue
+            if frame_type == FRAME_SEARCH:
+                # A dedicated frame pair, like PING/PONG: the query is
+                # pure index work (no decode, no admission slot), and
+                # giving it its own type keeps request multiplexers able
+                # to route search traffic without parsing op names.
+                try:
+                    query = search_query_from_dict(header)
+                    hits = await self._bridge_call(
+                        self.engine.search, **query
+                    )
+                except (ConnectionError, TimeoutError, asyncio.CancelledError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 - envelope
+                    await self._send_error(writer, exc)
+                    continue
+                await self._send(
+                    writer,
+                    encode_frame(
+                        FRAME_SEARCH_HITS,
+                        {"hits": [search_hit_to_dict(h) for h in hits]},
+                    ),
+                )
+                continue
             if frame_type != FRAME_REQUEST:
                 await self._send_error(
                     writer,
@@ -592,6 +619,27 @@ class VSSBinaryServer:
         finally:
             self.gauges.leave()
 
+    async def _op_search(self, writer, header, payload) -> None:
+        # The generic-op twin of the FRAME_SEARCH fast path, for clients
+        # that only speak FRAME_REQUEST.
+        query = search_query_from_dict(header["query"])
+        hits = await self._bridge_call(self.engine.search, **query)
+        await self._send_reply(
+            writer, {"hits": [search_hit_to_dict(h) for h in hits]}
+        )
+
+    async def _op_reindex(self, writer, header, payload) -> None:
+        name = header["name"]
+        # Admitted: a reindex decodes every GOP of the video.
+        if not self.gauges.try_enter():
+            await self._send_busy(writer)
+            return
+        try:
+            indexed = await self._bridge_call(self.engine.reindex, name)
+        finally:
+            self.gauges.leave()
+        await self._send_reply(writer, {"name": name, "indexed_gops": indexed})
+
     async def _op_read_batch(self, writer, header, payload) -> None:
         specs = [read_spec_from_dict(d) for d in header["specs"]]
         if not self.gauges.try_enter():
@@ -634,4 +682,6 @@ class VSSBinaryServer:
         "write": _op_write,
         "read": _op_read,
         "read_batch": _op_read_batch,
+        "search": _op_search,
+        "reindex": _op_reindex,
     }

@@ -23,6 +23,8 @@ Endpoints::
     POST   /v1/write                  JSON header line + raw pixel bytes
     POST   /v1/read                   {"spec": {...}} -> chunked stream
     POST   /v1/read_batch             {"specs": [...]} -> chunked stream
+    POST   /v1/search                 search-query dict -> {"hits": [...]}
+    POST   /v1/reindex                {"name"} -> {"name", "indexed_gops"}
 
 Names in read/stats routes resolve uniformly: a derived view created
 via ``POST /v1/views`` can be read, streamed, batched, listed, and
@@ -58,6 +60,8 @@ from repro.core.wire import (
     error_to_dict,
     read_spec_from_dict,
     read_stats_to_dict,
+    search_hit_to_dict,
+    search_query_from_dict,
     segment_from_payload,
     segment_payload,
     segment_to_meta,
@@ -368,6 +372,12 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
             self._admitted(self._handle_read)
         elif path == "/v1/read_batch":
             self._admitted(self._handle_read_batch)
+        elif path == "/v1/search":
+            # Pure index work (no decode), so it skips admission like
+            # the catalog routes do.
+            self._handle_search()
+        elif path == "/v1/reindex":
+            self._admitted(self._handle_reindex)
         else:
             self._read_body()
             self._send_json(
@@ -420,6 +430,23 @@ class VSSRequestHandler(BaseHTTPRequestHandler):
             self._send_json(self._view_payload(record))
         except Exception as exc:  # noqa: BLE001 - mapped to an envelope
             self._send_exception(exc)
+
+    def _handle_search(self) -> None:
+        try:
+            query = search_query_from_dict(json.loads(self._read_body()))
+            hits = self.server.engine.search(**query)
+            self._send_json(
+                {"hits": [search_hit_to_dict(h) for h in hits]}
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped to an envelope
+            self._send_exception(exc)
+
+    def _handle_reindex(self) -> None:
+        # Admitted: a reindex decodes every GOP of the video.
+        payload = json.loads(self._read_body())
+        name = payload["name"]
+        indexed = self.server.engine.reindex(name)
+        self._send_json({"name": name, "indexed_gops": indexed})
 
     def _handle_write(self) -> None:
         body = self._read_body()

@@ -96,7 +96,12 @@ def detect_vehicles(
 
 def classify_color(region: np.ndarray) -> str:
     """Label a region with the nearest palette colour to its dominant
-    histogram bin."""
+    histogram bin.
+
+    Accepts anything :func:`~repro.vision.histogram.dominant_color`
+    accepts: uint8 RGB, grayscale, or float frames straight off the
+    decode/resample paths.
+    """
     dom = dominant_color(region)
     best_name = "unknown"
     best_distance = float("inf")

@@ -19,14 +19,34 @@ import numpy as np
 DEFAULT_BINS = 4
 
 
+def _as_uint8_rgb(image: np.ndarray) -> np.ndarray:
+    """Coerce an image to ``(H, W, 3)`` uint8 for the bin arithmetic.
+
+    Grayscale input is broadcast to three channels.  Float input arrives
+    from the resample/compensation paths either in [0, 255] or unit
+    range; unit-range data is scaled up, everything is clipped into
+    [0, 255] — the integer quantization below is only correct for values
+    in that range.
+    """
+    image = np.asarray(image)
+    if image.ndim == 2:
+        image = np.repeat(image[..., None], 3, axis=-1)
+    if image.dtype == np.uint8:
+        return image
+    data = np.nan_to_num(image.astype(np.float64))
+    if data.size and data.min() >= 0.0 and data.max() <= 1.0:
+        data = data * 255.0
+    return np.clip(np.rint(data), 0, 255).astype(np.uint8)
+
+
 def color_histogram(image: np.ndarray, bins: int = DEFAULT_BINS) -> np.ndarray:
     """Normalized joint RGB histogram of an image, flattened to 1-D.
 
-    Accepts ``(H, W, 3)`` uint8 images (gray images are broadcast to three
-    channels).  The result sums to 1 (all-zero for empty input).
+    Accepts ``(H, W, 3)`` images (gray images are broadcast to three
+    channels; float dtypes are clipped/scaled into uint8 range).  The
+    result sums to 1 (all-zero for empty input).
     """
-    if image.ndim == 2:
-        image = np.repeat(image[..., None], 3, axis=-1)
+    image = _as_uint8_rgb(image)
     if image.size == 0:
         return np.zeros(bins**3, dtype=np.float64)
     quantized = (image.astype(np.int64) * bins) // 256
@@ -48,10 +68,11 @@ def dominant_color(image: np.ndarray, bins: int = 8) -> tuple[int, int, int]:
 
     This is the paper's vehicle-colour feature: "vehicle color is identified
     by computing a color histogram of the region inside the bounding box"
-    and comparing the largest bin against the search colour.
+    and comparing the largest bin against the search colour.  Accepts
+    the same inputs as :func:`color_histogram` (grayscale and float
+    images are coerced to uint8 RGB).
     """
-    if image.ndim == 2:
-        image = np.repeat(image[..., None], 3, axis=-1)
+    image = _as_uint8_rgb(image)
     if image.size == 0:
         return (0, 0, 0)
     quantized = (image.astype(np.int64) * bins) // 256

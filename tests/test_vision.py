@@ -268,3 +268,149 @@ def test_property_estimated_homography_maps_inputs(seed):
     dst = apply_homography(h_true, src)
     h_est = estimate_homography(src, dst)
     assert np.allclose(apply_homography(h_est, src), dst, atol=1e-5)
+
+
+# ----------------------------------------------------------------------
+# frame adaptation (repro.vision.frame_to_rgb) and input hardening
+# ----------------------------------------------------------------------
+class TestFrameToRGB:
+    def _segment(self):
+        from repro.video.frame import VideoSegment
+
+        frame = checkerboard(h=36, w=64)
+        return VideoSegment(frame[None], "rgb", 36, 64, fps=30.0)
+
+    def test_rgb_passthrough(self):
+        from repro.vision import frame_to_rgb
+
+        frame = checkerboard()
+        out = frame_to_rgb(frame, "rgb")
+        assert out is frame  # uint8 RGB needs no work at all
+
+    def test_gray_becomes_three_channels(self):
+        from repro.vision import frame_to_rgb
+
+        gray = np.arange(36 * 64, dtype=np.uint8).reshape(36, 64) % 251
+        out = frame_to_rgb(gray, "gray")
+        assert out.shape == (36, 64, 3)
+        assert (out[..., 0] == gray).all()
+        assert (out[..., 1] == gray).all()
+
+    def test_unit_range_floats_scaled(self):
+        from repro.vision import frame_to_rgb
+
+        frame = checkerboard().astype(np.float64) / 255.0
+        out = frame_to_rgb(frame, "rgb")
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, checkerboard())
+
+    @pytest.mark.parametrize("fmt", ["yuv420", "yuv422"])
+    def test_yuv_roundtrip_approximates_rgb(self, fmt):
+        from repro.video.frame import convert_segment
+        from repro.vision import frame_to_rgb
+
+        segment = self._segment()
+        packed = convert_segment(segment, fmt)
+        out = frame_to_rgb(packed.frame(0), fmt)
+        assert out.shape == (36, 64, 3)
+        err = np.abs(
+            out.astype(np.int16) - segment.frame(0).astype(np.int16)
+        )
+        # Chroma subsampling smears edges; the interior must agree.
+        assert float(err.mean()) < 16.0
+
+    @pytest.mark.parametrize("fmt", ["yuv420", "yuv422"])
+    def test_yuv_geometry_mismatch_rejected(self, fmt):
+        from repro.errors import FormatError
+        from repro.video.frame import convert_segment
+        from repro.vision import frame_to_rgb
+
+        packed = convert_segment(self._segment(), fmt)
+        with pytest.raises(FormatError):
+            frame_to_rgb(packed.frame(0), fmt, height=40, width=64)
+
+    def test_bad_shape_rejected(self):
+        from repro.errors import FormatError
+        from repro.vision import frame_to_rgb
+
+        with pytest.raises(FormatError):
+            frame_to_rgb(np.zeros((4, 4, 4), dtype=np.uint8), "rgb")
+
+
+class TestHardenedInputs:
+    def test_histogram_accepts_floats(self):
+        frame = checkerboard()
+        assert np.allclose(
+            color_histogram(frame.astype(np.float64) / 255.0),
+            color_histogram(frame),
+        )
+
+    def test_histogram_accepts_grayscale(self):
+        gray = checkerboard()[..., 0]
+        hist = color_histogram(gray)
+        assert hist.shape == (64,)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_classify_color_accepts_float_region(self):
+        for name, rgb in VEHICLE_PALETTE.items():
+            region = np.full((10, 10, 3), rgb, dtype=np.float64) / 255.0
+            assert classify_color(region) == name
+
+    def test_dominant_color_handles_nan(self):
+        # NaNs coerce to 0 rather than poisoning the histogram, so the
+        # dominant colour lands in the black bin.
+        region = np.full((8, 8, 3), np.nan)
+        assert color_distance(dominant_color(region), (0, 0, 0)) < 40.0
+
+
+# ----------------------------------------------------------------------
+# property tests: the invariants search extraction relies on
+# ----------------------------------------------------------------------
+_image_seeds = st.integers(0, 10_000)
+
+
+def _random_image(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(24, 32, 3), dtype=np.uint8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=_image_seeds, b=_image_seeds)
+def test_property_histogram_distance_symmetric(a, b):
+    ha = color_histogram(_random_image(a))
+    hb = color_histogram(_random_image(b))
+    assert histogram_distance(ha, hb) == pytest.approx(
+        histogram_distance(hb, ha)
+    )
+    assert histogram_distance(ha, hb) >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=_image_seeds)
+def test_property_histogram_self_distance_zero(seed):
+    hist = color_histogram(_random_image(seed))
+    assert histogram_distance(hist, hist.copy()) == 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_image_seeds)
+def test_property_descriptors_deterministic(seed):
+    """Extraction runs at ingest and at reindex: the embedding a frame
+    produces must be identical both times."""
+    frame = _random_image(seed)
+    kp1, d1 = detect_and_describe(frame, max_keypoints=32)
+    kp2, d2 = detect_and_describe(frame, max_keypoints=32)
+    assert np.array_equal(kp1, kp2)
+    assert np.array_equal(d1, d2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_detection_boxes_inside_frame(seed):
+    from repro.synthetic.scene import RoadScene
+
+    scene = RoadScene(world_width=96, height=36, seed=seed, num_vehicles=5)
+    frame = scene.render_world(0)[:, :64]
+    for det in detect_vehicles(frame):
+        assert 0 <= det.x0 < det.x1 <= 64
+        assert 0 <= det.y0 < det.y1 <= 36

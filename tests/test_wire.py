@@ -26,6 +26,7 @@ from repro.core.wire import (
     FRAME_ERROR,
     FRAME_REPLY,
     FRAME_REQUEST,
+    FRAME_SEARCH,
     FRAME_SEGMENT,
     FRAME_TYPES,
     MAX_FRAME_BYTES,
@@ -39,6 +40,10 @@ from repro.core.wire import (
     read_spec_from_dict,
     read_stats_from_dict,
     read_stats_to_dict,
+    search_hit_from_dict,
+    search_hit_to_dict,
+    search_query_from_dict,
+    search_query_to_dict,
     segment_from_payload,
     segment_payload,
     segment_payload_view,
@@ -55,6 +60,7 @@ from repro.errors import (
     VSSError,
     WireError,
 )
+from repro.search.query import SearchHit
 from repro.video.codec.quant import QP_MAX, QP_MIN
 from repro.video.frame import blank_segment
 
@@ -472,7 +478,7 @@ class TestBinaryFrames:
         assert check_frame_length(MAX_FRAME_BYTES) == MAX_FRAME_BYTES
 
     def test_frame_types_are_distinct(self):
-        assert len(FRAME_TYPES) == 10
+        assert len(FRAME_TYPES) == 12
 
     def test_error_envelope_round_trip(self):
         body = frame_to_bytes(
@@ -482,3 +488,127 @@ class TestBinaryFrames:
         rebuilt = error_from_dict(header)
         assert type(rebuilt) is VideoNotFoundError
         assert rebuilt.name == "cam3"
+
+
+# ----------------------------------------------------------------------
+# search wire forms
+# ----------------------------------------------------------------------
+_labels = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+        min_size=1,
+        max_size=8,
+    ),
+    max_size=6,
+)
+
+search_hits = st.builds(
+    lambda name, seq, start, dur, score, labels, source: SearchHit(
+        name=name,
+        gop_seq=seq,
+        start_time=start,
+        end_time=start + dur,
+        score=score,
+        labels=tuple(labels),
+        source=source,
+    ),
+    name=st.text(min_size=1, max_size=20).filter(lambda s: s.strip()),
+    seq=st.integers(0, 10_000),
+    start=st.floats(0, 1e5, allow_nan=False),
+    dur=st.floats(0.001, 1e3, allow_nan=False),
+    score=_finite,
+    labels=_labels,
+    source=st.sampled_from(["text", "histogram", "embedding", "hybrid"]),
+)
+
+search_queries = st.builds(
+    dict,
+    text=st.one_of(st.none(), st.text(min_size=1, max_size=30)),
+    like=st.one_of(
+        st.none(),
+        st.lists(_finite, min_size=64, max_size=64),
+        st.lists(_finite, min_size=128, max_size=128),
+    ),
+    limit=st.integers(1, 100),
+    min_score=_finite,
+)
+
+
+class TestSearchWireForms:
+    @settings(max_examples=50, deadline=None)
+    @given(hit=search_hits)
+    def test_hit_round_trips_through_json(self, hit):
+        rebuilt = search_hit_from_dict(
+            json.loads(json.dumps(search_hit_to_dict(hit)))
+        )
+        assert rebuilt == hit
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=search_queries)
+    def test_query_round_trips_through_json(self, query):
+        wire = json.loads(json.dumps(search_query_to_dict(**query)))
+        rebuilt = search_query_from_dict(wire)
+        assert rebuilt["text"] == query["text"]
+        assert rebuilt["limit"] == query["limit"]
+        assert rebuilt["min_score"] == pytest.approx(query["min_score"])
+        if query["like"] is None:
+            assert rebuilt["like"] is None
+        else:
+            assert np.allclose(
+                rebuilt["like"],
+                np.asarray(query["like"], dtype=np.float32),
+            )
+
+    def test_query_unknown_key_rejected(self):
+        wire = search_query_to_dict(text="car")
+        wire["shard"] = 3
+        with pytest.raises(WireError, match="unknown"):
+            search_query_from_dict(wire)
+
+    def test_query_missing_key_rejected(self):
+        wire = search_query_to_dict(text="car")
+        del wire["limit"]
+        with pytest.raises(WireError, match="missing"):
+            search_query_from_dict(wire)
+
+    def test_hit_unknown_key_rejected(self):
+        wire = {
+            "name": "v",
+            "gop_seq": 0,
+            "start_time": 0.0,
+            "end_time": 1.0,
+            "score": 0.5,
+            "labels": [],
+            "source": "text",
+            "extra": 1,
+        }
+        with pytest.raises(WireError, match="unknown"):
+            search_hit_from_dict(wire)
+
+    def test_malformed_like_rejected(self):
+        wire = search_query_to_dict(text="car")
+        wire["like"] = ["not-a-number"]
+        with pytest.raises(WireError, match="like"):
+            search_query_from_dict(wire)
+
+    def test_empty_hit_window_rejected(self):
+        wire = {
+            "name": "v",
+            "gop_seq": 0,
+            "start_time": 1.0,
+            "end_time": 1.0,
+            "score": 0.5,
+            "labels": [],
+            "source": "text",
+        }
+        with pytest.raises((WireError, ValueError)):
+            search_hit_from_dict(wire)
+
+    def test_search_frame_types_on_the_wire(self):
+        body = frame_to_bytes(
+            FRAME_SEARCH, search_query_to_dict(text="red truck")
+        )[4:]
+        frame_type, header, payload = parse_frame(body)
+        assert frame_type == FRAME_SEARCH
+        assert search_query_from_dict(header)["text"] == "red truck"
+        assert payload.nbytes == 0
