@@ -608,6 +608,21 @@ class ClusterEngine:
             per_shard[shard.name] = doc
         with self._counter_lock:
             counters = dict(self.counters)
+        # Tile selectivity rolled up across shards (each shard's engine
+        # document carries its own monotonic counters).
+        tiles = {
+            key: sum(
+                int(doc.get("engine", {}).get(key, 0))
+                for doc in per_shard.values()
+                if doc["up"]
+            )
+            for key in (
+                "tiles_total",
+                "tiles_decoded",
+                "tile_bytes_skipped",
+                "retiles",
+            )
+        }
         return {
             "cluster": True,
             "shards": per_shard,
@@ -615,6 +630,7 @@ class ClusterEngine:
             "shards_down": len(self.shards) - up,
             "replication": self.ring.replication,
             "router": counters,
+            "tiles": tiles,
         }
 
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.core.records import (
     JointPairRecord,
     LogicalVideo,
     PhysicalVideo,
+    TileGroupRecord,
     ViewRecord,
 )
 from repro.core.specs import ViewSpec
@@ -61,10 +62,31 @@ CREATE TABLE IF NOT EXISTS physical_videos (
     end_time REAL NOT NULL,
     mse_estimate REAL NOT NULL,
     is_original INTEGER NOT NULL,
-    sealed INTEGER NOT NULL
+    sealed INTEGER NOT NULL,
+    tile_group_id INTEGER,
+    tile_index INTEGER
 );
 CREATE INDEX IF NOT EXISTS physical_by_logical
     ON physical_videos(logical_id);
+CREATE TABLE IF NOT EXISTS tile_groups (
+    id INTEGER PRIMARY KEY,
+    logical_id INTEGER NOT NULL REFERENCES logical_videos(id),
+    source_physical_id INTEGER NOT NULL,
+    grid TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS tile_groups_by_logical
+    ON tile_groups(logical_id);
+CREATE TABLE IF NOT EXISTS roi_accesses (
+    logical_id INTEGER NOT NULL,
+    x0 INTEGER NOT NULL,
+    y0 INTEGER NOT NULL,
+    x1 INTEGER NOT NULL,
+    y1 INTEGER NOT NULL,
+    count INTEGER NOT NULL DEFAULT 0,
+    last_tick INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (logical_id, x0, y0, x1, y1)
+);
 CREATE TABLE IF NOT EXISTS gops (
     id INTEGER PRIMARY KEY,
     physical_id INTEGER NOT NULL REFERENCES physical_videos(id),
@@ -165,7 +187,26 @@ class Catalog:
         self._conn, self._wal = self._connect()
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            self._migrate(self._conn)
             self._conn.commit()
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing table,
+        so columns added after a store was created must be grafted on
+        here (nullable, so old rows read back with the field's default).
+        """
+        columns = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(physical_videos)")
+        }
+        for column in ("tile_group_id", "tile_index"):
+            if column not in columns:
+                conn.execute(
+                    f"ALTER TABLE physical_videos ADD COLUMN {column} INTEGER"
+                )
 
     def _connect(self) -> tuple[sqlite3.Connection, bool]:
         conn = sqlite3.connect(
@@ -336,6 +377,12 @@ class Catalog:
             )
             conn.execute(
                 "DELETE FROM physical_videos WHERE logical_id = ?", (logical_id,)
+            )
+            conn.execute(
+                "DELETE FROM tile_groups WHERE logical_id = ?", (logical_id,)
+            )
+            conn.execute(
+                "DELETE FROM roi_accesses WHERE logical_id = ?", (logical_id,)
             )
             conn.execute(
                 "DELETE FROM logical_videos WHERE id = ?", (logical_id,)
@@ -523,13 +570,16 @@ class Catalog:
         mse_estimate: float,
         is_original: bool,
         sealed: bool = True,
+        tile_group_id: int | None = None,
+        tile_index: int | None = None,
     ) -> PhysicalVideo:
         with self._write() as conn:
             cursor = conn.execute(
                 "INSERT INTO physical_videos (logical_id, codec, pixel_format,"
                 " width, height, fps, qp, roi, start_time, end_time,"
-                " mse_estimate, is_original, sealed)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " mse_estimate, is_original, sealed, tile_group_id,"
+                " tile_index)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     logical_id,
                     codec,
@@ -544,6 +594,8 @@ class Catalog:
                     mse_estimate,
                     int(is_original),
                     int(sealed),
+                    tile_group_id,
+                    tile_index,
                 ),
             )
             conn.commit()
@@ -630,7 +682,136 @@ class Catalog:
             mse_estimate=row["mse_estimate"],
             is_original=bool(row["is_original"]),
             sealed=bool(row["sealed"]),
+            tile_group_id=row["tile_group_id"],
+            tile_index=row["tile_index"],
         )
+
+    # ------------------------------------------------------------------
+    # tile groups (repro.tiles: spatially tiled physical layouts)
+    # ------------------------------------------------------------------
+    def create_tile_group(
+        self, logical_id: int, source_physical_id: int, grid
+    ) -> TileGroupRecord:
+        """Register a tiled layout of ``source_physical_id``.
+
+        ``grid`` is a :class:`repro.tiles.TileGrid` (anything with a
+        lossless ``to_dict``); member physicals are linked afterwards
+        via :meth:`add_physical`'s ``tile_group_id``/``tile_index``.
+        """
+        with self._write() as conn:
+            cursor = conn.execute(
+                "INSERT INTO tile_groups (logical_id, source_physical_id,"
+                " grid, created_at) VALUES (?, ?, ?, ?)",
+                (
+                    logical_id,
+                    source_physical_id,
+                    json.dumps(grid.to_dict()),
+                    time.time(),
+                ),
+            )
+            conn.commit()
+            return self.get_tile_group(cursor.lastrowid)
+
+    def get_tile_group(self, group_id: int) -> TileGroupRecord:
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT * FROM tile_groups WHERE id = ?", (group_id,)
+            ).fetchone()
+        if row is None:
+            raise CatalogError(f"no tile group with id {group_id}")
+        return self._tile_group_from_row(row)
+
+    def tile_groups_of_logical(self, logical_id: int) -> list[TileGroupRecord]:
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT * FROM tile_groups WHERE logical_id = ? ORDER BY id",
+                (logical_id,),
+            ).fetchall()
+        return [self._tile_group_from_row(r) for r in rows]
+
+    def delete_tile_group(self, group_id: int) -> None:
+        """Remove a tile-group row (members are deleted by the caller
+        via :meth:`delete_physical`, which owns the page files too)."""
+        with self._write() as conn:
+            conn.execute(
+                "DELETE FROM tile_groups WHERE id = ?", (group_id,)
+            )
+            conn.commit()
+
+    def tile_members(self, group_id: int) -> list[PhysicalVideo]:
+        """The group's per-tile physicals, in ``tile_index`` order."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT * FROM physical_videos WHERE tile_group_id = ?"
+                " ORDER BY tile_index",
+                (group_id,),
+            ).fetchall()
+        return [self._physical_from_row(r) for r in rows]
+
+    @staticmethod
+    def _tile_group_from_row(row: sqlite3.Row) -> TileGroupRecord:
+        from repro.tiles.grid import TileGrid  # no import cycle: grid is leaf
+
+        try:
+            grid = TileGrid.from_dict(json.loads(row["grid"]))
+        except Exception as exc:
+            raise CatalogError(
+                f"corrupt tile grid for group {row['id']}: {exc}"
+            ) from exc
+        return TileGroupRecord(
+            id=row["id"],
+            logical_id=row["logical_id"],
+            source_physical_id=row["source_physical_id"],
+            grid=grid,
+            created_at=row["created_at"],
+        )
+
+    # ------------------------------------------------------------------
+    # ROI access tracking (feeds the access-driven re-tiling policy)
+    # ------------------------------------------------------------------
+    def record_roi_accesses(
+        self, logical_id: int, counts: dict, tick: int
+    ) -> None:
+        """Fold per-ROI read counts into the persistent access log.
+
+        ``counts`` maps ``(x0, y0, x1, y1)`` to the number of reads since
+        the last flush; the engine batches in memory and flushes during
+        maintenance, so this never runs on the read critical path.
+        """
+        if not counts:
+            return
+        with self._write() as conn:
+            for roi, count in counts.items():
+                x0, y0, x1, y1 = (int(v) for v in roi)
+                conn.execute(
+                    "INSERT INTO roi_accesses"
+                    " (logical_id, x0, y0, x1, y1, count, last_tick)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?)"
+                    " ON CONFLICT(logical_id, x0, y0, x1, y1) DO UPDATE SET"
+                    " count = count + excluded.count,"
+                    " last_tick = excluded.last_tick",
+                    (logical_id, x0, y0, x1, y1, int(count), tick),
+                )
+            conn.commit()
+
+    def roi_accesses(self, logical_id: int) -> dict:
+        """Accumulated ROI read counts: ``{(x0, y0, x1, y1): count}``."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT x0, y0, x1, y1, count FROM roi_accesses"
+                " WHERE logical_id = ?",
+                (logical_id,),
+            ).fetchall()
+        return {
+            (r["x0"], r["y0"], r["x1"], r["y1"]): r["count"] for r in rows
+        }
+
+    def clear_roi_accesses(self, logical_id: int) -> None:
+        with self._write() as conn:
+            conn.execute(
+                "DELETE FROM roi_accesses WHERE logical_id = ?", (logical_id,)
+            )
+            conn.commit()
 
     # ------------------------------------------------------------------
     # GOPs

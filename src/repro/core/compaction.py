@@ -34,6 +34,11 @@ def _mergeable(a: PhysicalVideo, b: PhysicalVideo) -> bool:
         and abs(a.fps - b.fps) < _EPS
         and a.qp == b.qp
         and a.roi == b.roi
+        # Tiles only merge with their own tile's continuation: a merge
+        # across tile groups (or across tile positions — their rois
+        # differ anyway) would corrupt the grid's row-major indexing.
+        and a.tile_group_id == b.tile_group_id
+        and a.tile_index == b.tile_index
         and abs(a.end_time - b.start_time) < _EPS
     )
 

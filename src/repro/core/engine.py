@@ -104,6 +104,7 @@ from repro.errors import (
     WriteError,
 )
 from repro.search.extract import extract_physical
+from repro.tiles import RetilePolicy, TileGrid, Tiler
 from repro.search.index import SearchIndex
 from repro.search.query import DEFAULT_LIMIT as DEFAULT_SEARCH_LIMIT
 from repro.search.query import SearchHit, rows_to_hits, run_search
@@ -188,6 +189,12 @@ class EngineStats:
     extraction tasks, ``extraction_completed``/``extraction_dropped``
     their outcomes; ``searches_served`` and ``search_seconds``
     accumulate query traffic and latency.
+
+    The tile counters describe tiled layouts (``repro.tiles``):
+    ``tiles_total``/``tiles_decoded`` accumulate per-read tile
+    selectivity, ``tile_bytes_skipped`` the stored bytes ROI reads did
+    not have to decode, and ``retiles`` the number of tile layouts
+    built or replaced (explicit or access-driven).
     """
 
     num_logical_videos: int
@@ -223,6 +230,10 @@ class EngineStats:
     extraction_dropped: int
     searches_served: int
     search_seconds: float
+    tiles_total: int
+    tiles_decoded: int
+    tile_bytes_skipped: int
+    retiles: int
 
 
 @dataclass
@@ -319,6 +330,16 @@ class VSSEngine:
             decode_cache=self.decode_cache,
         )
         self.compactor = Compactor(self.catalog, decode_cache=self.decode_cache)
+        # Tiled physical layouts (repro.tiles): the tiler builds/replaces
+        # per-tile physicals, the policy decides when observed ROI
+        # accesses justify doing so during maintenance.
+        self.tiler = Tiler(
+            self.catalog,
+            self.layout,
+            self.writer,
+            decode_cache=self.decode_cache,
+        )
+        self.retile_policy = RetilePolicy()
         self.budget_multiple = budget_multiple
         self.planner = planner
         self.cache_reads = cache_reads
@@ -363,6 +384,14 @@ class VSSEngine:
         self._writes = 0
         self._batches = 0
         self._streams = 0
+        # Tile accounting rolled up from answered reads, plus the
+        # per-logical ROI access log the re-tiling policy consumes
+        # (flushed to the catalog during maintenance).
+        self._tiles_total = 0
+        self._tiles_decoded = 0
+        self._tile_bytes_skipped = 0
+        self._retiles = 0
+        self._roi_accesses: dict[int, dict[tuple, int]] = {}
         self._num_sessions = 0
         self._view_reads: dict[str, int] = {}
         self._view_reads_total = 0
@@ -1007,6 +1036,7 @@ class VSSEngine:
         exclusive side, and upgrading in place would deadlock against
         concurrent readers.
         """
+        self._note_read_outcome(logical.id, plan)
         if (
             self._should_cache(spec)
             and not result.stats.direct_serve
@@ -1028,6 +1058,25 @@ class VSSEngine:
                     nbytes=result.nbytes,
                 )
         self._schedule_maintenance(logical)
+
+    def _note_read_outcome(self, logical_id: int, plan) -> None:
+        """Tile bookkeeping for one answered read.
+
+        Rolls the plan's tile counters into the engine-wide totals and,
+        when the read had a genuine (sub-frame) ROI, records it in the
+        in-memory access log the re-tiling policy consumes.
+        """
+        roi = None
+        full = (0, 0, *plan.original_resolution)
+        if tuple(plan.roi) != full:
+            roi = tuple(int(v) for v in plan.roi)
+        with self._state_lock:
+            self._tiles_total += plan.tiles_total
+            self._tiles_decoded += plan.tiles_decoded
+            self._tile_bytes_skipped += plan.tile_bytes_skipped
+            if roi is not None:
+                per = self._roi_accesses.setdefault(logical_id, {})
+                per[roi] = per.get(roi, 0) + 1
 
     def _current_incarnation(self, logical: LogicalVideo) -> bool:
         """True while ``logical`` is still the live video of its name.
@@ -1118,8 +1167,7 @@ class VSSEngine:
                 spec.name, any_raw=spec.codec == "raw"
             )
             plan, plan_cached = self._plan_for(logical, original, spec)
-            stats = ReadStats(planned_cost=plan.estimated_cost)
-            stats.fragments_used = plan.num_fragments_used
+            stats = ReadStats.for_plan(plan)
             stats.plan_cached = plan_cached
             stats.view_chain = list(view_chain)
             chunks = self.reader.iter_output(plan, stats=stats)
@@ -1206,6 +1254,8 @@ class VSSEngine:
             # group under one exclusive hold with a single budget pass
             # (the pre-queue behaviour); async mode enqueues per result,
             # coalescing duplicates.
+            for i in indices:
+                self._note_read_outcome(logical.id, results[i].plan)
             to_admit = [
                 results[i]
                 for i in indices
@@ -1405,6 +1455,7 @@ class VSSEngine:
                     return
                 if compact_due:
                     self.compactor.compact(logical)
+                    self._maybe_retile(logical)
                 if refine_due:
                     self._refine_one(logical)
         except VideoNotFoundError:
@@ -1415,6 +1466,74 @@ class VSSEngine:
         with self._locked(name):
             logical = self.catalog.get_logical(name)
             return self.compactor.compact(logical)
+
+    def retile(
+        self,
+        name: str,
+        grid: TileGrid | None = None,
+        rows: int = 2,
+        cols: int = 2,
+    ):
+        """Lay ``name`` out as spatial tiles (replacing any current grid).
+
+        The explicit counterpart of the access-driven policy: build a
+        tiled layout now, with ``grid`` (or a uniform ``rows x cols``
+        one).  ROI reads then decode only the tiles they intersect;
+        full-frame reads keep planning against the untiled source and
+        stay byte-identical.  Returns the new
+        :class:`~repro.core.records.TileGroupRecord`, or None when an
+        equal grid is already in place.
+        """
+        self._require_storage(name, "retile")
+        with self._locked(name):
+            logical = self.catalog.get_logical(name)
+            original = self.catalog.original_physical(logical.id)
+            if original is None:
+                raise ReadError(f"logical video {name!r} has no data")
+            if grid is None:
+                grid = TileGrid.uniform(
+                    rows, cols, original.width, original.height
+                )
+            group = self.tiler.retile(logical, original, grid)
+        # The tiler bumped the data version, so memoized plans for the
+        # old layout are already unreachable.
+        if group is not None:
+            with self._state_lock:
+                self._retiles += 1
+        return group
+
+    def _maybe_retile(self, logical: LogicalVideo) -> None:
+        """Access-driven re-tiling (runs under the exclusive lock during
+        maintenance): flush the in-memory ROI access log to the catalog,
+        then ask the policy whether the accumulated evidence justifies a
+        new grid.  A successful retile consumes the log, so the next
+        proposal needs fresh evidence."""
+        with self._state_lock:
+            accesses = self._roi_accesses.pop(logical.id, None)
+        if accesses:
+            self.catalog.record_roi_accesses(
+                logical.id, accesses, self.clock.tick()
+            )
+        original = self.catalog.original_physical(logical.id)
+        if original is None:
+            return
+        stored = self.catalog.roi_accesses(logical.id)
+        if not stored:
+            return
+        groups = self.catalog.tile_groups_of_logical(logical.id)
+        current = groups[0].grid if groups else None
+        grid = self.retile_policy.propose(
+            original.width, original.height, stored, current
+        )
+        if grid is None:
+            return
+        try:
+            self.tiler.retile(logical, original, grid)
+        except WriteError:
+            return  # source not tileable (evicted pages / joint pairs)
+        self.catalog.clear_roi_accesses(logical.id)
+        with self._state_lock:
+            self._retiles += 1
 
     def _refine_one(self, logical: LogicalVideo) -> None:
         """Periodic exact-quality sampling (section 3.2): decode a sample
@@ -1516,6 +1635,10 @@ class VSSEngine:
             view_reads = self._view_reads_total
             failures = self._failures
             session_seconds = self._session_seconds
+            tiles_total = self._tiles_total
+            tiles_decoded = self._tiles_decoded
+            tile_bytes_skipped = self._tile_bytes_skipped
+            retiles = self._retiles
         with self._plan_lock:
             plan_hits, plan_misses = self._plan_hits, self._plan_misses
         with self._search_lock:
@@ -1560,6 +1683,10 @@ class VSSEngine:
             extraction_dropped=extraction_dropped,
             searches_served=searches_served,
             search_seconds=search_seconds,
+            tiles_total=tiles_total,
+            tiles_decoded=tiles_decoded,
+            tile_bytes_skipped=tile_bytes_skipped,
+            retiles=retiles,
         )
 
     def video_stats(self, name: str) -> StoreStats | ViewStats:
@@ -1817,6 +1944,7 @@ class ReadStream:
         except VideoNotFoundError:
             logical = None
         if logical is not None:
+            engine._note_read_outcome(logical.id, self.plan)
             engine._schedule_maintenance(logical)
         if self._on_complete is not None:
             self._on_complete(self.stats)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.core.cost import CostModel, TargetFormat
 from repro.core.quality import QualityModel
 from repro.core.records import ROI, Fragment, PhysicalVideo
+from repro.core.roi import check_roi, check_roi_bounds
 from repro.core.specs import ReadSpec, ViewSpec
 from repro.errors import OutOfRangeError, QualityError, ReadError
 from repro.solver import Optimizer
@@ -102,10 +103,10 @@ def rebase_roi(
             )
     vx0, vy0, vx1, vy1 = view_roi
     rx0, ry0, rx1, ry1 = request_roi
-    if rx1 > vx1 - vx0 or ry1 > vy1 - vy0:
-        raise OutOfRangeError(
-            f"roi {request_roi} outside the view's {vx1 - vx0}x{vy1 - vy0} crop"
-        )
+    check_roi(request_roi)
+    check_roi_bounds(
+        request_roi, vx1 - vx0, vy1 - vy0, what="view's crop"
+    )
     return (vx0 + rx0, vy0 + ry0, vx0 + rx1, vy0 + ry1)
 
 
@@ -254,6 +255,14 @@ class ReadPlan:
     #: (width, height) of the original video's frames; the coordinate space
     #: that ``roi`` and fragment ROIs are expressed in.
     original_resolution: tuple[int, int] = (0, 0)
+    #: Tile selectivity over tiled layouts (``repro.tiles``): of the tile
+    #: physicals whose time range overlaps the request window,
+    #: ``tiles_total`` existed, ``tiles_decoded`` were chosen by the
+    #: plan, and ``tile_bytes_skipped`` is the stored bytes of the
+    #: unchosen tiles' overlapping GOPs — the decode work tiling saved.
+    tiles_total: int = 0
+    tiles_decoded: int = 0
+    tile_bytes_skipped: int = 0
 
     @property
     def num_fragments_used(self) -> int:
@@ -287,11 +296,8 @@ def resolve_target(
     """Fill in request defaults from the original video."""
     full: ROI = (0, 0, original.width, original.height)
     roi = request.roi if request.roi is not None else full
-    clipped = _clip_roi(roi, full)
-    if clipped is None or clipped != roi:
-        raise OutOfRangeError(
-            f"ROI {roi} outside original frame {original.width}x{original.height}"
-        )
+    check_roi(roi)
+    check_roi_bounds(roi, original.width, original.height, what="original frame")
     if request.resolution is not None:
         width, height = request.resolution
     else:
@@ -347,7 +353,39 @@ def plan_read(
             request, target, target_fps, roi, intervals, cost_model
         )
     plan.original_resolution = (original.width, original.height)
+    _attach_tile_stats(plan, request, fragments)
     return plan
+
+
+def _attach_tile_stats(
+    plan: ReadPlan, request: ReadSpec, fragments: list[Fragment]
+) -> None:
+    """Record tile selectivity on the plan (zeros for untiled stores)."""
+    tile_frags = [
+        f
+        for f in fragments
+        if f.physical.tile_group_id is not None
+        and f.end_time > request.start + _EPS
+        and f.start_time < request.end - _EPS
+    ]
+    if not tile_frags:
+        return
+    decoded = {
+        c.fragment.physical.id
+        for c in plan.choices
+        if c.fragment.physical.tile_group_id is not None
+    }
+    skipped = 0
+    for fragment in tile_frags:
+        if fragment.physical.id in decoded:
+            continue
+        skipped += sum(
+            g.nbytes
+            for g in fragment.gops_overlapping(request.start, request.end)
+        )
+    plan.tiles_total = len({f.physical.id for f in tile_frags})
+    plan.tiles_decoded = len(decoded)
+    plan.tile_bytes_skipped = skipped
 
 
 def _filter_candidates(
@@ -358,10 +396,17 @@ def _filter_candidates(
     roi: ROI,
     mode: str,
 ) -> list[Fragment]:
+    full: ROI = (0, 0, original.width, original.height)
+    full_frame = roi == full
     chosen = []
     for fragment in fragments:
         physical = fragment.physical
         if mode == "original" and not physical.is_original:
+            continue
+        # Tile physicals only compete for genuine ROI requests: gating
+        # them out of full-frame reads keeps those reads planning (and
+        # serving) byte-identically on tiled and untiled stores.
+        if physical.tile_group_id is not None and full_frame:
             continue
         if not quality_model.acceptable(physical, request.quality_db):
             continue
@@ -369,7 +414,7 @@ def _filter_candidates(
             continue
         if fragment.start_time >= request.end - _EPS:
             continue
-        frag_roi = physical.roi_or((0, 0, original.width, original.height))
+        frag_roi = physical.roi_or(full)
         if _clip_roi(frag_roi, roi) is None:
             continue
         chosen.append(fragment)

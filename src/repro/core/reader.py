@@ -84,6 +84,23 @@ class ReadStats:
     #: Views the request's name resolved through (outermost first);
     #: empty for a read addressed directly at a logical video.
     view_chain: list[str] = field(default_factory=list)
+    #: Tile accounting (``repro.tiles``), copied from the plan: how many
+    #: tile physicals overlapped the request window, how many the plan
+    #: actually decodes, and the stored bytes of overlapping tiles the
+    #: ROI let the read skip.  All zero for untiled videos.
+    tiles_total: int = 0
+    tiles_decoded: int = 0
+    tile_bytes_skipped: int = 0
+
+    @classmethod
+    def for_plan(cls, plan: ReadPlan) -> "ReadStats":
+        """Stats pre-filled with the plan-derived fields."""
+        stats = cls(planned_cost=plan.estimated_cost)
+        stats.fragments_used = plan.num_fragments_used
+        stats.tiles_total = plan.tiles_total
+        stats.tiles_decoded = plan.tiles_decoded
+        stats.tile_bytes_skipped = plan.tile_bytes_skipped
+        return stats
 
 
 @dataclass
@@ -286,8 +303,7 @@ class Reader:
         if direct_records is _DEFAULT_CACHE:
             direct_records = self._direct_serve_records(plan)
         start_wall = time.perf_counter()
-        stats = ReadStats(planned_cost=plan.estimated_cost)
-        stats.fragments_used = plan.num_fragments_used
+        stats = ReadStats.for_plan(plan)
 
         direct = self._serve_direct(plan, direct_records, stats)
         if direct is not None:
@@ -706,8 +722,7 @@ class Reader:
         once the generator is exhausted.
         """
         if stats is None:
-            stats = ReadStats(planned_cost=plan.estimated_cost)
-            stats.fragments_used = plan.num_fragments_used
+            stats = ReadStats.for_plan(plan)
         if decode_cache is _DEFAULT_CACHE:
             decode_cache = self.decode_cache
         if direct_records is _DEFAULT_CACHE:

@@ -75,6 +75,12 @@ class PhysicalVideo:
     mse_estimate: float
     is_original: bool
     sealed: bool
+    #: Tile membership (``repro.tiles``): a tiled layout stores one
+    #: physical per tile, all sharing a ``tile_group_id``; ``tile_index``
+    #: is this physical's row-major position in the group's grid.  Both
+    #: are None for ordinary (untiled) physicals.
+    tile_group_id: int | None = None
+    tile_index: int | None = None
 
     @property
     def resolution(self) -> tuple[int, int]:
@@ -127,6 +133,26 @@ class GopRecord:
     @property
     def dependent_frames(self) -> int:
         return self.frame_types.count("P")
+
+
+@dataclass(frozen=True)
+class TileGroupRecord:
+    """One tiled layout of (a time range of) a logical video.
+
+    A tile group ties together the per-tile physical videos produced by
+    :class:`repro.tiles.Tiler` from one *source* physical: ``grid`` is
+    the :class:`repro.tiles.TileGrid` that cut the frame, and each
+    member physical carries this record's id in its ``tile_group_id``
+    plus its row-major ``tile_index``.  The source physical is kept —
+    tiles are a cached alternative layout, never a replacement — so
+    full-frame reads keep planning against the original untouched.
+    """
+
+    id: int
+    logical_id: int
+    source_physical_id: int
+    grid: "object"  # repro.tiles.TileGrid (kept untyped: no core->tiles dep)
+    created_at: float
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,55 @@
+"""Shared ROI validation: one set of rules for every layer.
+
+ROIs appear at three points of the request path — ``ReadSpec`` and
+``ViewSpec`` construction, and view-fold time when a request ROI is
+rebased into a parent's crop — and each layer used to carry its own
+inline checks, with subtly different coverage (construction rejected
+malformed/zero-area rectangles, folding rejected out-of-bounds ones).
+These helpers make the rules uniform:
+
+* :func:`check_roi` — shape and well-formedness: a 4-tuple
+  ``(x0, y0, x1, y1)`` with non-negative origin and **positive area**.
+  Zero-area ROIs are rejected here, at construction, rather than
+  surfacing later as empty decodes.
+* :func:`check_roi_bounds` — containment in a ``width x height`` frame,
+  applied wherever an ROI meets a concrete geometry (the original frame
+  in ``resolve_target``, the parent's crop in ``rebase_roi``).
+
+Both raise the same error types the call sites historically raised
+(``ValueError`` for shape, :class:`~repro.errors.OutOfRangeError` for
+geometry), so callers' error handling is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import ROI
+from repro.errors import OutOfRangeError
+
+
+def check_roi(roi: ROI) -> None:
+    """Validate an ROI's shape and well-formedness.
+
+    Raises ``ValueError`` when ``roi`` is not a 4-sequence and
+    :class:`OutOfRangeError` when the rectangle has a negative origin
+    or non-positive area.
+    """
+    if len(roi) != 4:
+        raise ValueError(f"roi must be (x0, y0, x1, y1), got {roi}")
+    x0, y0, x1, y1 = roi
+    if x0 < 0 or y0 < 0 or x1 <= x0 or y1 <= y0:
+        raise OutOfRangeError(f"malformed roi {roi}")
+
+
+def check_roi_bounds(
+    roi: ROI, width: int, height: int, what: str = "frame"
+) -> None:
+    """Require ``roi`` to lie fully inside a ``width x height`` geometry.
+
+    ``what`` names the geometry in the error message ("original frame",
+    "the view's crop", ...).
+    """
+    x0, y0, x1, y1 = roi
+    if x1 > width or y1 > height:
+        raise OutOfRangeError(
+            f"roi {tuple(roi)} outside the {what} ({width}x{height})"
+        )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.quality import DEFAULT_EPSILON_DB
 from repro.core.records import ROI
+from repro.core.roi import check_roi
 from repro.errors import FormatError, OutOfRangeError
 from repro.video.codec.quant import QP_DEFAULT, QP_MAX, QP_MIN
 from repro.video.codec.registry import CODEC_NAMES
@@ -106,11 +107,7 @@ class ReadSpec:
                     f"resolution must be positive, got {self.resolution}"
                 )
         if self.roi is not None:
-            if len(self.roi) != 4:
-                raise ValueError(f"roi must be (x0, y0, x1, y1), got {self.roi}")
-            x0, y0, x1, y1 = self.roi
-            if x0 < 0 or y0 < 0 or x1 <= x0 or y1 <= y0:
-                raise OutOfRangeError(f"malformed roi {self.roi}")
+            check_roi(self.roi)
         if self.fps is not None and self.fps <= 0:
             raise ValueError(f"fps must be positive, got {self.fps}")
         _check_qp(self.qp)
@@ -228,11 +225,7 @@ class ViewSpec:
                 f"empty view window [{self.start}, {self.end})"
             )
         if self.roi is not None:
-            if len(self.roi) != 4:
-                raise ValueError(f"roi must be (x0, y0, x1, y1), got {self.roi}")
-            x0, y0, x1, y1 = self.roi
-            if x0 < 0 or y0 < 0 or x1 <= x0 or y1 <= y0:
-                raise OutOfRangeError(f"malformed roi {self.roi}")
+            check_roi(self.roi)
         if self.resolution is not None:
             width, height = self.resolution
             if width < 1 or height < 1:

@@ -168,6 +168,49 @@ def read_stats_from_dict(data: dict) -> ReadStats:
 
 
 # ----------------------------------------------------------------------
+# tile grids
+# ----------------------------------------------------------------------
+_TILE_GRID_KEYS = ("rows", "cols", "row_cuts", "col_cuts")
+
+
+def tile_grid_to_dict(grid) -> dict:
+    """A :class:`repro.tiles.TileGrid` as a JSON-serializable dict.
+
+    This is also the grid's persistent form in the catalog's
+    ``tile_groups`` table, so it must stay lossless across releases.
+    """
+    return {
+        "rows": grid.rows,
+        "cols": grid.cols,
+        "row_cuts": list(grid.row_cuts),
+        "col_cuts": list(grid.col_cuts),
+    }
+
+
+def tile_grid_from_dict(data: dict):
+    """Rebuild a :class:`TileGrid`; unknown/missing keys raise
+    :class:`WireError`, invalid geometry raises the grid's own errors."""
+    from repro.tiles.grid import TileGrid
+
+    _check_keys(data, _TILE_GRID_KEYS, "TileGrid")
+    for field_name in ("row_cuts", "col_cuts"):
+        if not isinstance(data[field_name], (list, tuple)):
+            raise WireError(
+                f"{field_name} must be an array, got {data[field_name]!r}"
+            )
+    try:
+        rows = int(data["rows"])
+        cols = int(data["cols"])
+        row_cuts = tuple(int(v) for v in data["row_cuts"])
+        col_cuts = tuple(int(v) for v in data["col_cuts"])
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed TileGrid: {exc}") from None
+    return TileGrid(
+        rows=rows, cols=cols, row_cuts=row_cuts, col_cuts=col_cuts
+    )
+
+
+# ----------------------------------------------------------------------
 # search
 # ----------------------------------------------------------------------
 _SEARCH_QUERY_KEYS = ("text", "like", "limit", "min_score")

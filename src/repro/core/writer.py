@@ -91,6 +91,8 @@ class Writer:
         is_original: bool = False,
         mse_estimate: float = 0.0,
         roi: ROI | None = None,
+        tile_group_id: int | None = None,
+        tile_index: int | None = None,
     ) -> WriteOutcome:
         """Store already-encoded GOPs (the API accepts compressed writes
         as-is, preserving ingested GOP structure)."""
@@ -118,6 +120,8 @@ class Writer:
             is_original=is_original,
             mse_estimate=mse_estimate,
             roi=roi,
+            tile_group_id=tile_group_id,
+            tile_index=tile_index,
         )
         stream.append_gops(gops)
         return stream.close()
@@ -137,6 +141,8 @@ class Writer:
         mse_estimate: float = 0.0,
         roi: ROI | None = None,
         gop_size: int | None = None,
+        tile_group_id: int | None = None,
+        tile_index: int | None = None,
     ) -> "StreamWriter":
         """Begin a non-blocking streaming write."""
         physical = self.catalog.add_physical(
@@ -153,6 +159,8 @@ class Writer:
             mse_estimate=mse_estimate,
             is_original=is_original,
             sealed=False,
+            tile_group_id=tile_group_id,
+            tile_index=tile_index,
         )
         return StreamWriter(self, logical, physical, qp, gop_size)
 

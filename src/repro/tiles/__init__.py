@@ -1,0 +1,16 @@
+"""Tiled physical layout: spatial tiles with ROI-selective reads.
+
+A tiled layout stores a video as a grid of independently decodable
+spatial tiles — one physical video per tile — so a read restricted to a
+region of interest decodes only the tiles it intersects, and an
+access-driven policy re-cuts the grid when reads concentrate in a stable
+subregion.  See :mod:`repro.tiles.grid` for the geometry,
+:mod:`repro.tiles.tiler` for the encode/replace path, and
+:mod:`repro.tiles.policy` for the re-tiling decision.
+"""
+
+from repro.tiles.grid import TileGrid
+from repro.tiles.policy import RetilePolicy
+from repro.tiles.tiler import Tiler
+
+__all__ = ["RetilePolicy", "TileGrid", "Tiler"]

@@ -1,0 +1,215 @@
+"""Tile grid geometry: how a frame is cut into spatial tiles.
+
+A :class:`TileGrid` is a rows x cols partition of a ``width x height``
+frame, described by its horizontal and vertical *cut lines* rather than
+per-tile rectangles — the cuts guarantee the tiles partition the frame
+exactly (no gaps, no overlap), which is what makes full-frame stitching
+of independently stored tiles bit-exact.  Cuts need not be uniform: the
+content-aware constructor places them at detected-object boundaries, and
+the re-tiling policy places them around observed ROI hot spots (the
+TASM-style layouts the paper's section 7 points to as future work).
+
+The grid itself is pure geometry.  Encoding a tiled layout (one physical
+video per tile) is :class:`repro.tiles.Tiler`'s job; this module imports
+nothing above ``repro.core.records`` so the catalog can deserialize grids
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import ROI
+
+#: Grids beyond this edge count explode the planner's spatial cell
+#: decomposition (cells multiply per fragment boundary), so constructors
+#: refuse them.
+MAX_EDGE_TILES = 8
+
+
+def _check_cuts(name: str, cuts: tuple[int, ...], expected: int) -> None:
+    if len(cuts) != expected:
+        raise ValueError(
+            f"{name} must have {expected} entries, got {len(cuts)}"
+        )
+    if cuts[0] != 0:
+        raise ValueError(f"{name} must start at 0, got {cuts[0]}")
+    for a, b in zip(cuts, cuts[1:]):
+        if b <= a:
+            raise ValueError(f"{name} must be strictly increasing, got {cuts}")
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A rows x cols spatial partition of a frame.
+
+    ``row_cuts`` are the ``rows + 1`` y coordinates of the horizontal cut
+    lines (first 0, last the frame height); ``col_cuts`` the ``cols + 1``
+    x coordinates (first 0, last the frame width).  Tile *i* (row-major)
+    is the rectangle between consecutive cuts.
+    """
+
+    rows: int
+    cols: int
+    row_cuts: tuple[int, ...]
+    col_cuts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                f"grid must be at least 1x1, got {self.rows}x{self.cols}"
+            )
+        if self.rows > MAX_EDGE_TILES or self.cols > MAX_EDGE_TILES:
+            raise ValueError(
+                f"grid {self.rows}x{self.cols} exceeds the "
+                f"{MAX_EDGE_TILES}x{MAX_EDGE_TILES} maximum"
+            )
+        object.__setattr__(self, "row_cuts", tuple(int(c) for c in self.row_cuts))
+        object.__setattr__(self, "col_cuts", tuple(int(c) for c in self.col_cuts))
+        _check_cuts("row_cuts", self.row_cuts, self.rows + 1)
+        _check_cuts("col_cuts", self.col_cuts, self.cols + 1)
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.col_cuts[-1]
+
+    @property
+    def height(self) -> int:
+        return self.row_cuts[-1]
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def rect(self, index: int) -> ROI:
+        """Tile ``index``'s rectangle (row-major order)."""
+        if not 0 <= index < self.num_tiles:
+            raise IndexError(
+                f"tile index {index} out of range for {self.num_tiles} tiles"
+            )
+        r, c = divmod(index, self.cols)
+        return (
+            self.col_cuts[c],
+            self.row_cuts[r],
+            self.col_cuts[c + 1],
+            self.row_cuts[r + 1],
+        )
+
+    @property
+    def rects(self) -> list[ROI]:
+        """All tile rectangles in row-major order."""
+        return [self.rect(i) for i in range(self.num_tiles)]
+
+    def tiles_overlapping(self, roi: ROI) -> list[int]:
+        """Indices of tiles whose rectangles intersect ``roi``."""
+        x0, y0, x1, y1 = roi
+        return [
+            i
+            for i, (tx0, ty0, tx1, ty1) in enumerate(self.rects)
+            if tx0 < x1 and x0 < tx1 and ty0 < y1 and y0 < ty1
+        ]
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, rows: int, cols: int, width: int, height: int, align: int = 2
+    ) -> "TileGrid":
+        """An even rows x cols grid over a ``width x height`` frame.
+
+        Interior cuts snap down to multiples of ``align`` (tidy tile
+        dimensions; correctness never depends on alignment because tiles
+        are stored as raw RGB crops).
+        """
+        col_cuts = [0]
+        for c in range(1, cols):
+            cut = (width * c // cols) // align * align
+            col_cuts.append(cut)
+        col_cuts.append(width)
+        row_cuts = [0]
+        for r in range(1, rows):
+            cut = (height * r // rows) // align * align
+            row_cuts.append(cut)
+        row_cuts.append(height)
+        return cls(rows, cols, tuple(row_cuts), tuple(col_cuts))
+
+    @classmethod
+    def around_rect(
+        cls, rect: ROI, width: int, height: int
+    ) -> "TileGrid":
+        """The smallest grid whose cut lines isolate ``rect``.
+
+        Cuts are placed exactly at the rectangle's edges (clipped to the
+        frame), producing up to 3x3 tiles: reads concentrated inside
+        ``rect`` then decode exactly one tile column/row band.  This is
+        the layout the access-driven re-tiling policy proposes for a
+        stable hot region.
+        """
+        x0, y0, x1, y1 = rect
+        col_cuts = sorted({0, max(0, x0), min(width, x1), width})
+        row_cuts = sorted({0, max(0, y0), min(height, y1), height})
+        return cls(
+            rows=len(row_cuts) - 1,
+            cols=len(col_cuts) - 1,
+            row_cuts=tuple(row_cuts),
+            col_cuts=tuple(col_cuts),
+        )
+
+    @classmethod
+    def from_detections(
+        cls,
+        detections,
+        width: int,
+        height: int,
+        max_cuts: int = 3,
+    ) -> "TileGrid":
+        """A content-aware grid with cuts at detected-object boundaries.
+
+        ``detections`` is an iterable of ``repro.vision`` ``Detection``s
+        (anything with ``x0/y0/x1/y1``).  The most frequent box edges
+        become interior cut lines (at most ``max_cuts`` per axis), so
+        tiles tend to contain whole objects — ROI reads that track an
+        object then touch few tiles.  Falls back to a uniform 2x2 grid
+        when there are no detections.
+        """
+        boxes = [(d.x0, d.y0, d.x1, d.y1) for d in detections]
+        if not boxes:
+            return cls.uniform(2, 2, width, height)
+
+        def top_edges(values: list[int], limit: int, span: int) -> list[int]:
+            counts: dict[int, int] = {}
+            for v in values:
+                if 0 < v < span:
+                    counts[v] = counts.get(v, 0) + 1
+            ranked = sorted(counts, key=lambda v: (-counts[v], v))
+            return sorted(ranked[:limit])
+
+        xs = top_edges(
+            [b[0] for b in boxes] + [b[2] for b in boxes], max_cuts, width
+        )
+        ys = top_edges(
+            [b[1] for b in boxes] + [b[3] for b in boxes], max_cuts, height
+        )
+        col_cuts = tuple([0] + xs + [width])
+        row_cuts = tuple([0] + ys + [height])
+        return cls(
+            rows=len(row_cuts) - 1,
+            cols=len(col_cuts) - 1,
+            row_cuts=row_cuts,
+            col_cuts=col_cuts,
+        )
+
+    # -- wire form -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """A lossless, JSON-serializable dict form (the wire protocol)."""
+        from repro.core.wire import tile_grid_to_dict
+
+        return tile_grid_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TileGrid":
+        """Rebuild a grid from :meth:`to_dict` output (revalidated;
+        unknown keys rejected)."""
+        from repro.core.wire import tile_grid_from_dict
+
+        return tile_grid_from_dict(data)

@@ -1,0 +1,72 @@
+"""Access-driven re-tiling policy (the TASM idea).
+
+Reads with an ROI reveal where applications actually look.  When enough
+observed accesses concentrate inside one stable subregion, re-laying the
+video out with tile cuts at that region's edges makes those reads decode
+one tile band instead of the whole frame.  The engine accumulates per-ROI
+read counts, flushes them to the catalog during maintenance, and asks
+this policy whether the evidence justifies a (re)tile; the policy is pure
+— it inspects counts and geometry and proposes a grid or stays silent.
+
+Thresholds default high enough that incidental ROI reads never trigger a
+retile; workloads that hammer one region cross them quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import ROI
+from repro.tiles.grid import TileGrid
+
+
+def _contains(outer: ROI, inner: ROI) -> bool:
+    ox0, oy0, ox1, oy1 = outer
+    ix0, iy0, ix1, iy1 = inner
+    return ox0 <= ix0 and oy0 <= iy0 and ix1 <= ox1 and iy1 <= oy1
+
+
+@dataclass(frozen=True)
+class RetilePolicy:
+    """Decides when observed ROI accesses justify a new tile layout.
+
+    ``min_accesses`` is the evidence floor: below it no proposal is ever
+    made.  ``concentration`` is the fraction of all ROI accesses that
+    must fall inside the hottest region before it is worth cutting tiles
+    around it.
+    """
+
+    min_accesses: int = 32
+    concentration: float = 0.8
+
+    def propose(
+        self,
+        width: int,
+        height: int,
+        accesses: dict,
+        current: TileGrid | None = None,
+    ) -> TileGrid | None:
+        """A new grid for a ``width x height`` frame, or None.
+
+        ``accesses`` maps ``(x0, y0, x1, y1)`` ROIs to read counts (the
+        catalog's accumulated log).  The hottest ROI becomes the
+        candidate region; if accesses contained in it carry at least
+        ``concentration`` of the total weight, the proposal is the
+        smallest grid whose cuts isolate that region (up to 3x3).  A
+        proposal equal to ``current`` is suppressed.
+        """
+        total = sum(accesses.values())
+        if total < self.min_accesses:
+            return None
+        hot = max(accesses, key=lambda roi: (accesses[roi], roi))
+        inside = sum(
+            count
+            for roi, count in accesses.items()
+            if _contains(hot, roi)
+        )
+        if inside / total < self.concentration:
+            return None
+        grid = TileGrid.around_rect(tuple(hot), width, height)
+        if grid.num_tiles < 2 or grid == current:
+            return None
+        return grid

@@ -1,0 +1,194 @@
+"""Tiled physical layouts: encode a video as independent per-tile streams.
+
+The :class:`Tiler` cuts one *source* physical video into a
+:class:`~repro.tiles.grid.TileGrid` of spatial tiles and stores each tile
+as its own physical video — one mini-GOP per source GOP, codec ``raw``,
+pixel format ``rgb``.  Storing decoded RGB crops is what makes the layout
+*bit-exact*: the reader converts every decoded window to RGB before
+pasting onto its output canvas, and pure array slicing commutes with that
+conversion, so a full-frame read stitched from tiles is byte-identical to
+one decoded from the untiled source — for any pixel format and any tile
+boundary, with no chroma-alignment constraint.
+
+Raw RGB is bulky, so every tile page is zstd-packed at write time (the
+same on-disk form deferred compression produces), which keeps tile groups
+within a small multiple of the compressed source instead of tens of
+times larger.
+
+The source physical is never removed: tiles are a cached alternative
+layout.  Full-frame reads keep planning against the source (the planner
+skips tile fragments when the effective ROI is the whole frame), while
+ROI reads select only the tiles the request intersects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.catalog import Catalog
+from repro.core.layout import Layout
+from repro.core.records import LogicalVideo, PhysicalVideo, TileGroupRecord
+from repro.core.writer import Writer
+from repro.errors import WriteError
+from repro.tiles.grid import TileGrid
+from repro.video.codec.registry import codec_for, decode_gop
+from repro.video.frame import VideoSegment, convert_segment
+
+_EPS = 1e-6
+
+#: zstd level applied to tile pages at write time.  Matches the low end
+#: of deferred compression's budget-scaled range: cheap to apply inline
+#: without stalling maintenance.
+TILE_ZSTD_LEVEL = 3
+
+
+class Tiler:
+    """Builds and replaces tiled layouts of a logical video."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        layout: Layout,
+        writer: Writer,
+        decode_cache=None,
+        zstd_level: int = TILE_ZSTD_LEVEL,
+    ):
+        self.catalog = catalog
+        self.layout = layout
+        self.writer = writer
+        self.decode_cache = decode_cache
+        self.zstd_level = zstd_level
+
+    # ------------------------------------------------------------------
+    def tile(
+        self,
+        logical: LogicalVideo,
+        source: PhysicalVideo,
+        grid: TileGrid,
+    ) -> TileGroupRecord:
+        """Encode ``source`` as a new tile group laid out by ``grid``."""
+        self._check_source(source, grid)
+        gops = self.catalog.gops_of_physical(source.id)
+        if not gops:
+            raise WriteError(f"physical {source.id} has no GOPs to tile")
+        for a, b in zip(gops, gops[1:]):
+            if abs(a.end_time - b.start_time) > _EPS:
+                raise WriteError(
+                    f"physical {source.id} has evicted pages; cannot tile a"
+                    " non-contiguous source"
+                )
+        for gop in gops:
+            if gop.joint_pair_id is not None:
+                raise WriteError(
+                    "cannot tile a jointly compressed source; pages share"
+                    " pixel data with their pair"
+                )
+
+        group = self.catalog.create_tile_group(logical.id, source.id, grid)
+        raw = codec_for("raw")
+        rects = grid.rects
+        streams = [
+            self.writer.open_stream(
+                logical,
+                codec="raw",
+                pixel_format="rgb",
+                width=x1 - x0,
+                height=y1 - y0,
+                fps=source.fps,
+                qp=0,
+                start_time=gops[0].start_time,
+                is_original=False,
+                # A tile is pixel-identical to the source's RGB decode, so
+                # it inherits the source's quality bound unchanged.
+                mse_estimate=source.mse_estimate,
+                roi=(x0, y0, x1, y1),
+                tile_group_id=group.id,
+                tile_index=index,
+            )
+            for index, (x0, y0, x1, y1) in enumerate(rects)
+        ]
+        for record in gops:
+            encoded = self.layout.read_gop(record.path, record.zstd_level)
+            rgb = convert_segment(decode_gop(encoded), "rgb")
+            for index, (x0, y0, x1, y1) in enumerate(rects):
+                piece = VideoSegment(
+                    pixels=np.ascontiguousarray(
+                        rgb.pixels[:, y0:y1, x0:x1, :]
+                    ),
+                    pixel_format="rgb",
+                    height=y1 - y0,
+                    width=x1 - x0,
+                    fps=rgb.fps,
+                    start_time=record.start_time,
+                )
+                streams[index].append_gops([raw.encode_gop(piece)])
+        for stream in streams:
+            stream.close()
+            self._pack_pages(stream.physical.id)
+        self.catalog.bump_data_version(logical.id)
+        return group
+
+    def retile(
+        self,
+        logical: LogicalVideo,
+        source: PhysicalVideo,
+        grid: TileGrid,
+    ) -> TileGroupRecord | None:
+        """Replace the logical video's tiled layout with ``grid``.
+
+        Drops every existing tile group, then builds the new one from
+        ``source``.  Returns None (leaving the current layout in place)
+        when an existing group already uses an equal grid.
+        """
+        existing = self.catalog.tile_groups_of_logical(logical.id)
+        if any(g.grid == grid for g in existing):
+            return None
+        for old in existing:
+            self.drop_group(logical, old)
+        return self.tile(logical, source, grid)
+
+    def drop_group(
+        self, logical: LogicalVideo, group: TileGroupRecord
+    ) -> None:
+        """Delete a tile group: pages, files, physicals, and the record."""
+        for member in self.catalog.tile_members(group.id):
+            for gop in self.catalog.gops_of_physical(member.id):
+                if self.decode_cache is not None:
+                    self.decode_cache.invalidate(gop.id)
+                self.layout.delete_gop_file(gop.path)
+            self.catalog.delete_physical(member.id)
+        self.catalog.delete_tile_group(group.id)
+        self.catalog.bump_data_version(logical.id)
+
+    # ------------------------------------------------------------------
+    def _check_source(self, source: PhysicalVideo, grid: TileGrid) -> None:
+        if not source.sealed:
+            raise WriteError("cannot tile an unsealed physical video")
+        if source.tile_group_id is not None:
+            raise WriteError("cannot tile a tile (pick the source physical)")
+        if source.roi is not None:
+            raise WriteError(
+                "tiling requires a full-frame source; got one cropped to"
+                f" roi {source.roi}"
+            )
+        if (grid.width, grid.height) != (source.width, source.height):
+            raise WriteError(
+                f"grid covers {grid.width}x{grid.height} but the source is"
+                f" {source.width}x{source.height}"
+            )
+
+    def _pack_pages(self, physical_id: int) -> None:
+        """zstd-pack a tile physical's pages in place.
+
+        Recording a nonzero ``zstd_level`` also tells deferred
+        compression these pages are already handled.
+        """
+        if self.zstd_level <= 0:
+            return
+        for gop in self.catalog.gops_of_physical(physical_id):
+            new_path, nbytes = self.layout.compress_gop_file(
+                gop.path, self.zstd_level
+            )
+            self.catalog.set_gop_compression(
+                gop.id, self.zstd_level, nbytes, new_path
+            )

@@ -48,6 +48,8 @@ from repro.core.wire import (
     segment_payload,
     segment_payload_view,
     segment_to_meta,
+    tile_grid_from_dict,
+    tile_grid_to_dict,
     write_spec_from_dict,
 )
 from repro.errors import (
@@ -61,6 +63,7 @@ from repro.errors import (
     WireError,
 )
 from repro.search.query import SearchHit
+from repro.tiles import TileGrid
 from repro.video.codec.quant import QP_MAX, QP_MIN
 from repro.video.frame import blank_segment
 
@@ -299,6 +302,60 @@ class TestNonFiniteValidation:
         assert math.isfinite(spec.fps)
 
 
+@st.composite
+def tile_grids(draw) -> TileGrid:
+    """Constructible tile grids: strictly increasing cuts from 0."""
+
+    def cuts(count: int) -> tuple[int, ...]:
+        steps = draw(
+            st.lists(
+                st.integers(1, 512), min_size=count, max_size=count
+            )
+        )
+        out = [0]
+        for step in steps:
+            out.append(out[-1] + step)
+        return tuple(out)
+
+    rows = draw(st.integers(1, 8))
+    cols = draw(st.integers(1, 8))
+    return TileGrid(
+        rows=rows, cols=cols, row_cuts=cuts(rows), col_cuts=cuts(cols)
+    )
+
+
+class TestTileGridWire:
+    @settings(max_examples=200, deadline=None)
+    @given(tile_grids())
+    def test_json_round_trip(self, grid: TileGrid):
+        wired = json.loads(json.dumps(grid.to_dict()))
+        rebuilt = TileGrid.from_dict(wired)
+        assert rebuilt == grid
+        # cut tuples must come back as tuples of ints, not lists
+        assert type(rebuilt.row_cuts) is tuple
+        assert type(rebuilt.col_cuts) is tuple
+
+    def test_unknown_and_missing_keys_rejected(self):
+        data = TileGrid.uniform(2, 2, 64, 48).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(WireError, match="surprise"):
+            tile_grid_from_dict(data)
+        data = TileGrid.uniform(2, 2, 64, 48).to_dict()
+        del data["row_cuts"]
+        with pytest.raises(WireError, match="row_cuts"):
+            tile_grid_from_dict(data)
+
+    def test_geometry_revalidated_on_arrival(self):
+        data = tile_grid_to_dict(TileGrid.uniform(2, 2, 64, 48))
+        data["row_cuts"] = [0, 48, 24]  # not increasing
+        with pytest.raises(ValueError):
+            tile_grid_from_dict(data)
+        data = tile_grid_to_dict(TileGrid.uniform(2, 2, 64, 48))
+        data["col_cuts"] = "not-an-array"
+        with pytest.raises(WireError):
+            tile_grid_from_dict(data)
+
+
 class TestStatsAndSegments:
     def test_read_stats_round_trip(self):
         stats = ReadStats(
@@ -310,6 +367,25 @@ class TestStatsAndSegments:
         )
         wired = json.loads(json.dumps(read_stats_to_dict(stats)))
         assert read_stats_from_dict(wired) == stats
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(0, 64),
+        decoded=st.integers(0, 64),
+        skipped=st.integers(0, 1 << 40),
+    )
+    def test_tile_stats_round_trip(self, total, decoded, skipped):
+        stats = ReadStats(
+            tiles_total=total,
+            tiles_decoded=decoded,
+            tile_bytes_skipped=skipped,
+        )
+        wired = json.loads(json.dumps(read_stats_to_dict(stats)))
+        rebuilt = read_stats_from_dict(wired)
+        assert rebuilt == stats
+        assert rebuilt.tiles_total == total
+        assert rebuilt.tiles_decoded == decoded
+        assert rebuilt.tile_bytes_skipped == skipped
 
     @pytest.mark.parametrize("fmt", ["rgb", "gray", "yuv420"])
     def test_segment_round_trip(self, fmt):
