@@ -2,11 +2,11 @@
 
 Benchmarks call :func:`record_result` at the end of a run.  When the
 ``VSS_BENCH_JSON`` environment variable names a file, the result is
-appended to it (the CI smoke sets ``VSS_BENCH_JSON=BENCH_PR9.json`` and
+appended to it (the CI smoke sets ``VSS_BENCH_JSON=BENCH_PR10.json`` and
 uploads the file as a workflow artifact); without the variable the call
 is a no-op, so local benchmark runs stay side-effect free.
 
-The document schema is committed at ``benchmarks/BENCH_PR9.schema.json``
+The document schema is committed at ``benchmarks/BENCH_PR10.schema.json``
 and intentionally tiny::
 
     {

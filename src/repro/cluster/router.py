@@ -623,6 +623,36 @@ class ClusterEngine:
                 "retiles",
             )
         }
+        # Codec decode fast-path stages, summed the same way; the
+        # cluster-wide MB/s is derived from the summed totals rather than
+        # averaging per-shard rates (shards with no decode traffic would
+        # otherwise drag the mean to zero).
+        codec = {
+            key: sum(
+                float(doc.get("engine", {}).get(key, 0))
+                for doc in per_shard.values()
+                if doc["up"]
+            )
+            for key in (
+                "codec_entropy_seconds",
+                "codec_transform_seconds",
+                "codec_compensate_seconds",
+                "codec_frames_decoded",
+                "codec_decoded_bytes",
+            )
+        }
+        codec["codec_frames_decoded"] = int(codec["codec_frames_decoded"])
+        codec["codec_decoded_bytes"] = int(codec["codec_decoded_bytes"])
+        stage_seconds = (
+            codec["codec_entropy_seconds"]
+            + codec["codec_transform_seconds"]
+            + codec["codec_compensate_seconds"]
+        )
+        codec["codec_decode_mb_per_s"] = (
+            codec["codec_decoded_bytes"] / 1e6 / stage_seconds
+            if stage_seconds > 0
+            else 0.0
+        )
         return {
             "cluster": True,
             "shards": per_shard,
@@ -631,6 +661,7 @@ class ClusterEngine:
             "replication": self.ring.replication,
             "router": counters,
             "tiles": tiles,
+            "codec": codec,
         }
 
     # ------------------------------------------------------------------

@@ -195,6 +195,18 @@ class EngineStats:
     selectivity, ``tile_bytes_skipped`` the stored bytes ROI reads did
     not have to decode, and ``retiles`` the number of tile layouts
     built or replaced (explicit or access-driven).
+
+    The codec counters describe the GOP decode fast path
+    (``repro.video.codec``), accumulated from completed reads and
+    streams: the three ``codec_*_seconds`` split decode wall time by
+    stage (entropy decode, fused dequantize-inverse-DCT, and the
+    compensate recurrence plus output packing), ``codec_frames_decoded``
+    counts frames the codec layer decoded on behalf of reads, and
+    ``codec_decoded_bytes`` the output pixel bytes they produced.
+    ``codec_decode_mb_per_s`` is the derived lifetime throughput
+    (decoded MB per stage-second; 0.0 before any compressed decode).
+    Batch-warmed shared decodes and cache-served windows attribute
+    nothing, matching the per-read stats they roll up from.
     """
 
     num_logical_videos: int
@@ -234,6 +246,12 @@ class EngineStats:
     tiles_decoded: int
     tile_bytes_skipped: int
     retiles: int
+    codec_entropy_seconds: float
+    codec_transform_seconds: float
+    codec_compensate_seconds: float
+    codec_frames_decoded: int
+    codec_decoded_bytes: int
+    codec_decode_mb_per_s: float
 
 
 @dataclass
@@ -391,6 +409,13 @@ class VSSEngine:
         self._tiles_decoded = 0
         self._tile_bytes_skipped = 0
         self._retiles = 0
+        # Codec decode fast-path counters rolled up from completed reads
+        # and streams (see EngineStats docstring for attribution).
+        self._codec_entropy_seconds = 0.0
+        self._codec_transform_seconds = 0.0
+        self._codec_compensate_seconds = 0.0
+        self._codec_frames_decoded = 0
+        self._codec_decoded_bytes = 0
         self._roi_accesses: dict[int, dict[tuple, int]] = {}
         self._num_sessions = 0
         self._view_reads: dict[str, int] = {}
@@ -984,6 +1009,7 @@ class VSSEngine:
         self._count_view_reads(view_chain)
         with self._state_lock:
             self._reads += 1
+            self._note_codec_stats(result.stats)
         return result
 
     def _plan_for(
@@ -1058,6 +1084,15 @@ class VSSEngine:
                     nbytes=result.nbytes,
                 )
         self._schedule_maintenance(logical)
+
+    def _note_codec_stats(self, stats) -> None:
+        """Roll one completed read's codec decode counters into the
+        engine-wide totals.  Caller must hold ``_state_lock``."""
+        self._codec_entropy_seconds += stats.codec_entropy_seconds
+        self._codec_transform_seconds += stats.codec_transform_seconds
+        self._codec_compensate_seconds += stats.codec_compensate_seconds
+        self._codec_frames_decoded += stats.frames_decoded
+        self._codec_decoded_bytes += stats.codec_decoded_bytes
 
     def _note_read_outcome(self, logical_id: int, plan) -> None:
         """Tile bookkeeping for one answered read.
@@ -1292,6 +1327,8 @@ class VSSEngine:
         with self._state_lock:
             self._reads += len(specs)
             self._batches += 1
+            for result in results:
+                self._note_codec_stats(result.stats)
         return results, total
 
     def _read_preamble(
@@ -1639,6 +1676,15 @@ class VSSEngine:
             tiles_decoded = self._tiles_decoded
             tile_bytes_skipped = self._tile_bytes_skipped
             retiles = self._retiles
+            codec_entropy = self._codec_entropy_seconds
+            codec_transform = self._codec_transform_seconds
+            codec_compensate = self._codec_compensate_seconds
+            codec_frames = self._codec_frames_decoded
+            codec_bytes = self._codec_decoded_bytes
+        codec_seconds = codec_entropy + codec_transform + codec_compensate
+        codec_mb_per_s = (
+            codec_bytes / 1e6 / codec_seconds if codec_seconds > 0 else 0.0
+        )
         with self._plan_lock:
             plan_hits, plan_misses = self._plan_hits, self._plan_misses
         with self._search_lock:
@@ -1687,6 +1733,12 @@ class VSSEngine:
             tiles_decoded=tiles_decoded,
             tile_bytes_skipped=tile_bytes_skipped,
             retiles=retiles,
+            codec_entropy_seconds=codec_entropy,
+            codec_transform_seconds=codec_transform,
+            codec_compensate_seconds=codec_compensate,
+            codec_frames_decoded=codec_frames,
+            codec_decoded_bytes=codec_bytes,
+            codec_decode_mb_per_s=codec_mb_per_s,
         )
 
     def video_stats(self, name: str) -> StoreStats | ViewStats:
@@ -1938,6 +1990,7 @@ class ReadStream:
         with engine._state_lock:
             engine._reads += 1
             engine._streams += 1
+            engine._note_codec_stats(self.stats)
         engine._count_view_reads(self.stats.view_chain)
         try:
             logical = engine.catalog.get_logical(self.spec.name)

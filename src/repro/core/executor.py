@@ -61,9 +61,15 @@ class Executor:
         most one item (no thread round-trip for work that cannot overlap).
         Exceptions propagate exactly as in the serial loop: the first
         failing item's exception is raised.
+
+        Calls arriving *from* one of this pool's own worker threads also
+        run inline: a task that blocks its worker slot waiting on subtasks
+        queued behind other workers doing the same can deadlock the pool
+        (the GOP decode fast path fans entropy inflates through here from
+        inside pooled chunk-decode tasks).
         """
         work: Sequence[_T] = items if isinstance(items, list) else list(items)
-        if self.parallelism == 1 or len(work) < 2:
+        if self.parallelism == 1 or len(work) < 2 or self._in_worker():
             results = [fn(item) for item in work]
         else:
             results = list(self._ensure_pool().map(fn, work))
@@ -91,6 +97,11 @@ class Executor:
         future = self._ensure_pool().submit(fn, *args)
         future.add_done_callback(self._count_done)
         return future
+
+    @staticmethod
+    def _in_worker() -> bool:
+        """True when the calling thread is one of the pool's workers."""
+        return threading.current_thread().name.startswith("vss-worker")
 
     def _count_done(self, _future: Future) -> None:
         with self._lock:

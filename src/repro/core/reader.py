@@ -50,6 +50,7 @@ from repro.core.read_planner import IntervalChoice, ReadPlan
 from repro.core.records import ROI, Fragment, GopRecord
 from repro.errors import ReadError
 from repro.util import map_parallel
+from repro.video.codec.blockcodec import CodecTimings
 from repro.video.codec.container import EncodedGOP
 from repro.video.codec.registry import codec_for
 from repro.video.frame import VideoSegment, convert_segment
@@ -91,6 +92,34 @@ class ReadStats:
     tiles_total: int = 0
     tiles_decoded: int = 0
     tile_bytes_skipped: int = 0
+    #: Codec decode fast-path stage counters, summed over this read's GOP
+    #: decodes (see :class:`repro.video.codec.blockcodec.CodecTimings` for
+    #: the stage attribution).  Cache-served windows contribute nothing —
+    #: they decoded nothing — and ``codec_decoded_bytes`` counts decoded
+    #: *output* pixel bytes, so ``decode_mb_per_s`` is the read's realised
+    #: codec decode throughput.
+    codec_entropy_seconds: float = 0.0
+    codec_transform_seconds: float = 0.0
+    codec_compensate_seconds: float = 0.0
+    codec_decoded_bytes: int = 0
+
+    @property
+    def codec_decode_seconds(self) -> float:
+        """Total wall time inside the codec decode stages."""
+        return (
+            self.codec_entropy_seconds
+            + self.codec_transform_seconds
+            + self.codec_compensate_seconds
+        )
+
+    @property
+    def decode_mb_per_s(self) -> float:
+        """Codec decode throughput (decoded MB per stage-second); 0.0 when
+        the read decoded nothing."""
+        seconds = self.codec_decode_seconds
+        if seconds <= 0.0 or self.codec_decoded_bytes == 0:
+            return 0.0
+        return self.codec_decoded_bytes / 1e6 / seconds
 
     @classmethod
     def for_plan(cls, plan: ReadPlan) -> "ReadStats":
@@ -191,7 +220,10 @@ class _GopWindow:
 
     ``cache_hit`` is None when the window was not decode-cache eligible
     (cache disabled or a joint GOP) — such windows count as neither hit
-    nor miss.
+    nor miss.  ``timings`` carries the codec's per-stage decode counters
+    when the window went through the compressed fast path (None for raw
+    GOPs and cache hits); like the other deltas it travels with the
+    pixels so the consumer folds stats in deterministic order.
     """
 
     segment: VideoSegment
@@ -199,6 +231,7 @@ class _GopWindow:
     lookback_frames: int
     bytes_read: int
     cache_hit: bool | None
+    timings: CodecTimings | None = None
 
 
 @dataclass
@@ -433,7 +466,16 @@ class Reader:
             encoded = self._load_gop(record, fragment)
             codec = codec_for(encoded.codec)
             if codec.is_compressed:
-                overlay.put(record.id, stop, codec.decode_gop_frames(encoded, stop))
+                # Batch-warmed decodes are shared engine work: the reads
+                # that consume them see overlay hits (no frames decoded),
+                # so no per-read codec timings are attributed here either.
+                overlay.put(
+                    record.id,
+                    stop,
+                    codec.decode_gop_frames(
+                        encoded, stop, executor=self.executor
+                    ),
+                )
             else:
                 overlay.put(record.id, record.num_frames, codec.decode_gop(encoded))
             return 1
@@ -641,6 +683,15 @@ class Reader:
                         stats.decode_cache_hits += 1
                     elif window.cache_hit is False:
                         stats.decode_cache_misses += 1
+                    if window.timings is not None:
+                        stats.codec_entropy_seconds += window.timings.entropy_seconds
+                        stats.codec_transform_seconds += (
+                            window.timings.transform_seconds
+                        )
+                        stats.codec_compensate_seconds += (
+                            window.timings.compensate_seconds
+                        )
+                        stats.codec_decoded_bytes += window.timings.decoded_bytes
                 pieces = [
                     ctx.windows[j] for j in range(op.j_lo, op.j_hi + 1)
                 ]
@@ -865,8 +916,12 @@ class Reader:
                 return _GopWindow(prefix, 0, 0, 0, True)
         encoded = self._load_gop(record, fragment)
         codec = codec_for(encoded.codec)
+        timings: CodecTimings | None = None
         if codec.is_compressed:
-            decoded = codec.decode_gop_frames(encoded, stop)
+            timings = CodecTimings()
+            decoded = codec.decode_gop_frames(
+                encoded, stop, executor=self.executor, timings=timings
+            )
             if cacheable:
                 decode_cache.put(record.id, stop, decoded)
             frames_decoded = stop
@@ -887,6 +942,7 @@ class Reader:
             lookback,
             record.nbytes,
             False if cacheable else None,
+            timings,
         )
 
     def _load_gop(self, record: GopRecord, fragment: Fragment) -> EncodedGOP:

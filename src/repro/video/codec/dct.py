@@ -3,6 +3,12 @@
 Planes are padded (edge-replicated) to a multiple of the block size, tiled
 into ``B x B`` blocks, and transformed with the orthonormal type-II DCT from
 ``scipy.fft``.  The inverse reverses the tiling and strips the padding.
+
+All entry points accept any number of leading batch dimensions before the
+trailing ``(H, W)`` plane pair.  ``scipy.fft`` applies the transform
+independently per trailing ``(B, B)`` slice, so a batched call is
+bit-identical to looping the 2-D form — the property the GOP-batched decode
+fast path is built on (fuzz-verified in ``tests/test_codec.py``).
 """
 
 from __future__ import annotations
@@ -12,35 +18,38 @@ from scipy import fft as sfft
 
 
 def pad_to_blocks(plane: np.ndarray, block: int) -> np.ndarray:
-    """Edge-pad a 2-D plane so both dimensions divide ``block``."""
-    h, w = plane.shape
+    """Edge-pad planes ``(..., H, W)`` so both trailing dims divide
+    ``block``."""
+    h, w = plane.shape[-2:]
     pad_h = (-h) % block
     pad_w = (-w) % block
     if pad_h == 0 and pad_w == 0:
         return plane
-    return np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+    pad = [(0, 0)] * (plane.ndim - 2) + [(0, pad_h), (0, pad_w)]
+    return np.pad(plane, pad, mode="edge")
 
 
 def to_blocks(plane: np.ndarray, block: int) -> np.ndarray:
-    """Tile a padded 2-D plane into ``(nby, nbx, B, B)`` blocks."""
-    h, w = plane.shape
+    """Tile padded planes ``(..., H, W)`` into ``(..., nby, nbx, B, B)``
+    blocks."""
+    h, w = plane.shape[-2:]
     nby, nbx = h // block, w // block
-    return (
-        plane.reshape(nby, block, nbx, block).transpose(0, 2, 1, 3)
-    )
+    tiled = plane.reshape(*plane.shape[:-2], nby, block, nbx, block)
+    return np.moveaxis(tiled, -3, -2)
 
 
 def from_blocks(blocks: np.ndarray) -> np.ndarray:
     """Inverse of :func:`to_blocks`."""
-    nby, nbx, block, _ = blocks.shape
-    return blocks.transpose(0, 2, 1, 3).reshape(nby * block, nbx * block)
+    nby, nbx, block, _ = blocks.shape[-4:]
+    untiled = np.moveaxis(blocks, -2, -3)
+    return untiled.reshape(*blocks.shape[:-4], nby * block, nbx * block)
 
 
 def forward_dct(plane: np.ndarray, block: int) -> np.ndarray:
-    """Blockwise orthonormal DCT-II of a 2-D float plane.
+    """Blockwise orthonormal DCT-II of float planes ``(..., H, W)``.
 
-    Returns coefficient blocks shaped ``(nby, nbx, B, B)`` for the padded
-    plane.
+    Returns coefficient blocks shaped ``(..., nby, nbx, B, B)`` for the
+    padded planes.
     """
     padded = pad_to_blocks(plane.astype(np.float32), block)
     tiles = to_blocks(padded, block)
@@ -51,4 +60,30 @@ def inverse_dct(coeffs: np.ndarray, height: int, width: int) -> np.ndarray:
     """Inverse blockwise DCT, cropping back to ``height`` x ``width``."""
     tiles = sfft.idctn(coeffs, axes=(-2, -1), norm="ortho")
     plane = from_blocks(tiles.astype(np.float32))
-    return plane[:height, :width]
+    return plane[..., :height, :width]
+
+
+def inverse_dct_sparse(
+    coeff_blocks: np.ndarray, nonzero: np.ndarray, block: int
+) -> np.ndarray:
+    """Inverse blockwise DCT of a stack of planes, skipping zero blocks.
+
+    ``nonzero`` is an ``(N, nby, nbx)`` boolean mask of the blocks that
+    carry any coefficient; ``coeff_blocks`` holds exactly those blocks as a
+    dense ``(K, B, B)`` float32 array (``K = nonzero.sum()``, row-major
+    mask order).  Returns the ``(N, nby*B, nbx*B)`` padded planes.
+
+    The transform of an all-zero block is exactly ``+0.0`` everywhere
+    (a DCT is linear and produces no negative zeros from positive-zero
+    input), so scattering the transformed nonzero blocks into a zeroed
+    output is bit-identical to transforming everything — while only
+    paying for the typically ~10-20% of blocks a quantized residual
+    actually populates.
+    """
+    n, nby, nbx = nonzero.shape
+    out = np.zeros((n, nby * block, nbx * block), dtype=np.float32)
+    if coeff_blocks.size:
+        tiles = sfft.idctn(coeff_blocks, axes=(-2, -1), norm="ortho")
+        view = out.reshape(n, nby, block, nbx, block)
+        np.moveaxis(view, -2, -3)[nonzero] = tiles
+    return out

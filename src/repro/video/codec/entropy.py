@@ -53,3 +53,42 @@ def decode_levels(
         )
     flat = scanned[:, inverse_zigzag_order(block)]
     return flat.reshape(nby, nbx, block, block)
+
+
+def stack_scanned(
+    raws: list[bytes], n_blocks: int, block: int
+) -> np.ndarray:
+    """Stack decompressed payloads into ``(len(raws), n_blocks, B*B)`` rows.
+
+    ``raws`` are the *already inflated* bytes of same-shape planes (the
+    batched decode path inflates them up front, optionally in parallel).
+    The single ``join`` + ``frombuffer`` replaces a per-plane
+    ``frombuffer``/``np.stack`` round and is the zero-copy way to get one
+    contiguous int16 tensor of still-zigzag-scanned block rows.
+    """
+    scanned = np.frombuffer(b"".join(raws), dtype=np.int16)
+    expected = len(raws) * n_blocks * block * block
+    if scanned.size != expected:
+        raise ValueError(
+            f"payloads hold {scanned.size // (block * block)} blocks, "
+            f"expected {len(raws) * n_blocks}"
+        )
+    return scanned.reshape(len(raws), n_blocks, block * block)
+
+
+def nonzero_blocks(scanned: np.ndarray) -> np.ndarray:
+    """Boolean mask of block rows with any nonzero level.
+
+    ``scanned`` is ``(..., n_blocks, B*B)`` int16; the reduction runs over
+    an int64 view (eight int16 lanes per comparison) when the row width
+    allows, which is bit-equivalent because an int64 word is zero exactly
+    when all of its int16 lanes are.
+    """
+    if scanned.flags.c_contiguous and (scanned.shape[-1] * 2) % 8 == 0:
+        return scanned.view(np.int64).any(axis=-1)
+    return scanned.any(axis=-1)
+
+
+def unscan_rows(rows: np.ndarray, block: int) -> np.ndarray:
+    """Zigzag-scanned rows ``(N, B*B)`` -> spatial blocks ``(N, B, B)``."""
+    return rows[:, inverse_zigzag_order(block)].reshape(-1, block, block)

@@ -68,9 +68,14 @@ def shift_window(
     The window splits into at most 3x3 bands: the core (a pure slice
     copy from the plane), plus clipped bands that broadcast the plane's
     edge row/column/corner.  Every output pixel is written exactly once.
+
+    ``plane`` may carry leading batch dimensions before the trailing
+    ``(H, W)`` pair — same-shape planes sharing one vector (e.g. a GOP's
+    RGB channels) then shift in a single banded pass instead of one pass
+    per plane.
     """
-    h, w = plane.shape
-    out = np.empty((y1 - y0, x1 - x0), dtype=plane.dtype)
+    h, w = plane.shape[-2:]
+    out = np.empty((*plane.shape[:-2], y1 - y0, x1 - x0), dtype=plane.dtype)
     # Output rows y (absolute) with an in-plane source row satisfy
     # 0 <= y - dy < h; [ya, yb) is that band clamped into the window.
     ya = min(max(y0, dy), y1)
@@ -96,12 +101,12 @@ def shift_window(
         for c0, c1, sc0, sc1 in col_bands:
             if c0 >= c1:
                 continue
-            out[r0:r1, c0:c1] = plane[sr0:sr1, sc0:sc1]
+            out[..., r0:r1, c0:c1] = plane[..., sr0:sr1, sc0:sc1]
     return out
 
 
 def shift_plane(plane: np.ndarray, dy: int, dx: int) -> np.ndarray:
-    """Translate a 2-D plane by (dy, dx), replicating edges.
+    """Translate planes ``(..., H, W)`` by (dy, dx), replicating edges.
 
     ``out[y, x] = plane[clip(y - dy), clip(x - dx)]``, realised as one
     sliced block copy plus edge replication (see :func:`shift_window`).
@@ -112,7 +117,7 @@ def shift_plane(plane: np.ndarray, dy: int, dx: int) -> np.ndarray:
     """
     if dy == 0 and dx == 0:
         return plane
-    h, w = plane.shape
+    h, w = plane.shape[-2:]
     return shift_window(plane, dy, dx, 0, h, 0, w)
 
 
@@ -199,7 +204,7 @@ def compensate_global(plane: np.ndarray, vector: tuple[int, int]) -> np.ndarray:
 def compensate_tiled(
     plane: np.ndarray, vectors: list[tuple[int, int]]
 ) -> np.ndarray:
-    """Apply per-tile motion vectors (2x2 grid) to a prediction plane.
+    """Apply per-tile motion vectors (2x2 grid) to prediction planes.
 
     Each tile is predicted from the *whole* plane shifted by its vector,
     so pixels can be pulled in from outside the tile (as real motion
@@ -208,8 +213,13 @@ def compensate_tiled(
     tile, materialising four full-plane copies per P-frame plane; this
     runs on both the encode and decode hot paths, so the four tiles are
     now filled in one pass at one plane's worth of writes total.
+
+    Like :func:`shift_window`, ``plane`` may carry leading batch
+    dimensions; the tile grid applies to the trailing ``(H, W)`` pair.
     """
-    h, w = plane.shape
+    if all(v == (0, 0) for v in vectors):
+        return plane
+    h, w = plane.shape[-2:]
     hy, hx = h // 2, w // 2
     # Fewer than four vectors leaves the uncovered tiles unshifted,
     # exactly as the old shift-then-overwrite implementation did.
@@ -221,8 +231,38 @@ def compensate_tiled(
         (hy, h, hx, w),
     )
     for (y0, y1, x0, x1), (dy, dx) in zip(bounds, vectors):
-        out[y0:y1, x0:x1] = shift_window(plane, dy, dx, y0, y1, x0, x1)
+        out[..., y0:y1, x0:x1] = shift_window(plane, dy, dx, y0, y1, x0, x1)
     return out
+
+
+def compensate(
+    prior: np.ndarray,
+    vectors: list[tuple[int, int]],
+    luma_shape: tuple[int, int],
+) -> np.ndarray:
+    """Motion-compensate prediction planes from their reference.
+
+    Dispatches on the vector count the way the frame header implies: no
+    vectors is frame differencing (``none`` motion), one vector is a
+    global translation, four is the 2x2 tiled grid.  Vectors are stored
+    at luma resolution and scaled to the planes' own geometry here.
+
+    ``prior`` may be one ``(H, W)`` plane or a stack ``(..., H, W)`` of
+    same-shape planes (which share the same scaled vectors, so one banded
+    pass predicts all of them).  When every scaled vector is zero the
+    reference is returned as-is — callers only read predictions, and
+    skipping the copy keeps the all-static case (common in practice)
+    nearly free.
+    """
+    if not vectors or all(v == (0, 0) for v in vectors):
+        # Zero luma vectors scale to zero in every plane geometry, so the
+        # check can run before the per-plane scaling.
+        return prior
+    shape = prior.shape[-2:]
+    scaled = [scale_vector_for_plane(v, luma_shape, shape) for v in vectors]
+    if len(scaled) == 1:
+        return compensate_global(prior, scaled[0])
+    return compensate_tiled(prior, scaled)
 
 
 def scale_vector_for_plane(

@@ -47,6 +47,32 @@ def weight_matrix(block: int) -> np.ndarray:
     return (1.0 + 3.0 * ramp).astype(np.float32)
 
 
+@lru_cache(maxsize=None)
+def fused_divisor(qp: float, block: int) -> np.ndarray:
+    """The fused quantizer divisor ``qstep(qp) * weight_matrix(block)``.
+
+    This float32 ``block x block`` array sits on the per-plane hot path of
+    both ``quantize`` and ``dequantize``; caching it per ``(qp, block)``
+    avoids rebuilding it on every call.  The array is marked read-only so
+    a caller cannot corrupt the cache.
+    """
+    divisor = qstep(qp) * weight_matrix(block)
+    divisor.setflags(write=False)
+    return divisor
+
+
+@lru_cache(maxsize=None)
+def fused_reciprocal(qp: float, block: int) -> np.ndarray:
+    """``1 / fused_divisor(qp, block)``, cached for the quantize path.
+
+    Multiplying by the cached reciprocal replaces a vector divide per
+    encoded plane with a (much cheaper) vector multiply.
+    """
+    reciprocal = np.reciprocal(fused_divisor(qp, block))
+    reciprocal.setflags(write=False)
+    return reciprocal
+
+
 def quantize(
     coeffs: np.ndarray, qp: float, block: int, deadzone: float = 0.5
 ) -> np.ndarray:
@@ -57,16 +83,23 @@ def quantize(
     smaller values zero out more near-threshold coefficients.  Reference
     H.264/HEVC encoders use f < 0.5 because dropping noise-level
     coefficients saves more bits than the PSNR it costs.
+
+    ``coeffs`` may carry any number of leading batch dimensions before the
+    trailing ``(B, B)`` pair; the cached reciprocal broadcasts across them.
     """
     if not 0.0 < deadzone <= 0.5:
         raise ValueError(f"deadzone must be in (0, 0.5], got {deadzone}")
-    divisor = qstep(qp) * weight_matrix(block)
-    magnitudes = np.abs(coeffs) / divisor
+    magnitudes = np.abs(coeffs) * fused_reciprocal(qp, block)
     levels = np.sign(coeffs) * np.floor(magnitudes + deadzone)
     return np.clip(levels, -32767, 32767).astype(np.int16)
 
 
 def dequantize(levels: np.ndarray, qp: float, block: int) -> np.ndarray:
-    """Reconstruct approximate coefficients from quantized levels."""
-    divisor = qstep(qp) * weight_matrix(block)
-    return levels.astype(np.float32) * divisor
+    """Reconstruct approximate coefficients from quantized levels.
+
+    The int16 -> float32 cast and the divisor multiply are fused into one
+    pass (``np.multiply`` with an explicit ``dtype``), which is bit-identical
+    to ``levels.astype(np.float32) * divisor`` and skips a temporary the
+    size of the coefficient tensor.
+    """
+    return np.multiply(levels, fused_divisor(qp, block), dtype=np.float32)

@@ -65,10 +65,18 @@ class RawCodec:
             payloads=payloads,
         )
 
-    def decode_gop(self, gop: EncodedGOP) -> VideoSegment:
+    def decode_gop(
+        self, gop: EncodedGOP, executor=None, timings=None
+    ) -> VideoSegment:
         return self.decode_gop_frames(gop, gop.num_frames)
 
-    def decode_gop_frames(self, gop: EncodedGOP, stop: int) -> VideoSegment:
+    def decode_gop_frames(
+        self, gop: EncodedGOP, stop: int, executor=None, timings=None
+    ) -> VideoSegment:
+        # ``executor``/``timings`` mirror the BlockCodec signature so call
+        # sites need not dispatch on codec type.  Raw decode is a straight
+        # buffer copy, so it contributes nothing to the codec-stage
+        # counters (which meter the compressed fast path).
         if gop.codec != self.name:
             raise CodecError(f"GOP was encoded with {gop.codec!r}, not raw")
         if not 0 < stop <= gop.num_frames:

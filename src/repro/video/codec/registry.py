@@ -75,11 +75,22 @@ def encode_gop(
     )
 
 
-def decode_gop(gop: EncodedGOP) -> VideoSegment:
-    """Decode an :class:`EncodedGOP` with whichever codec produced it."""
-    return codec_for(gop.codec).decode_gop(gop)
+def decode_gop(gop: EncodedGOP, executor=None, timings=None) -> VideoSegment:
+    """Decode an :class:`EncodedGOP` with whichever codec produced it.
+
+    ``executor`` fans the compressed path's entropy inflates across the
+    shared thread pool; ``timings`` (a
+    :class:`~repro.video.codec.blockcodec.CodecTimings`) accumulates the
+    decode fast path's per-stage counters.  Both are optional and ignored
+    by the raw codec.
+    """
+    return codec_for(gop.codec).decode_gop(gop, executor=executor, timings=timings)
 
 
-def decode_gop_prefix(gop: EncodedGOP, stop: int) -> VideoSegment:
+def decode_gop_prefix(
+    gop: EncodedGOP, stop: int, executor=None, timings=None
+) -> VideoSegment:
     """Decode the first ``stop`` frames of a GOP (dependencies included)."""
-    return codec_for(gop.codec).decode_gop_frames(gop, stop)
+    return codec_for(gop.codec).decode_gop_frames(
+        gop, stop, executor=executor, timings=timings
+    )

@@ -267,6 +267,39 @@ def planes_to_frame(
     raise FormatError(f"unknown pixel format {fmt!r}")
 
 
+def frames_plane_views(
+    frames: np.ndarray, fmt: str, height: int, width: int
+) -> list[np.ndarray]:
+    """Writable per-plane views over a whole ``(N, *frame_shape)`` stack.
+
+    Each view is the ``(N, h_p, w_p)`` slice of ``frames`` that
+    :func:`frame_planes` yields frame by frame; writing a decoded plane
+    stack through the view assembles every frame with zero copies, which
+    is why the codec's batched decode tail uses this instead of a
+    stack/concatenate pass.  All views alias ``frames`` — no data moves
+    until the caller writes through them.
+    """
+    if fmt == "rgb":
+        return [frames[..., c] for c in range(3)]
+    if fmt == "gray":
+        return [frames]
+    if fmt in ("yuv420", "yuv422"):
+        n = frames.shape[0]
+        chroma = frames[:, height:]
+        # U occupies the first half of each frame's chroma rows at full
+        # width (see planes_to_frame); each half reshapes — per frame,
+        # contiguously — to the subsampled plane geometry.
+        rows = chroma.shape[1] // 2
+        half_w = width // 2
+        sub_h = rows * width // half_w
+        return [
+            frames[:, :height],
+            chroma[:, :rows].reshape(n, sub_h, half_w),
+            chroma[:, rows:].reshape(n, sub_h, half_w),
+        ]
+    raise FormatError(f"unknown pixel format {fmt!r}")
+
+
 # ----------------------------------------------------------------------
 # colour-space conversion (vectorized over whole segments)
 # ----------------------------------------------------------------------

@@ -5,13 +5,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.executor import Executor
 from repro.errors import CodecError, ContainerError
 from repro.video.codec import dct, entropy, motion, quant
+from repro.video.codec.blockcodec import BlockCodec, CodecProfile, CodecTimings
 from repro.video.codec.container import (
     EncodedGOP,
     decode_container,
     encode_container,
 )
+from repro.video.frame import VideoSegment, pixel_format
 from repro.video.codec.registry import (
     CODEC_NAMES,
     codec_for,
@@ -390,6 +393,176 @@ class TestBlockCodec:
         decoded = decode_gop(gop)
         assert decoded.pixel_format == fmt
         assert segment_psnr(seg, decoded) >= 38.0
+
+
+# ----------------------------------------------------------------------
+# batched fast path vs scalar reference
+# ----------------------------------------------------------------------
+#: (pixel_format, height, width): odd dims for the unsubsampled formats,
+#: block-unaligned dims (not a multiple of either block size) for the
+#: chroma-subsampled ones (whose packing needs height % 4 == 0 for
+#: yuv420 and even height for yuv422).
+_GEOMETRIES = [
+    ("rgb", 17, 23),
+    ("gray", 13, 19),
+    ("yuv420", 12, 22),
+    ("yuv422", 18, 26),
+]
+
+
+def _drifting_segment(seed, fmt, height, width, n):
+    """``n`` frames cropped from one textured canvas with per-frame drift
+    plus noise, so P frames carry real motion and real residuals."""
+    spec = pixel_format(fmt)
+    shape = spec.frame_shape(height, width)
+    rng = np.random.default_rng(seed)
+    canvas = rng.integers(
+        0, 256, (shape[0] + 12, shape[1] + 12, *shape[2:]), dtype=np.int16
+    )
+    frames = np.empty((n, *shape), dtype=np.uint8)
+    for index in range(n):
+        oy = 6 + int(rng.integers(-3, 4))
+        ox = 6 + int(rng.integers(-3, 4))
+        view = canvas[oy : oy + shape[0], ox : ox + shape[1]]
+        noise = rng.integers(-6, 7, shape)
+        frames[index] = np.clip(view + noise, 0, 255).astype(np.uint8)
+    return VideoSegment(frames, fmt, height, width, 30.0)
+
+
+class TestBatchedFastPathBitIdentity:
+    """The GOP-batched encode/decode fast paths must be **bit-identical**
+    to the retained scalar references over every profile axis: all three
+    motion modes, both block sizes, qp across the quality range, every
+    pixel format, odd/unaligned frame dims, 1-frame GOPs, and prefix
+    decodes."""
+
+    @staticmethod
+    def _codec(motion_mode, block):
+        return BlockCodec(
+            CodecProfile(
+                name="fuzz",
+                block_size=block,
+                motion=motion_mode,
+                entropy_level=6,
+                default_gop_size=30,
+                deadzone=0.5 if motion_mode != "tiled" else 0.33,
+            )
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        motion_mode=st.sampled_from(["none", "global", "tiled"]),
+        block=st.sampled_from([8, 16]),
+        qp=st.sampled_from([0, 14, 40]),
+        geometry=st.sampled_from(_GEOMETRIES),
+        n=st.integers(1, 5),
+    )
+    def test_encode_matches_scalar_reference(
+        self, seed, motion_mode, block, qp, geometry, n
+    ):
+        fmt, height, width = geometry
+        codec = self._codec(motion_mode, block)
+        seg = _drifting_segment(seed, fmt, height, width, n)
+        batched = codec.encode_gop(seg, qp=qp)
+        scalar = codec.encode_gop_scalar(seg, qp=qp)
+        assert batched.frame_types == scalar.frame_types
+        assert batched.payloads == scalar.payloads
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        motion_mode=st.sampled_from(["none", "global", "tiled"]),
+        block=st.sampled_from([8, 16]),
+        qp=st.sampled_from([0, 14, 40]),
+        geometry=st.sampled_from(_GEOMETRIES),
+        n=st.integers(1, 5),
+        stop=st.integers(1, 5),
+    )
+    def test_decode_matches_scalar_reference(
+        self, seed, motion_mode, block, qp, geometry, n, stop
+    ):
+        fmt, height, width = geometry
+        codec = self._codec(motion_mode, block)
+        seg = _drifting_segment(seed, fmt, height, width, n)
+        gop = codec.encode_gop(seg, qp=qp)
+        stop = min(stop, n)
+        fast = codec.decode_gop_frames(gop, stop)
+        reference = codec.decode_gop_frames_scalar(gop, stop)
+        assert fast.pixels.dtype == reference.pixels.dtype == np.uint8
+        assert np.array_equal(fast.pixels, reference.pixels)
+
+    @pytest.mark.parametrize("name", ["h264", "hevc"])
+    def test_registry_profiles_match_scalar_on_real_content(
+        self, name, tiny_clip
+    ):
+        codec = codec_for(name)
+        seg = tiny_clip.slice_frames(0, 12)
+        gop = codec.encode_gop(seg, qp=14)
+        scalar_gop = codec.encode_gop_scalar(seg, qp=14)
+        assert gop.payloads == scalar_gop.payloads
+        fast = codec.decode_gop_frames(gop, 12)
+        reference = codec.decode_gop_frames_scalar(gop, 12)
+        assert np.array_equal(fast.pixels, reference.pixels)
+
+    def test_executor_fanout_decode_identical(self, tiny_clip):
+        codec = codec_for("h264")
+        gop = codec.encode_gop(tiny_clip, qp=14)
+        executor = Executor(parallelism=4)
+        try:
+            fanned = codec.decode_gop_frames(
+                gop, gop.num_frames, executor=executor
+            )
+            inline = codec.decode_gop_frames(gop, gop.num_frames)
+            assert np.array_equal(fanned.pixels, inline.pixels)
+            assert executor.tasks_completed > 0
+        finally:
+            executor.shutdown()
+
+    def test_decode_from_worker_thread_runs_inline(self, tiny_clip):
+        # The reader fans chunk decodes through the shared pool, and each
+        # decode fans its entropy inflates through the same pool.  The
+        # inner map must detect it is on a worker thread and run inline —
+        # otherwise two outer tasks occupying both workers while waiting
+        # on queued subtasks would deadlock the pool (this test would
+        # hang, not fail).
+        codec = codec_for("h264")
+        gop = codec.encode_gop(tiny_clip, qp=14)
+        baseline = codec.decode_gop_frames(gop, gop.num_frames).pixels
+        executor = Executor(parallelism=2)
+        try:
+            results = executor.map(
+                lambda _: codec.decode_gop_frames(
+                    gop, gop.num_frames, executor=executor
+                ).pixels,
+                [0, 1],
+            )
+            for pixels in results:
+                assert np.array_equal(pixels, baseline)
+        finally:
+            executor.shutdown()
+
+    def test_decode_timings_populated(self, tiny_clip):
+        codec = codec_for("h264")
+        gop = codec.encode_gop(tiny_clip, qp=14)
+        timings = CodecTimings()
+        decoded = codec.decode_gop_frames(
+            gop, gop.num_frames, timings=timings
+        )
+        assert timings.frames_decoded == gop.num_frames
+        assert timings.decoded_bytes == decoded.pixels.nbytes
+        assert timings.entropy_seconds > 0.0
+        assert timings.transform_seconds > 0.0
+        assert timings.compensate_seconds > 0.0
+
+    def test_timings_accumulate_across_gops(self, tiny_clip):
+        codec = codec_for("h264")
+        gops = codec.encode_segment(tiny_clip, qp=14, gop_size=8)
+        timings = CodecTimings()
+        for gop in gops:
+            codec.decode_gop(gop, timings=timings)
+        assert timings.frames_decoded == tiny_clip.num_frames
+        assert timings.decoded_bytes == tiny_clip.pixels.nbytes
 
 
 class TestRawCodec:

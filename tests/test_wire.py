@@ -387,6 +387,35 @@ class TestStatsAndSegments:
         assert rebuilt.tiles_decoded == decoded
         assert rebuilt.tile_bytes_skipped == skipped
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entropy=st.floats(0, 10, allow_nan=False),
+        transform=st.floats(0, 10, allow_nan=False),
+        compensate=st.floats(0, 10, allow_nan=False),
+        frames=st.integers(0, 1 << 20),
+        decoded_bytes=st.integers(0, 1 << 40),
+    )
+    def test_codec_stage_stats_round_trip(
+        self, entropy, transform, compensate, frames, decoded_bytes
+    ):
+        # The codec decode fast path's stage counters must survive the
+        # wire; the derived properties are recomputed client-side from
+        # the round-tripped fields, never serialized.
+        stats = ReadStats(
+            frames_decoded=frames,
+            codec_entropy_seconds=entropy,
+            codec_transform_seconds=transform,
+            codec_compensate_seconds=compensate,
+            codec_decoded_bytes=decoded_bytes,
+        )
+        wired = json.loads(json.dumps(read_stats_to_dict(stats)))
+        assert "codec_decode_seconds" not in wired
+        assert "decode_mb_per_s" not in wired
+        rebuilt = read_stats_from_dict(wired)
+        assert rebuilt == stats
+        assert rebuilt.codec_decode_seconds == stats.codec_decode_seconds
+        assert rebuilt.decode_mb_per_s == stats.decode_mb_per_s
+
     @pytest.mark.parametrize("fmt", ["rgb", "gray", "yuv420"])
     def test_segment_round_trip(self, fmt):
         segment = blank_segment(12, 36, 64, fps=30.0, fmt=fmt)
